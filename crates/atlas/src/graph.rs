@@ -1,0 +1,420 @@
+//! The dependency-graph executor used by EPaxos, Atlas and Janus*.
+//!
+//! Dependency-based leaderless protocols commit each command together with a set of
+//! explicit dependencies. Committed commands form a directed graph that may contain
+//! cycles; replicas execute strongly connected components (SCCs) of that graph in
+//! topological order, and the commands inside an SCC in identifier order (§3.3,
+//! "Dependency-based ordering"). An SCC can only be executed once every command it
+//! (transitively) depends on is committed — which is exactly the mechanism that produces
+//! the unbounded execution delays and high tail latencies the paper measures
+//! (Figure 6, Appendix D).
+//!
+//! The executor also reports the size of the SCCs it executes, which the benchmark
+//! harnesses use to show how dependency chains grow with contention.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use tempo_kernel::id::Dot;
+
+/// A committed command's vertex in the dependency graph.
+#[derive(Debug, Clone)]
+struct Vertex {
+    deps: BTreeSet<Dot>,
+}
+
+/// The dependency-graph executor of one process.
+///
+/// `add` inserts a committed command with its dependencies; `try_execute` returns the
+/// commands that became executable, in execution order.
+#[derive(Debug, Default)]
+pub struct DependencyGraph {
+    /// Committed but not yet executed commands.
+    vertices: HashMap<Dot, Vertex>,
+    /// Commands already executed (kept as a set to resolve edges pointing backwards).
+    executed: BTreeSet<Dot>,
+    /// Sizes of the SCCs executed so far (diagnostics for the evaluation).
+    scc_sizes: Vec<usize>,
+}
+
+impl DependencyGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a committed command and its dependencies.
+    pub fn add(&mut self, dot: Dot, deps: BTreeSet<Dot>) {
+        if self.executed.contains(&dot) || self.vertices.contains_key(&dot) {
+            return;
+        }
+        // Dependencies already executed are irrelevant for ordering.
+        let deps = deps
+            .into_iter()
+            .filter(|d| *d != dot && !self.executed.contains(d))
+            .collect();
+        self.vertices.insert(dot, Vertex { deps });
+    }
+
+    /// Whether a command is committed (pending execution) or already executed.
+    pub fn contains(&self, dot: Dot) -> bool {
+        self.executed.contains(&dot) || self.vertices.contains_key(&dot)
+    }
+
+    /// Whether a command has been executed.
+    pub fn is_executed(&self, dot: Dot) -> bool {
+        self.executed.contains(&dot)
+    }
+
+    /// Number of committed commands waiting for execution.
+    pub fn pending(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Sizes of the strongly connected components executed so far.
+    pub fn scc_sizes(&self) -> &[usize] {
+        &self.scc_sizes
+    }
+
+    /// Largest SCC executed so far (0 if none).
+    pub fn max_scc_size(&self) -> usize {
+        self.scc_sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Attempts to execute committed commands. Returns the newly executable commands in
+    /// execution order.
+    ///
+    /// A strongly connected component is executable when every dependency of every member
+    /// either belongs to the component, was already executed, or belongs to an executable
+    /// component that precedes it in topological order. Components containing (or
+    /// reaching) a dependency that is not yet committed stay blocked.
+    pub fn try_execute(&mut self) -> Vec<Dot> {
+        if self.vertices.is_empty() {
+            return Vec::new();
+        }
+        let sccs = self.tarjan();
+        let mut executed_now = Vec::new();
+        // Tarjan emits SCCs in reverse topological order of the condensation: a component
+        // is emitted only after every component it depends on. Walk them in that order and
+        // execute greedily.
+        for scc in sccs {
+            let members: BTreeSet<Dot> = scc.iter().copied().collect();
+            let mut executable = true;
+            'outer: for dot in &scc {
+                let vertex = &self.vertices[dot];
+                for dep in &vertex.deps {
+                    // Components executed earlier in this call are already in `executed`.
+                    let satisfied = self.executed.contains(dep) || members.contains(dep);
+                    if !satisfied {
+                        executable = false;
+                        break 'outer;
+                    }
+                }
+            }
+            if !executable {
+                continue;
+            }
+            // Inside an SCC, execute in identifier order (deterministic across replicas).
+            let mut ordered: Vec<Dot> = scc;
+            ordered.sort();
+            self.scc_sizes.push(ordered.len());
+            for dot in ordered {
+                self.vertices.remove(&dot);
+                self.executed.insert(dot);
+                executed_now.push(dot);
+            }
+        }
+        executed_now
+    }
+
+    /// Tarjan's strongly-connected-components algorithm over the pending subgraph,
+    /// implemented iteratively to avoid deep recursion on long dependency chains.
+    fn tarjan(&self) -> Vec<Vec<Dot>> {
+        #[derive(Default, Clone)]
+        struct NodeState {
+            index: Option<usize>,
+            lowlink: usize,
+            on_stack: bool,
+        }
+
+        let mut state: BTreeMap<Dot, NodeState> = self
+            .vertices
+            .keys()
+            .map(|d| (*d, NodeState::default()))
+            .collect();
+        let mut index = 0usize;
+        let mut stack: Vec<Dot> = Vec::new();
+        let mut sccs: Vec<Vec<Dot>> = Vec::new();
+
+        // Iterative DFS frames: (node, iterator position over its deps).
+        let nodes: Vec<Dot> = self.vertices.keys().copied().collect();
+        for root in nodes {
+            if state[&root].index.is_some() {
+                continue;
+            }
+            let mut frames: Vec<(Dot, Vec<Dot>, usize)> = Vec::new();
+            let deps: Vec<Dot> = self.vertices[&root]
+                .deps
+                .iter()
+                .copied()
+                .filter(|d| self.vertices.contains_key(d))
+                .collect();
+            state.get_mut(&root).unwrap().index = Some(index);
+            state.get_mut(&root).unwrap().lowlink = index;
+            state.get_mut(&root).unwrap().on_stack = true;
+            stack.push(root);
+            index += 1;
+            frames.push((root, deps, 0));
+
+            while let Some((node, deps, mut position)) = frames.pop() {
+                let mut descended = false;
+                while position < deps.len() {
+                    let dep = deps[position];
+                    position += 1;
+                    let dep_state = state[&dep].clone();
+                    match dep_state.index {
+                        None => {
+                            // Descend into `dep`.
+                            let dep_deps: Vec<Dot> = self.vertices[&dep]
+                                .deps
+                                .iter()
+                                .copied()
+                                .filter(|d| self.vertices.contains_key(d))
+                                .collect();
+                            state.get_mut(&dep).unwrap().index = Some(index);
+                            state.get_mut(&dep).unwrap().lowlink = index;
+                            state.get_mut(&dep).unwrap().on_stack = true;
+                            stack.push(dep);
+                            index += 1;
+                            frames.push((node, deps, position));
+                            frames.push((dep, dep_deps, 0));
+                            descended = true;
+                            break;
+                        }
+                        Some(dep_index) => {
+                            if dep_state.on_stack {
+                                let node_low = state[&node].lowlink;
+                                state.get_mut(&node).unwrap().lowlink = node_low.min(dep_index);
+                            }
+                        }
+                    }
+                }
+                if descended {
+                    continue;
+                }
+                // Node finished: pop an SCC if this is a root.
+                let node_state = state[&node].clone();
+                if Some(node_state.lowlink) == node_state.index {
+                    let mut scc = Vec::new();
+                    while let Some(top) = stack.pop() {
+                        state.get_mut(&top).unwrap().on_stack = false;
+                        scc.push(top);
+                        if top == node {
+                            break;
+                        }
+                    }
+                    sccs.push(scc);
+                }
+                // Propagate the lowlink to the parent frame.
+                if let Some((parent, _, _)) = frames.last() {
+                    let parent_low = state[parent].lowlink;
+                    let node_low = state[&node].lowlink;
+                    state.get_mut(parent).unwrap().lowlink = parent_low.min(node_low);
+                }
+            }
+        }
+        sccs
+    }
+}
+
+/// A per-key conflict index used to compute dependencies.
+///
+/// Like EPaxos, dependencies are compressed to at most one identifier per process and key:
+/// the highest sequence number of a conflicting command coordinated by that process.
+/// Reads depend only on writes; writes depend on both reads and writes (§3.3,
+/// "Limitations of timestamp stability").
+#[derive(Debug, Default)]
+pub struct ConflictIndex {
+    /// Per key: highest conflicting *write* per coordinating process.
+    writes: HashMap<u64, BTreeMap<u64, u64>>,
+    /// Per key: highest conflicting *read* per coordinating process.
+    reads: HashMap<u64, BTreeMap<u64, u64>>,
+}
+
+impl ConflictIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the dependencies of a command over `keys`, then records the command.
+    ///
+    /// `is_read` marks the command as read-only: reads only pick up writes as
+    /// dependencies and are only picked up by writes.
+    pub fn dependencies(&mut self, dot: Dot, keys: &[u64], is_read: bool) -> BTreeSet<Dot> {
+        let mut deps = BTreeSet::new();
+        for key in keys {
+            if let Some(writers) = self.writes.get(key) {
+                for (process, seq) in writers {
+                    deps.insert(Dot::new(*process, *seq));
+                }
+            }
+            if !is_read {
+                if let Some(readers) = self.reads.get(key) {
+                    for (process, seq) in readers {
+                        deps.insert(Dot::new(*process, *seq));
+                    }
+                }
+            }
+        }
+        deps.remove(&dot);
+        // Record the command.
+        let table = if is_read {
+            &mut self.reads
+        } else {
+            &mut self.writes
+        };
+        for key in keys {
+            let entry = table.entry(*key).or_default();
+            let seq = entry.entry(dot.source).or_insert(0);
+            *seq = (*seq).max(dot.sequence);
+        }
+        deps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dot(p: u64, s: u64) -> Dot {
+        Dot::new(p, s)
+    }
+
+    fn deps(list: &[Dot]) -> BTreeSet<Dot> {
+        list.iter().copied().collect()
+    }
+
+    #[test]
+    fn independent_commands_execute_immediately() {
+        let mut graph = DependencyGraph::new();
+        graph.add(dot(1, 1), deps(&[]));
+        graph.add(dot(2, 1), deps(&[]));
+        let executed = graph.try_execute();
+        assert_eq!(executed.len(), 2);
+        assert_eq!(graph.pending(), 0);
+        assert_eq!(graph.max_scc_size(), 1);
+    }
+
+    #[test]
+    fn chain_executes_in_dependency_order() {
+        let mut graph = DependencyGraph::new();
+        graph.add(dot(1, 3), deps(&[dot(1, 2)]));
+        graph.add(dot(1, 2), deps(&[dot(1, 1)]));
+        // The chain is blocked until its root is committed.
+        assert!(graph.try_execute().is_empty());
+        graph.add(dot(1, 1), deps(&[]));
+        let executed = graph.try_execute();
+        assert_eq!(executed, vec![dot(1, 1), dot(1, 2), dot(1, 3)]);
+    }
+
+    #[test]
+    fn figure3_cycle_blocks_on_uncommitted_dependency() {
+        // Figure 3 (right): dep[w] = {y}, dep[y] = {z}, dep[z] = {w, x}; x is uncommitted,
+        // so nothing can execute even though w, y, z are committed.
+        let w = dot(1, 1);
+        let x = dot(1, 2);
+        let y = dot(2, 1);
+        let z = dot(3, 1);
+        let mut graph = DependencyGraph::new();
+        graph.add(w, deps(&[y]));
+        graph.add(y, deps(&[z]));
+        graph.add(z, deps(&[w, x]));
+        assert!(graph.try_execute().is_empty(), "cycle must wait for x");
+        // Once x commits, the whole strongly connected component executes at once.
+        graph.add(x, deps(&[]));
+        let executed = graph.try_execute();
+        assert_eq!(executed.len(), 4);
+        assert_eq!(executed[0], x, "x has no dependencies and executes first");
+        assert_eq!(graph.max_scc_size(), 3);
+    }
+
+    #[test]
+    fn scc_members_execute_in_identifier_order_everywhere() {
+        // Two replicas with the same committed graph must produce identical orders.
+        let build = || {
+            let mut graph = DependencyGraph::new();
+            graph.add(dot(2, 1), deps(&[dot(1, 1)]));
+            graph.add(dot(1, 1), deps(&[dot(2, 1)]));
+            graph.add(dot(3, 1), deps(&[dot(1, 1), dot(2, 1)]));
+            graph.try_execute()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a, b);
+        assert_eq!(a, vec![dot(1, 1), dot(2, 1), dot(3, 1)]);
+    }
+
+    #[test]
+    fn appendix_d_unbounded_chain_never_executes_while_growing() {
+        // Appendix D (EPaxos): dep[k] grows forever; as long as new conflicting commands
+        // keep arriving with dependencies on uncommitted ones, nothing executes.
+        let mut graph = DependencyGraph::new();
+        // dep[n] = {n+1} (each command depends on a not-yet-committed one).
+        for n in 1..50u64 {
+            graph.add(dot(1, n), deps(&[dot(1, n + 1)]));
+            assert!(graph.try_execute().is_empty(), "chain must stay blocked");
+        }
+        assert_eq!(graph.pending(), 49);
+        // Committing the final command releases the whole chain at once.
+        graph.add(dot(1, 50), deps(&[]));
+        assert_eq!(graph.try_execute().len(), 50);
+    }
+
+    #[test]
+    fn duplicate_adds_are_ignored() {
+        let mut graph = DependencyGraph::new();
+        graph.add(dot(1, 1), deps(&[]));
+        assert_eq!(graph.try_execute().len(), 1);
+        graph.add(dot(1, 1), deps(&[dot(9, 9)]));
+        assert!(graph.try_execute().is_empty());
+        assert!(graph.is_executed(dot(1, 1)));
+        assert!(graph.contains(dot(1, 1)));
+    }
+
+    #[test]
+    fn conflict_index_reads_do_not_depend_on_reads() {
+        let mut index = ConflictIndex::new();
+        let r1 = index.dependencies(dot(1, 1), &[7], true);
+        assert!(r1.is_empty());
+        let r2 = index.dependencies(dot(2, 1), &[7], true);
+        assert!(r2.is_empty(), "reads do not depend on reads");
+        let w1 = index.dependencies(dot(3, 1), &[7], false);
+        assert_eq!(w1, deps(&[dot(1, 1), dot(2, 1)]), "writes depend on reads");
+        let r3 = index.dependencies(dot(1, 2), &[7], true);
+        assert_eq!(r3, deps(&[dot(3, 1)]), "reads depend on writes only");
+    }
+
+    #[test]
+    fn conflict_index_is_per_key_and_compressed_per_process() {
+        let mut index = ConflictIndex::new();
+        assert!(index.dependencies(dot(1, 1), &[1], false).is_empty());
+        assert!(index.dependencies(dot(1, 2), &[2], false).is_empty());
+        // Same process writes key 1 twice: only the highest sequence is reported.
+        let _ = index.dependencies(dot(1, 3), &[1], false);
+        let d = index.dependencies(dot(2, 1), &[1], false);
+        assert_eq!(d, deps(&[dot(1, 3)]));
+    }
+
+    #[test]
+    fn long_chain_does_not_overflow_the_stack() {
+        // 10_000-deep dependency chain exercises the iterative Tarjan implementation.
+        let mut graph = DependencyGraph::new();
+        for n in (2..=10_000u64).rev() {
+            graph.add(dot(1, n), deps(&[dot(1, n - 1)]));
+        }
+        graph.add(dot(1, 1), deps(&[]));
+        let executed = graph.try_execute();
+        assert_eq!(executed.len(), 10_000);
+        assert_eq!(executed[0], dot(1, 1));
+        assert_eq!(executed[9_999], dot(1, 10_000));
+    }
+}

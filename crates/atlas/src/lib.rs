@@ -1,0 +1,29 @@
+//! `tempo-atlas` — the Atlas and EPaxos baselines used in the paper's evaluation (§6).
+//!
+//! Both are leaderless SMR protocols that order commands through *explicit dependencies*
+//! rather than timestamps (§3.3). Commands are committed together with a dependency set
+//! and executed by collapsing the resulting graph into strongly connected components.
+//! The [`graph`] module hosts the dependency-graph executor, which is also reused by the
+//! Janus* baseline (`tempo-janus`).
+//!
+//! # Quick start
+//!
+//! ```
+//! use tempo_atlas::Atlas;
+//! use tempo_kernel::harness::LocalCluster;
+//! use tempo_kernel::{Command, Config, KVOp, Rifl};
+//!
+//! let config = Config::full(5, 1);
+//! let mut cluster = LocalCluster::<Atlas>::new(config);
+//! cluster.submit(0, Command::single(Rifl::new(1, 1), 0, 0, KVOp::Put(7), 0));
+//! assert_eq!(cluster.executed(0).len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod protocol;
+
+pub use graph::{ConflictIndex, DependencyGraph};
+pub use protocol::{Atlas, EPaxos, Message, Variant};

@@ -1,0 +1,40 @@
+//! Figure 2 — stable timestamps for different sets of promises (r = 3).
+
+use tempo_bench::header;
+use tempo_core::PromiseTracker;
+
+fn main() {
+    header(
+        "Figure 2: stable timestamps for promise sets X, Y, Z (r = 3)",
+        "Figure 2, §3.2 'Stability detection'",
+    );
+    // X = {⟨A,1⟩, ⟨C,3⟩}, Y = {⟨B,1..3⟩}, Z = {⟨A,2⟩, ⟨C,1⟩, ⟨C,2⟩}; processes A=0, B=1, C=2.
+    let x: &[(u64, u64)] = &[(0, 1), (2, 3)];
+    let y: &[(u64, u64)] = &[(1, 1), (1, 2), (1, 3)];
+    let z: &[(u64, u64)] = &[(0, 2), (2, 1), (2, 2)];
+    let stable = |sets: &[&[(u64, u64)]]| {
+        let mut tracker = PromiseTracker::new(&[0, 1, 2], 1);
+        for set in sets {
+            for (p, ts) in set.iter() {
+                tracker.add_single(*p, *ts);
+            }
+        }
+        tracker.stable_timestamp()
+    };
+    let rows: Vec<(&str, Vec<&[(u64, u64)]>, u64)> = vec![
+        ("X", vec![x], 0),
+        ("Y", vec![y], 0),
+        ("Z", vec![z], 0),
+        ("X ∪ Y", vec![x, y], 1),
+        ("X ∪ Z", vec![x, z], 2),
+        ("Y ∪ Z", vec![y, z], 2),
+        ("X ∪ Y ∪ Z", vec![x, y, z], 3),
+    ];
+    println!("{:<12} {:>10} {:>10}", "promises", "stable", "(paper)");
+    for (name, sets, paper) in rows {
+        let got = stable(&sets);
+        println!("{name:<12} {got:>10} {paper:>10}");
+        assert_eq!(got, paper, "stability mismatch for {name}");
+    }
+    println!("\nall combinations match Figure 2");
+}

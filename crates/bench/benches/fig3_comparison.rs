@@ -1,0 +1,63 @@
+//! Figure 3 — timestamp stability vs explicit dependencies on the w/x/y/z example (r = 3).
+//!
+//! Reproduces the scenario of §3.3: commands w, x submitted by A, y by B, z by C, with
+//! arrival orders w,x,z at A; y,w at B; z,y at C; command x is never committed.
+//! Tempo can execute w and y (their timestamps are stable); the dependency graph of
+//! EPaxos/Atlas stays blocked on the uncommitted command x; Caesar's wait condition keeps
+//! blocking proposals.
+
+use std::collections::BTreeSet;
+use tempo_atlas::DependencyGraph;
+use tempo_bench::header;
+use tempo_core::{PromiseRange, PromiseTracker};
+use tempo_kernel::id::Dot;
+
+fn main() {
+    header(
+        "Figure 3: timestamp stability vs explicit dependencies",
+        "Figure 3, §3.3",
+    );
+
+    // --- Tempo (left of Figure 3): attached promises of committed commands w, y, z.
+    // ts[w] = 2 {⟨A,1⟩,⟨B,2⟩}, ts[y] = 2 {⟨B,1⟩,⟨C,2⟩}, ts[z] = 3 {⟨C,1⟩,⟨A,3⟩}; x uncommitted.
+    let mut tracker = PromiseTracker::new(&[0, 1, 2], 1);
+    for (p, ts) in [(0u64, 1u64), (1, 2), (1, 1), (2, 2), (2, 1)] {
+        tracker.add_single(p, ts);
+    }
+    // ⟨A,3⟩ is attached to z which is committed, so it may be added too.
+    tracker.add(0, PromiseRange::single(3));
+    let stable = tracker.stable_timestamp();
+    println!("Tempo: highest stable timestamp = {stable} (paper: 2)");
+    println!("  -> commands w and y (timestamp 2) execute even though x is uncommitted");
+    assert_eq!(stable, 2);
+
+    // --- EPaxos-style dependencies (top right of Figure 3).
+    let w = Dot::new(0, 1);
+    let x = Dot::new(0, 2);
+    let y = Dot::new(1, 1);
+    let z = Dot::new(2, 1);
+    let mut graph = DependencyGraph::new();
+    graph.add(w, BTreeSet::from([y]));
+    graph.add(y, BTreeSet::from([z]));
+    graph.add(z, BTreeSet::from([w, x]));
+    let executed = graph.try_execute();
+    println!(
+        "EPaxos/Atlas: executable commands with x uncommitted = {} (paper: 0)",
+        executed.len()
+    );
+    assert!(executed.is_empty());
+    // Committing x releases the whole strongly connected component at once.
+    graph.add(x, BTreeSet::new());
+    let released = graph.try_execute();
+    println!(
+        "  -> once x commits, a component of size {} executes at once",
+        released.len()
+    );
+    assert_eq!(released.len(), 4);
+
+    // --- Caesar (bottom right of Figure 3): the blocking chain w <- y <- z <- x means no
+    // command is committed. We reproduce the blocked-reply counts in the Appendix D
+    // harness; here we only report the structural conclusion.
+    println!("Caesar: w blocked on y, y blocked on z, z blocked on x -> nothing commits");
+    println!("\nFigure 3 behaviour reproduced");
+}

@@ -1,0 +1,43 @@
+//! Table 2 — ping latencies between the five EC2 sites of the evaluation.
+
+use tempo_bench::header;
+use tempo_planet::{ec2_region_label, Planet};
+
+fn main() {
+    header(
+        "Table 2: ping latency (ms) between EC2 sites",
+        "Appendix A, Table 2",
+    );
+    let planet = Planet::ec2();
+    let n = planet.len();
+    print!("{:<16}", "");
+    for j in 1..n {
+        print!("{:>16}", ec2_region_label(&planet.regions()[j]));
+    }
+    println!();
+    for i in 0..n - 1 {
+        print!("{:<16}", ec2_region_label(&planet.regions()[i]));
+        for j in 1..n {
+            if j <= i {
+                print!("{:>16}", "");
+            } else {
+                print!("{:>16.0}", planet.ping_ms(i as u64, j as u64));
+            }
+        }
+        println!();
+    }
+    // The values are embedded data; check the range quoted in §6.2 (72 ms to 338 ms).
+    let mut min = f64::MAX;
+    let mut max: f64 = 0.0;
+    for i in 0..n as u64 {
+        for j in 0..n as u64 {
+            if i != j {
+                min = min.min(planet.ping_ms(i, j));
+                max = max.max(planet.ping_ms(i, j));
+            }
+        }
+    }
+    println!("\nlatency range: {min:.0} ms to {max:.0} ms (paper: 72 ms to 338 ms)");
+    assert_eq!(min as u64, 72);
+    assert_eq!(max as u64, 338);
+}

@@ -1,0 +1,53 @@
+//! `tempo-core` — the Tempo protocol from *Efficient Replication via Timestamp Stability*
+//! (EuroSys 2021).
+//!
+//! Tempo is a leaderless state-machine replication protocol for full and partial
+//! replication. Each command is assigned a scalar timestamp by a fast quorum of
+//! `⌊n/2⌋ + f` processes; commands execute in timestamp order once their timestamp is
+//! *stable*, i.e. once every command with a lower timestamp is known. Both timestamping
+//! and stability detection are decentralized and tolerate `f` failures per shard.
+//!
+//! # Quick start
+//!
+//! ```
+//! use tempo_core::Tempo;
+//! use tempo_kernel::harness::LocalCluster;
+//! use tempo_kernel::{Command, Config, KVOp, Protocol, Rifl};
+//!
+//! // Five replicas of a single shard, tolerating one failure.
+//! let config = Config::full(5, 1);
+//! let mut cluster = LocalCluster::<Tempo>::new(config);
+//!
+//! // Submit a command at replica 0 and let the cluster reach quiescence.
+//! let cmd = Command::single(Rifl::new(1, 1), 0, 42, KVOp::Put(7), 0);
+//! cluster.submit(0, cmd);
+//!
+//! // Once stable, the command executes at the submitting replica.
+//! let executed = cluster.executed(0);
+//! assert_eq!(executed.len(), 1);
+//! assert_eq!(executed[0].rifl, Rifl::new(1, 1));
+//! ```
+//!
+//! The crate is organised as follows:
+//!
+//! * [`clock`] — the timestamping clock (`proposal`/`bump`, Algorithm 1),
+//! * [`promises`] — attached/detached promises and stability detection (Algorithm 2,
+//!   Theorem 1),
+//! * [`messages`] — the wire protocol,
+//! * [`info`] — per-command state (Figure 1 phases, Table 3 variables),
+//! * [`protocol`] — the [`Tempo`] state machine: commit, execution, multi-partition and
+//!   recovery protocols.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod info;
+pub mod messages;
+pub mod promises;
+pub mod protocol;
+
+pub use info::Phase;
+pub use messages::{Message, PromiseBundle, Quorums, RecPhase};
+pub use promises::{PromiseRange, PromiseTracker};
+pub use protocol::{Tempo, TempoOptions};

@@ -1,0 +1,275 @@
+//! Promise tracking and timestamp-stability detection (Algorithm 2 and Theorem 1).
+//!
+//! A process tracks, for every process `j` of its shard, which timestamps `j` has promised
+//! never to use again. A timestamp `s` is *stable* once the promise sets of a majority of
+//! processes contain every timestamp up to `s`: new commands are timestamped as the
+//! maximum over a majority of proposals, and any two majorities intersect, so every new
+//! command must get a timestamp above `s` (Theorem 1).
+//!
+//! Promises arrive mostly as contiguous ranges, so per process we keep the highest
+//! contiguous prefix plus a sparse set of out-of-order promises, giving O(1) amortized
+//! insertion and O(1) `highest_contiguous_promise` queries.
+
+use std::collections::{BTreeMap, BTreeSet};
+use tempo_kernel::id::ProcessId;
+
+/// An inclusive range of promised timestamps `[start, end]` from a single process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PromiseRange {
+    /// First promised timestamp.
+    pub start: u64,
+    /// Last promised timestamp (inclusive).
+    pub end: u64,
+}
+
+impl PromiseRange {
+    /// Creates an inclusive promise range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `start == 0` (timestamps start at 1).
+    pub fn new(start: u64, end: u64) -> Self {
+        assert!(start >= 1, "timestamps start at 1");
+        assert!(start <= end, "invalid promise range [{start}, {end}]");
+        Self { start, end }
+    }
+
+    /// A range holding a single timestamp.
+    pub fn single(ts: u64) -> Self {
+        Self::new(ts, ts)
+    }
+
+    /// Number of timestamps in the range.
+    pub fn len(&self) -> u64 {
+        self.end - self.start + 1
+    }
+
+    /// Whether the range is empty (never true for a constructed range).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// The promises received from a single process: a contiguous prefix `[1, contiguous]`
+/// plus sparse out-of-order promises above the prefix.
+#[derive(Debug, Clone, Default)]
+struct ProcessPromises {
+    contiguous: u64,
+    sparse: BTreeSet<u64>,
+}
+
+impl ProcessPromises {
+    fn add(&mut self, range: PromiseRange) {
+        if range.end <= self.contiguous {
+            return;
+        }
+        if range.start <= self.contiguous + 1 {
+            // Extends the prefix directly.
+            self.contiguous = self.contiguous.max(range.end);
+        } else {
+            for ts in range.start..=range.end {
+                self.sparse.insert(ts);
+            }
+        }
+        // Absorb any sparse promises that now continue the prefix.
+        while self.sparse.remove(&(self.contiguous + 1)) {
+            self.contiguous += 1;
+        }
+        // Drop sparse entries now covered by the prefix.
+        self.sparse = self.sparse.split_off(&(self.contiguous + 1));
+    }
+
+    fn highest_contiguous(&self) -> u64 {
+        self.contiguous
+    }
+
+    fn contains(&self, ts: u64) -> bool {
+        ts <= self.contiguous || self.sparse.contains(&ts)
+    }
+}
+
+/// The `Promises` variable of Algorithm 2: promises known from every process of the shard,
+/// with majority-based stability detection.
+#[derive(Debug, Clone)]
+pub struct PromiseTracker {
+    by_process: BTreeMap<ProcessId, ProcessPromises>,
+    /// `⌊n/2⌋`: index into the sorted watermark array yielding the majority-stable value.
+    stability_index: usize,
+}
+
+impl PromiseTracker {
+    /// Creates a tracker for the given shard members.
+    pub fn new(shard_processes: &[ProcessId], stability_index: usize) -> Self {
+        assert!(
+            stability_index < shard_processes.len(),
+            "stability index out of range"
+        );
+        let by_process = shard_processes
+            .iter()
+            .map(|p| (*p, ProcessPromises::default()))
+            .collect();
+        Self {
+            by_process,
+            stability_index,
+        }
+    }
+
+    /// Adds a promise range issued by `process`. Ranges from unknown processes (other
+    /// shards) are ignored: stability is a per-shard notion.
+    pub fn add(&mut self, process: ProcessId, range: PromiseRange) {
+        if let Some(promises) = self.by_process.get_mut(&process) {
+            promises.add(range);
+        }
+    }
+
+    /// Adds a single-timestamp promise issued by `process`.
+    pub fn add_single(&mut self, process: ProcessId, ts: u64) {
+        self.add(process, PromiseRange::single(ts));
+    }
+
+    /// The highest contiguous promise received from `process`
+    /// (Algorithm 2, `highest_contiguous_promise`).
+    pub fn highest_contiguous_promise(&self, process: ProcessId) -> u64 {
+        self.by_process
+            .get(&process)
+            .map(ProcessPromises::highest_contiguous)
+            .unwrap_or(0)
+    }
+
+    /// Whether the given promise is known.
+    pub fn contains(&self, process: ProcessId, ts: u64) -> bool {
+        self.by_process
+            .get(&process)
+            .map(|p| p.contains(ts))
+            .unwrap_or(false)
+    }
+
+    /// The highest stable timestamp (Theorem 1): sort the per-process highest contiguous
+    /// promises and take the entry at index `⌊n/2⌋`; a majority of processes have promised
+    /// everything up to (and including) that value.
+    pub fn stable_timestamp(&self) -> u64 {
+        let mut watermarks: Vec<u64> = self
+            .by_process
+            .values()
+            .map(ProcessPromises::highest_contiguous)
+            .collect();
+        watermarks.sort_unstable();
+        watermarks[self.stability_index]
+    }
+
+    /// The processes tracked (the shard membership).
+    pub fn processes(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.by_process.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker_r3() -> PromiseTracker {
+        // Three processes A = 0, B = 1, C = 2; stability index ⌊3/2⌋ = 1.
+        PromiseTracker::new(&[0, 1, 2], 1)
+    }
+
+    #[test]
+    fn figure2_promise_sets() {
+        // Figure 2: r = 3, promise sets X, Y, Z and the resulting stable timestamps.
+        let x = [(0u64, 1u64), (2, 3)]; // ⟨A,1⟩, ⟨C,3⟩
+        let y = [(1, 1), (1, 2), (1, 3)]; // ⟨B,1..3⟩
+        let z = [(0, 2), (2, 1), (2, 2)]; // ⟨A,2⟩, ⟨C,1⟩, ⟨C,2⟩
+
+        let stable = |sets: &[&[(u64, u64)]]| {
+            let mut tracker = tracker_r3();
+            for set in sets {
+                for (p, ts) in *set {
+                    tracker.add_single(*p, *ts);
+                }
+            }
+            tracker.stable_timestamp()
+        };
+
+        assert_eq!(stable(&[&x]), 0);
+        assert_eq!(stable(&[&y]), 0);
+        assert_eq!(stable(&[&z]), 0);
+        assert_eq!(stable(&[&x, &y]), 1);
+        assert_eq!(stable(&[&x, &z]), 2);
+        assert_eq!(stable(&[&y, &z]), 2);
+        assert_eq!(stable(&[&x, &y, &z]), 3);
+    }
+
+    #[test]
+    fn figure3_stability_example() {
+        // Figure 3 (left): promises ⟨A,1⟩, ⟨B,1⟩, ⟨C,1⟩, ⟨B,2⟩, ⟨C,2⟩, ⟨A,3⟩ make
+        // timestamp 2 stable even though ⟨A,2⟩ is missing.
+        let mut tracker = tracker_r3();
+        for (p, ts) in [(0u64, 1u64), (1, 1), (2, 1), (1, 2), (2, 2), (0, 3)] {
+            tracker.add_single(p, ts);
+        }
+        assert_eq!(tracker.stable_timestamp(), 2);
+        // A's promise 3 is sparse (not contiguous) because A never promised 2.
+        assert_eq!(tracker.highest_contiguous_promise(0), 1);
+        assert!(tracker.contains(0, 3));
+        assert!(!tracker.contains(0, 2));
+    }
+
+    #[test]
+    fn out_of_order_promises_are_absorbed() {
+        let mut tracker = tracker_r3();
+        tracker.add_single(0, 3);
+        tracker.add_single(0, 2);
+        assert_eq!(tracker.highest_contiguous_promise(0), 0);
+        tracker.add_single(0, 1);
+        assert_eq!(tracker.highest_contiguous_promise(0), 3);
+    }
+
+    #[test]
+    fn ranges_merge_with_prefix() {
+        let mut tracker = tracker_r3();
+        tracker.add(1, PromiseRange::new(1, 10));
+        tracker.add(1, PromiseRange::new(5, 20));
+        assert_eq!(tracker.highest_contiguous_promise(1), 20);
+        tracker.add(1, PromiseRange::new(25, 30));
+        assert_eq!(tracker.highest_contiguous_promise(1), 20);
+        tracker.add(1, PromiseRange::new(21, 24));
+        assert_eq!(tracker.highest_contiguous_promise(1), 30);
+    }
+
+    #[test]
+    fn unknown_process_promises_are_ignored() {
+        let mut tracker = tracker_r3();
+        tracker.add_single(99, 1);
+        assert_eq!(tracker.highest_contiguous_promise(99), 0);
+        assert!(!tracker.contains(99, 1));
+        assert_eq!(tracker.stable_timestamp(), 0);
+    }
+
+    #[test]
+    fn stability_needs_a_majority_r5() {
+        let mut tracker = PromiseTracker::new(&[0, 1, 2, 3, 4], 2);
+        // Two processes promise up to 10: not enough for a majority of 3.
+        tracker.add(0, PromiseRange::new(1, 10));
+        tracker.add(1, PromiseRange::new(1, 10));
+        assert_eq!(tracker.stable_timestamp(), 0);
+        // Third process promises up to 7: stable = 7.
+        tracker.add(2, PromiseRange::new(1, 7));
+        assert_eq!(tracker.stable_timestamp(), 7);
+        // Remaining processes promising more does not raise the majority value past 10.
+        tracker.add(3, PromiseRange::new(1, 50));
+        tracker.add(4, PromiseRange::new(1, 50));
+        assert_eq!(tracker.stable_timestamp(), 10);
+    }
+
+    #[test]
+    fn promise_range_len() {
+        assert_eq!(PromiseRange::new(2, 5).len(), 4);
+        assert_eq!(PromiseRange::single(7).len(), 1);
+        assert!(!PromiseRange::single(7).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid promise range")]
+    fn inverted_range_panics() {
+        let _ = PromiseRange::new(5, 2);
+    }
+}

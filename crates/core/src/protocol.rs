@@ -1,0 +1,1203 @@
+//! The Tempo protocol state machine (Algorithms 1-6 of the paper).
+//!
+//! One [`Tempo`] instance runs per process, i.e. per (site, shard) pair. The instance
+//! implements:
+//!
+//! * the **commit protocol** (§3.1): fast path when the highest timestamp proposal is made
+//!   by at least `f` fast-quorum processes, slow path through single-decree Flexible Paxos
+//!   otherwise;
+//! * the **execution protocol** (§3.2): promises, background stability detection
+//!   (Theorem 1) and execution in `⟨timestamp, id⟩` order;
+//! * the **multi-partition protocol** (§4): per-shard coordinators, final timestamp as the
+//!   maximum over shards, `MBump` for faster stability and the `MStable` exchange;
+//! * the **recovery protocol** (§5 / Algorithm 4) and the liveness mechanisms of
+//!   Appendix B (`MRecNAck`, `MCommitRequest`, periodic payload resend).
+
+use crate::clock::Clock;
+use crate::info::{CommandInfo, Phase};
+use crate::messages::{Message, PromiseBundle, Quorums, RecPhase};
+use crate::promises::{PromiseRange, PromiseTracker};
+use std::collections::{BTreeMap, BTreeSet};
+use tempo_kernel::command::Command;
+use tempo_kernel::config::Config;
+use tempo_kernel::id::{Dot, DotGen, ProcessId, ShardId};
+use tempo_kernel::kvstore::KVStore;
+use tempo_kernel::membership::Membership;
+use tempo_kernel::protocol::{Action, Executed, Protocol, ProtocolMetrics, View};
+use tempo_kernel::util::max_and_count;
+
+/// Tunable options of the Tempo implementation. The defaults match the configuration
+/// evaluated in the paper; the other settings are used by the ablation benchmarks.
+#[derive(Debug, Clone, Copy)]
+pub struct TempoOptions {
+    /// Send `MBump` messages to colocated sibling-shard processes when proposing
+    /// (§4, "Faster stability"). Only relevant for multi-shard commands.
+    pub mbump: bool,
+    /// Piggyback promises on `MProposeAck`/`MCommit` (§3.2). Disabling this forces
+    /// stability to be driven solely by the periodic `MPromises` broadcast.
+    pub piggyback_promises: bool,
+    /// Ablation: take the fast path only when *all* fast-quorum proposals are equal
+    /// (an EPaxos-like condition) instead of Tempo's `count(max) >= f`.
+    pub all_equal_fast_path: bool,
+    /// How long a command may stay pending before this process (if it is the shard
+    /// leader) starts recovery for it, in microseconds.
+    pub recovery_timeout_us: u64,
+    /// How long a command may stay pending before a non-leader process asks for the
+    /// commit outcome (`MCommitRequest`) and re-sends the payload, in microseconds.
+    pub commit_request_timeout_us: u64,
+}
+
+impl Default for TempoOptions {
+    fn default() -> Self {
+        Self {
+            mbump: true,
+            piggyback_promises: true,
+            all_equal_fast_path: false,
+            recovery_timeout_us: 2_000_000,
+            commit_request_timeout_us: 1_000_000,
+        }
+    }
+}
+
+/// The Tempo protocol instance at one process.
+#[derive(Debug)]
+pub struct Tempo {
+    process: ProcessId,
+    shard: ShardId,
+    config: Config,
+    options: TempoOptions,
+    view: View,
+    membership: Membership,
+    /// Processes of this shard, in identifier order (defines ballot ranks).
+    shard_peers: Vec<ProcessId>,
+    /// This process's rank within the shard, in `1..=n`.
+    rank: u64,
+    dot_gen: DotGen,
+    clock: Clock,
+    promises: PromiseTracker,
+    info: BTreeMap<Dot, CommandInfo>,
+    /// Dots not yet committed at this process (for the periodic liveness scan).
+    pending: BTreeSet<Dot>,
+    /// Committed-but-not-executed commands, ordered by `⟨final timestamp, id⟩`.
+    exec_queue: BTreeSet<(u64, Dot)>,
+    kv: KVStore,
+    executed: Vec<Executed>,
+    metrics: ProtocolMetrics,
+    /// Processes suspected to have failed (used to pick the recovery leader).
+    suspected: BTreeSet<ProcessId>,
+}
+
+impl Tempo {
+    /// Creates a Tempo instance with non-default options.
+    pub fn with_options(
+        process: ProcessId,
+        shard: ShardId,
+        config: Config,
+        options: TempoOptions,
+    ) -> Self {
+        let membership = Membership::from_config(&config);
+        debug_assert_eq!(membership.shard_of(process), shard);
+        let shard_peers = membership.processes_of_shard(shard);
+        let rank = shard_peers
+            .iter()
+            .position(|p| *p == process)
+            .expect("process must belong to its shard") as u64
+            + 1;
+        let promises = PromiseTracker::new(&shard_peers, config.stability_index());
+        let view = View::trivial(config, process);
+        Self {
+            process,
+            shard,
+            config,
+            options,
+            view,
+            membership,
+            shard_peers,
+            rank,
+            dot_gen: DotGen::new(process),
+            clock: Clock::new(),
+            promises,
+            info: BTreeMap::new(),
+            pending: BTreeSet::new(),
+            exec_queue: BTreeSet::new(),
+            kv: KVStore::new(),
+            executed: Vec::new(),
+            metrics: ProtocolMetrics::default(),
+            suspected: BTreeSet::new(),
+        }
+    }
+
+    /// The options in use.
+    pub fn options(&self) -> &TempoOptions {
+        &self.options
+    }
+
+    /// Current clock value (exposed for tests and diagnostics).
+    pub fn clock_value(&self) -> u64 {
+        self.clock.value()
+    }
+
+    /// The highest stable timestamp at this process (Theorem 1).
+    pub fn stable_timestamp(&self) -> u64 {
+        self.promises.stable_timestamp()
+    }
+
+    /// The phase of a command at this process, if known.
+    pub fn phase_of(&self, dot: Dot) -> Option<Phase> {
+        self.info.get(&dot).map(|i| i.phase)
+    }
+
+    /// The committed (final) timestamp of a command at this process, if committed.
+    pub fn committed_timestamp(&self, dot: Dot) -> Option<u64> {
+        self.info.get(&dot).and_then(|i| {
+            if i.phase.is_committed_or_executed() {
+                Some(i.final_ts)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Marks a process as suspected of having failed; the lowest non-suspected process of
+    /// the shard acts as the recovery leader (a stand-in for the Ω failure detector of
+    /// Appendix B).
+    pub fn suspect(&mut self, process: ProcessId) {
+        self.suspected.insert(process);
+    }
+
+    /// Whether this process is the current recovery leader of its shard.
+    pub fn is_leader(&self) -> bool {
+        self.shard_peers
+            .iter()
+            .find(|p| !self.suspected.contains(p))
+            .map(|p| *p == self.process)
+            .unwrap_or(false)
+    }
+
+    /// Explicitly triggers recovery for a command (Algorithm 4, `recover`). Normally
+    /// recovery is triggered from `tick` after `recovery_timeout_us`; tests and
+    /// failure-injection harnesses may call this directly.
+    pub fn recover(&mut self, dot: Dot, now_us: u64) -> Vec<Action<Message>> {
+        let mut out = Vec::new();
+        self.start_recovery(dot, now_us, &mut out);
+        out
+    }
+
+    // ---------------------------------------------------------------- helpers
+
+    fn info_mut(&mut self, dot: Dot, now_us: u64) -> &mut CommandInfo {
+        self.info.entry(dot).or_insert_with(|| {
+            // A dot first seen now; it is not yet pending (pending requires the payload).
+            CommandInfo::new(now_us)
+        })
+    }
+
+    fn rank_of_ballot(&self, ballot: u64) -> u64 {
+        if ballot == 0 {
+            0
+        } else {
+            (ballot - 1) % self.config.n() as u64 + 1
+        }
+    }
+
+    fn next_ballot(&self, current: u64) -> u64 {
+        let r = self.config.n() as u64;
+        if current == 0 {
+            self.rank
+        } else {
+            self.rank + r * ((current - 1) / r + 1)
+        }
+    }
+
+    /// Sends `msg` to `targets`; self-addressed copies are handled immediately
+    /// (Algorithm 1 assumes immediate self-delivery) and any resulting actions are
+    /// appended to `out`.
+    fn send(
+        &mut self,
+        mut targets: Vec<ProcessId>,
+        msg: Message,
+        now_us: u64,
+        out: &mut Vec<Action<Message>>,
+    ) {
+        targets.sort_unstable();
+        targets.dedup();
+        let to_self = targets.iter().any(|t| *t == self.process);
+        let remote: Vec<ProcessId> = targets.into_iter().filter(|t| *t != self.process).collect();
+        if !remote.is_empty() {
+            self.metrics.messages_sent += remote.len() as u64;
+            out.push(Action::send(remote, msg.clone()));
+        }
+        if to_self {
+            let actions = self.dispatch(self.process, msg, now_us);
+            out.extend(actions);
+        }
+    }
+
+    /// Bumps the clock to `t`, registering the generated detached promises in the local
+    /// tracker immediately (broadcast happens later through `MPromises`).
+    fn clock_bump(&mut self, t: u64) {
+        let before = self.clock.value();
+        self.clock.bump(t);
+        let after = self.clock.value();
+        if after > before {
+            self.promises
+                .add(self.process, PromiseRange::new(before + 1, after));
+        }
+    }
+
+    /// Computes a timestamp proposal for `dot`, registering promises locally. Returns the
+    /// proposal and the detached range generated (if any), for piggybacking.
+    fn clock_proposal(&mut self, dot: Dot, min: u64, now_us: u64) -> (u64, Option<PromiseRange>) {
+        let before = self.clock.value();
+        let t = self.clock.proposal(dot, min);
+        let detached = if t > before + 1 {
+            Some(PromiseRange::new(before + 1, t - 1))
+        } else {
+            None
+        };
+        if let Some(range) = detached {
+            self.promises.add(self.process, range);
+        }
+        // The attached promise ⟨self, t⟩ only enters the tracker once the command commits
+        // locally (Algorithm 2, line 47).
+        let process = self.process;
+        self.info_mut(dot, now_us)
+            .buffered_attached
+            .push((process, t));
+        (t, detached)
+    }
+
+    fn all_replicas_of(&self, cmd: &Command) -> Vec<ProcessId> {
+        self.view.all_replicas(cmd)
+    }
+
+    fn local_coordinators_of(&self, cmd: &Command) -> Vec<ProcessId> {
+        self.view.local_coordinators(cmd)
+    }
+
+    // ------------------------------------------------------------ commit path
+
+    fn handle_submit(
+        &mut self,
+        dot: Dot,
+        cmd: Command,
+        quorums: Quorums,
+        now_us: u64,
+        out: &mut Vec<Action<Message>>,
+    ) {
+        // Algorithm 1, lines 5-8: this process acts as the coordinator of `cmd` at its own
+        // shard. The proposal is Clock + 1; the clock itself is bumped when this process
+        // handles its own MPropose (it belongs to the fast quorum).
+        debug_assert!(cmd.accesses(self.shard));
+        let t = self.clock.value() + 1;
+        let fast_quorum = quorums
+            .get(&self.shard)
+            .cloned()
+            .expect("quorums must cover the coordinator's shard");
+        let shard_processes = self.membership.processes_of_shard(self.shard);
+        let payload_targets: Vec<ProcessId> = shard_processes
+            .into_iter()
+            .filter(|p| !fast_quorum.contains(p))
+            .collect();
+        let propose = Message::MPropose {
+            dot,
+            cmd: cmd.clone(),
+            quorums: quorums.clone(),
+            ts: t,
+        };
+        self.send(fast_quorum, propose, now_us, out);
+        if !payload_targets.is_empty() {
+            let payload = Message::MPayload { dot, cmd, quorums };
+            self.send(payload_targets, payload, now_us, out);
+        }
+    }
+
+    fn handle_payload(
+        &mut self,
+        dot: Dot,
+        cmd: Command,
+        quorums: Quorums,
+        now_us: u64,
+        out: &mut Vec<Action<Message>>,
+    ) {
+        let info = self.info_mut(dot, now_us);
+        info.learn_payload(&cmd, &quorums);
+        if info.phase == Phase::Start {
+            info.phase = Phase::Payload;
+            self.pending.insert(dot);
+        }
+        // A commit may have been waiting for the payload (multi-shard races).
+        self.try_complete_commit(dot, now_us, out);
+    }
+
+    fn handle_propose(
+        &mut self,
+        from: ProcessId,
+        dot: Dot,
+        cmd: Command,
+        quorums: Quorums,
+        ts: u64,
+        now_us: u64,
+        out: &mut Vec<Action<Message>>,
+    ) {
+        // Algorithm 1, lines 12-16 (pre: id ∈ start).
+        {
+            let info = self.info_mut(dot, now_us);
+            if info.phase != Phase::Start {
+                // Either recovery already reached this process or a commit arrived first;
+                // in both cases we must not produce a proposal anymore.
+                info.learn_payload(&cmd, &quorums);
+                self.try_complete_commit(dot, now_us, out);
+                return;
+            }
+            info.learn_payload(&cmd, &quorums);
+            info.phase = Phase::Propose;
+        }
+        self.pending.insert(dot);
+        let (proposal, detached) = self.clock_proposal(dot, ts, now_us);
+        self.info_mut(dot, now_us).ts = proposal;
+        let piggyback = if self.options.piggyback_promises {
+            detached.into_iter().collect()
+        } else {
+            Vec::new()
+        };
+        let ack = Message::MProposeAck {
+            dot,
+            ts: proposal,
+            detached: piggyback,
+        };
+        self.send(vec![from], ack, now_us, out);
+        // §4, "Faster stability": tell colocated sibling-shard processes to bump their
+        // clocks to this proposal.
+        if self.options.mbump && cmd.is_multi_shard() {
+            let siblings: Vec<ProcessId> = self
+                .local_coordinators_of(&cmd)
+                .into_iter()
+                .filter(|p| self.membership.shard_of(*p) != self.shard)
+                .collect();
+            if !siblings.is_empty() {
+                let bump = Message::MBump { dot, ts: proposal };
+                self.send(siblings, bump, now_us, out);
+            }
+        }
+        // A commit may have been waiting for the payload (multi-shard or slow-path races).
+        self.try_complete_commit(dot, now_us, out);
+    }
+
+    fn handle_propose_ack(
+        &mut self,
+        from: ProcessId,
+        dot: Dot,
+        ts: u64,
+        detached: Vec<PromiseRange>,
+        now_us: u64,
+        out: &mut Vec<Action<Message>>,
+    ) {
+        // Algorithm 1, lines 17-21 (pre: id ∈ propose and a reply from the full quorum).
+        let f = self.config.f();
+        let all_equal = self.options.all_equal_fast_path;
+        let shard = self.shard;
+        let (ready, fast_quorum) = {
+            let info = match self.info.get_mut(&dot) {
+                Some(info) => info,
+                None => return,
+            };
+            if info.phase != Phase::Propose || info.commit_sent {
+                return;
+            }
+            info.proposals.insert(from, ts);
+            for range in detached {
+                info.proposal_detached.push((from, range));
+            }
+            let quorum = info.quorums.get(&shard).cloned().unwrap_or_default();
+            let ready = !quorum.is_empty() && quorum.iter().all(|q| info.proposals.contains_key(q));
+            (ready, quorum)
+        };
+        if !ready {
+            return;
+        }
+        // All fast-quorum processes replied: compute the timestamp and pick a path.
+        let (cmd, proposal_values, attached, proposal_detached, my_ballot) = {
+            let info = self.info.get(&dot).expect("info exists");
+            let values: Vec<u64> = fast_quorum
+                .iter()
+                .map(|q| *info.proposals.get(q).expect("proposal present"))
+                .collect();
+            let attached: Vec<(ProcessId, u64)> = fast_quorum
+                .iter()
+                .map(|q| (*q, *info.proposals.get(q).expect("proposal present")))
+                .collect();
+            (
+                info.cmd.clone().expect("coordinator knows the payload"),
+                values,
+                attached,
+                info.proposal_detached.clone(),
+                self.rank,
+            )
+        };
+        let (t, count) = max_and_count(proposal_values.iter().copied()).expect("quorum not empty");
+        let fast_path_ok = if all_equal {
+            count == fast_quorum.len()
+        } else {
+            count >= f
+        };
+        if fast_path_ok {
+            self.metrics.fast_paths += 1;
+            {
+                let info = self.info.get_mut(&dot).expect("info exists");
+                info.commit_sent = true;
+            }
+            let promises = if self.options.piggyback_promises {
+                PromiseBundle {
+                    attached,
+                    detached: proposal_detached,
+                }
+            } else {
+                PromiseBundle::default()
+            };
+            let commit = Message::MCommit {
+                dot,
+                shard,
+                ts: t,
+                promises,
+            };
+            let targets = self.all_replicas_of(&cmd);
+            self.send(targets, commit, now_us, out);
+        } else {
+            self.metrics.slow_paths += 1;
+            {
+                let info = self.info.get_mut(&dot).expect("info exists");
+                info.ts = t;
+                info.consensus_acks.clear();
+            }
+            let consensus = Message::MConsensus {
+                dot,
+                ts: t,
+                ballot: my_ballot,
+            };
+            let targets = self.shard_peers.clone();
+            self.send(targets, consensus, now_us, out);
+        }
+    }
+
+    fn handle_commit(
+        &mut self,
+        dot: Dot,
+        shard: ShardId,
+        ts: u64,
+        promises: PromiseBundle,
+        now_us: u64,
+        out: &mut Vec<Action<Message>>,
+    ) {
+        self.absorb_bundle(dot, promises, now_us);
+        let info = self.info_mut(dot, now_us);
+        if info.phase == Phase::Execute {
+            return;
+        }
+        info.shard_commits.insert(shard, ts);
+        self.try_complete_commit(dot, now_us, out);
+    }
+
+    /// Commits `dot` locally once the payload is known and a per-shard timestamp has been
+    /// received from every accessed shard (Algorithm 3, lines 56-59).
+    fn try_complete_commit(
+        &mut self,
+        dot: Dot,
+        now_us: u64,
+        out: &mut Vec<Action<Message>>,
+    ) {
+        let final_ts = {
+            let info = match self.info.get(&dot) {
+                Some(info) => info,
+                None => return,
+            };
+            if info.phase.is_committed_or_executed()
+                || !info.has_payload()
+                || !info.all_shards_committed()
+            {
+                return;
+            }
+            info.max_shard_commit()
+        };
+        self.commit_with(dot, final_ts, now_us, out);
+    }
+
+    fn commit_with(
+        &mut self,
+        dot: Dot,
+        final_ts: u64,
+        now_us: u64,
+        out: &mut Vec<Action<Message>>,
+    ) {
+        let buffered = {
+            let info = self.info.get_mut(&dot).expect("info exists");
+            if info.phase.is_committed_or_executed() {
+                return;
+            }
+            info.final_ts = final_ts;
+            info.phase = Phase::Commit;
+            std::mem::take(&mut info.buffered_attached)
+        };
+        self.pending.remove(&dot);
+        self.metrics.committed += 1;
+        // Attached promises for this command may now enter the tracker (line 47).
+        for (process, ts) in buffered {
+            self.promises.add_single(process, ts);
+        }
+        // Generate detached promises up to the committed timestamp (line 25/59); this is
+        // what lets stability reach `final_ts` even when it exceeds this shard's clocks.
+        self.clock_bump(final_ts);
+        self.exec_queue.insert((final_ts, dot));
+        self.try_execute(now_us, out);
+    }
+
+    // --------------------------------------------------------------- consensus
+
+    fn handle_consensus(
+        &mut self,
+        from: ProcessId,
+        dot: Dot,
+        ts: u64,
+        ballot: u64,
+        now_us: u64,
+        out: &mut Vec<Action<Message>>,
+    ) {
+        // Algorithm 5, lines 30-34 (pre: bal[id] <= b).
+        {
+            let info = self.info_mut(dot, now_us);
+            if info.bal > ballot {
+                let nack = Message::MRecNAck {
+                    dot,
+                    ballot: info.bal,
+                };
+                self.send(vec![from], nack, now_us, out);
+                return;
+            }
+            info.ts = ts;
+            info.bal = ballot;
+            info.abal = ballot;
+        }
+        self.clock_bump(ts);
+        let ack = Message::MConsensusAck { dot, ballot };
+        self.send(vec![from], ack, now_us, out);
+    }
+
+    fn handle_consensus_ack(
+        &mut self,
+        from: ProcessId,
+        dot: Dot,
+        ballot: u64,
+        now_us: u64,
+        out: &mut Vec<Action<Message>>,
+    ) {
+        // Algorithm 5, lines 35-37 (pre: bal[id] = b, |Q| = f + 1).
+        let slow_quorum = self.config.slow_quorum_size();
+        let shard = self.shard;
+        let (ready, ts, cmd) = {
+            let info = match self.info.get_mut(&dot) {
+                Some(info) => info,
+                None => return,
+            };
+            if info.bal != ballot || info.commit_sent {
+                return;
+            }
+            info.consensus_acks.insert(from);
+            let ready = info.consensus_acks.len() >= slow_quorum;
+            (ready, info.ts, info.cmd.clone())
+        };
+        if !ready {
+            return;
+        }
+        let cmd = match cmd {
+            Some(cmd) => cmd,
+            // Without the payload the commit targets are unknown; fall back to the shard.
+            None => {
+                let targets = self.shard_peers.clone();
+                self.info.get_mut(&dot).expect("info exists").commit_sent = true;
+                let commit = Message::MCommit {
+                    dot,
+                    shard,
+                    ts,
+                    promises: PromiseBundle::default(),
+                };
+                self.send(targets, commit, now_us, out);
+                return;
+            }
+        };
+        {
+            let info = self.info.get_mut(&dot).expect("info exists");
+            info.commit_sent = true;
+        }
+        let promises = if self.options.piggyback_promises {
+            let info = self.info.get(&dot).expect("info exists");
+            PromiseBundle {
+                attached: info.proposals.iter().map(|(p, t)| (*p, *t)).collect(),
+                detached: info.proposal_detached.clone(),
+            }
+        } else {
+            PromiseBundle::default()
+        };
+        let commit = Message::MCommit {
+            dot,
+            shard,
+            ts,
+            promises,
+        };
+        let targets = self.all_replicas_of(&cmd);
+        self.send(targets, commit, now_us, out);
+    }
+
+    // --------------------------------------------------------------- execution
+
+    fn absorb_bundle(&mut self, dot: Dot, bundle: PromiseBundle, now_us: u64) {
+        for (process, range) in bundle.detached {
+            self.promises.add(process, range);
+        }
+        if bundle.attached.is_empty() {
+            return;
+        }
+        let committed = self
+            .info
+            .get(&dot)
+            .map(|i| i.phase.is_committed_or_executed())
+            .unwrap_or(false);
+        if committed {
+            for (process, ts) in bundle.attached {
+                self.promises.add_single(process, ts);
+            }
+        } else {
+            let info = self.info_mut(dot, now_us);
+            info.buffered_attached.extend(bundle.attached);
+        }
+    }
+
+    fn handle_promises(
+        &mut self,
+        from: ProcessId,
+        detached: Vec<PromiseRange>,
+        attached: Vec<(Dot, u64)>,
+        now_us: u64,
+        out: &mut Vec<Action<Message>>,
+    ) {
+        for range in detached {
+            self.promises.add(from, range);
+        }
+        for (dot, ts) in attached {
+            let committed = self
+                .info
+                .get(&dot)
+                .map(|i| i.phase.is_committed_or_executed())
+                .unwrap_or(false);
+            if committed {
+                self.promises.add_single(from, ts);
+            } else {
+                self.info_mut(dot, now_us)
+                    .buffered_attached
+                    .push((from, ts));
+            }
+        }
+        self.try_execute(now_us, out);
+    }
+
+    fn handle_stable(&mut self, from: ProcessId, dot: Dot, now_us: u64, out: &mut Vec<Action<Message>>) {
+        self.info_mut(dot, now_us).stables_received.insert(from);
+        self.try_execute(now_us, out);
+    }
+
+    /// Executes every committed command whose timestamp is stable, in `⟨ts, id⟩` order
+    /// (Algorithm 2 lines 49-53 and Algorithm 3 lines 60-66).
+    fn try_execute(&mut self, now_us: u64, out: &mut Vec<Action<Message>>) {
+        let stable = self.promises.stable_timestamp();
+
+        // First pass: announce stability of multi-shard commands (MStable) as soon as they
+        // are locally stable, without waiting for earlier commands to execute.
+        let mut to_announce = Vec::new();
+        for (ts, dot) in self.exec_queue.iter() {
+            if *ts > stable {
+                break;
+            }
+            let info = self.info.get(dot).expect("queued commands have info");
+            let cmd = info.cmd.as_ref().expect("committed commands have payload");
+            if cmd.is_multi_shard() && !info.stable_sent {
+                to_announce.push((*dot, self.all_replicas_of(cmd)));
+            }
+        }
+        for (dot, targets) in to_announce {
+            self.info.get_mut(&dot).expect("info exists").stable_sent = true;
+            let msg = Message::MStable { dot };
+            self.send(targets, msg, now_us, out);
+        }
+
+        // Second pass: execute the stable prefix in order; a multi-shard command blocks
+        // until the colocated replica of every accessed shard has announced stability.
+        loop {
+            let head = match self.exec_queue.iter().next() {
+                Some((ts, dot)) => (*ts, *dot),
+                None => break,
+            };
+            let (ts, dot) = head;
+            if ts > stable {
+                break;
+            }
+            let (cmd, ready) = {
+                let info = self.info.get(&dot).expect("queued commands have info");
+                let cmd = info.cmd.clone().expect("committed commands have payload");
+                let ready = if cmd.is_multi_shard() {
+                    self.local_coordinators_of(&cmd)
+                        .into_iter()
+                        .all(|p| p == self.process || info.stables_received.contains(&p))
+                } else {
+                    true
+                };
+                (cmd, ready)
+            };
+            if !ready {
+                break;
+            }
+            let result = self.kv.execute(self.shard, &cmd);
+            self.executed.push(Executed {
+                rifl: cmd.rifl,
+                result,
+            });
+            self.metrics.executed += 1;
+            let info = self.info.get_mut(&dot).expect("info exists");
+            info.phase = Phase::Execute;
+            // Shrink transient state; the payload is kept so that this process can keep
+            // answering MCommitRequest/MRec for the command (Appendix B liveness).
+            info.proposal_detached.clear();
+            info.proposals.clear();
+            info.rec_acks.clear();
+            info.buffered_attached.clear();
+            self.exec_queue.remove(&(ts, dot));
+        }
+    }
+
+    // --------------------------------------------------------------- recovery
+
+    fn start_recovery(&mut self, dot: Dot, now_us: u64, out: &mut Vec<Action<Message>>) {
+        let ballot = {
+            let info = match self.info.get_mut(&dot) {
+                Some(info) => info,
+                None => return,
+            };
+            if !info.phase.is_pending() {
+                return;
+            }
+            let current = info.bal;
+            info.rec_acks.clear();
+            info.rec_done = false;
+            current
+        };
+        let ballot = self.next_ballot(ballot);
+        self.metrics.recoveries += 1;
+        let rec = Message::MRec { dot, ballot };
+        let targets = self.shard_peers.clone();
+        self.send(targets, rec, now_us, out);
+    }
+
+    fn handle_rec(
+        &mut self,
+        from: ProcessId,
+        dot: Dot,
+        ballot: u64,
+        now_us: u64,
+        out: &mut Vec<Action<Message>>,
+    ) {
+        // Algorithm 4, lines 76-85.
+        let committed = {
+            let info = self.info_mut(dot, now_us);
+            info.phase.is_committed_or_executed()
+        };
+        if committed {
+            // Liveness: share the outcome with the would-be coordinator.
+            let info = self.info.get(&dot).expect("info exists");
+            if let Some(cmd) = info.cmd.clone() {
+                let msg = Message::MCommitInfo {
+                    dot,
+                    cmd,
+                    ts: info.final_ts,
+                };
+                self.send(vec![from], msg, now_us, out);
+            }
+            return;
+        }
+        let nack = {
+            let info = self.info_mut(dot, now_us);
+            if info.bal >= ballot {
+                Some(info.bal)
+            } else {
+                None
+            }
+        };
+        if let Some(bal) = nack {
+            let msg = Message::MRecNAck { dot, ballot: bal };
+            self.send(vec![from], msg, now_us, out);
+            return;
+        }
+        // Cannot participate without the payload (the phase would still be `start`).
+        let has_payload = self.info.get(&dot).map(|i| i.has_payload()).unwrap_or(false);
+        if !has_payload {
+            return;
+        }
+        let needs_proposal = {
+            let info = self.info.get_mut(&dot).expect("info exists");
+            if info.bal == 0 {
+                match info.phase {
+                    Phase::Payload => true,
+                    Phase::Propose => {
+                        info.phase = Phase::RecoverP;
+                        false
+                    }
+                    _ => false,
+                }
+            } else {
+                false
+            }
+        };
+        if needs_proposal {
+            let (t, _) = self.clock_proposal(dot, 0, now_us);
+            let info = self.info.get_mut(&dot).expect("info exists");
+            info.ts = t;
+            info.phase = Phase::RecoverR;
+        }
+        let (ts, phase, abal) = {
+            let info = self.info.get_mut(&dot).expect("info exists");
+            info.bal = ballot;
+            let rec_phase = info.phase.rec_phase().unwrap_or(RecPhase::RecoverR);
+            (info.ts, rec_phase, info.abal)
+        };
+        let ack = Message::MRecAck {
+            dot,
+            ts,
+            phase,
+            abal,
+            ballot,
+        };
+        self.send(vec![from], ack, now_us, out);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_rec_ack(
+        &mut self,
+        from: ProcessId,
+        dot: Dot,
+        ts: u64,
+        phase: RecPhase,
+        abal: u64,
+        ballot: u64,
+        now_us: u64,
+        out: &mut Vec<Action<Message>>,
+    ) {
+        // Algorithm 4, lines 86-96 (pre: bal[id] = b, |Q| = r - f).
+        let recovery_quorum = self.config.recovery_quorum_size();
+        let shard = self.shard;
+        let ready = {
+            let info = match self.info.get_mut(&dot) {
+                Some(info) => info,
+                None => return,
+            };
+            if info.bal != ballot || info.rec_done {
+                return;
+            }
+            info.rec_acks.insert(from, (ts, phase, abal));
+            info.rec_acks.len() >= recovery_quorum
+        };
+        if !ready {
+            return;
+        }
+        let proposal = {
+            let info = self.info.get_mut(&dot).expect("info exists");
+            info.rec_done = true;
+            info.consensus_acks.clear();
+            // If any process accepted a consensus value, the highest-ballot one wins.
+            if let Some((_, (accepted_ts, _, _))) = info
+                .rec_acks
+                .iter()
+                .filter(|(_, (_, _, ab))| *ab != 0)
+                .max_by_key(|(_, (_, _, ab))| *ab)
+            {
+                *accepted_ts
+            } else {
+                // No accepted value: reconstruct the timestamp from proposals.
+                let fast_quorum = info.quorums.get(&shard).cloned().unwrap_or_default();
+                let replied: Vec<ProcessId> = info.rec_acks.keys().copied().collect();
+                let intersection: Vec<ProcessId> = replied
+                    .iter()
+                    .copied()
+                    .filter(|p| fast_quorum.contains(p))
+                    .collect();
+                let initial = dot.initial_coordinator();
+                let coordinator_replied = intersection.contains(&initial);
+                let any_recover_r = intersection
+                    .iter()
+                    .any(|p| matches!(info.rec_acks[p].1, RecPhase::RecoverR));
+                // `s` of Algorithm 4 line 93: the initial coordinator cannot have taken the
+                // fast path, so any majority-derived maximum is a valid timestamp.
+                let safe_to_use_all = coordinator_replied || any_recover_r;
+                let quorum: Vec<ProcessId> = if safe_to_use_all { replied } else { intersection };
+                quorum
+                    .iter()
+                    .map(|p| info.rec_acks[p].0)
+                    .max()
+                    .unwrap_or(0)
+                    .max(1)
+            }
+        };
+        let consensus = Message::MConsensus {
+            dot,
+            ts: proposal,
+            ballot,
+        };
+        let targets = self.shard_peers.clone();
+        self.send(targets, consensus, now_us, out);
+    }
+
+    fn handle_rec_nack(&mut self, dot: Dot, ballot: u64, now_us: u64, out: &mut Vec<Action<Message>>) {
+        let should_retry = {
+            let info = match self.info.get_mut(&dot) {
+                Some(info) => info,
+                None => return,
+            };
+            if info.bal < ballot {
+                info.bal = ballot;
+                true
+            } else {
+                false
+            }
+        };
+        if should_retry && self.is_leader() {
+            self.start_recovery(dot, now_us, out);
+        }
+    }
+
+    fn handle_commit_request(
+        &mut self,
+        from: ProcessId,
+        dot: Dot,
+        now_us: u64,
+        out: &mut Vec<Action<Message>>,
+    ) {
+        let reply = {
+            let info = match self.info.get(&dot) {
+                Some(info) => info,
+                None => return,
+            };
+            if !info.phase.is_committed_or_executed() {
+                return;
+            }
+            info.cmd.clone().map(|cmd| Message::MCommitInfo {
+                dot,
+                cmd,
+                ts: info.final_ts,
+            })
+        };
+        if let Some(msg) = reply {
+            self.send(vec![from], msg, now_us, out);
+        }
+    }
+
+    fn handle_commit_info(
+        &mut self,
+        dot: Dot,
+        cmd: Command,
+        ts: u64,
+        now_us: u64,
+        out: &mut Vec<Action<Message>>,
+    ) {
+        {
+            let info = self.info_mut(dot, now_us);
+            if info.phase.is_committed_or_executed() {
+                return;
+            }
+            info.learn_payload(&cmd, &Quorums::new());
+            if info.phase == Phase::Start {
+                info.phase = Phase::Payload;
+            }
+        }
+        self.commit_with(dot, ts, now_us, out);
+    }
+
+    // --------------------------------------------------------------- dispatch
+
+    fn dispatch(&mut self, from: ProcessId, msg: Message, now_us: u64) -> Vec<Action<Message>> {
+        let mut out = Vec::new();
+        match msg {
+            Message::MSubmit { dot, cmd, quorums } => {
+                self.handle_submit(dot, cmd, quorums, now_us, &mut out)
+            }
+            Message::MPropose {
+                dot,
+                cmd,
+                quorums,
+                ts,
+            } => self.handle_propose(from, dot, cmd, quorums, ts, now_us, &mut out),
+            Message::MPayload { dot, cmd, quorums } => {
+                self.handle_payload(dot, cmd, quorums, now_us, &mut out)
+            }
+            Message::MProposeAck { dot, ts, detached } => {
+                self.handle_propose_ack(from, dot, ts, detached, now_us, &mut out)
+            }
+            Message::MCommit {
+                dot,
+                shard,
+                ts,
+                promises,
+            } => self.handle_commit(dot, shard, ts, promises, now_us, &mut out),
+            Message::MConsensus { dot, ts, ballot } => {
+                self.handle_consensus(from, dot, ts, ballot, now_us, &mut out)
+            }
+            Message::MConsensusAck { dot, ballot } => {
+                self.handle_consensus_ack(from, dot, ballot, now_us, &mut out)
+            }
+            Message::MBump { dot: _, ts } => {
+                // Bumping the clock is always safe; it only makes future proposals larger.
+                self.clock_bump(ts);
+            }
+            Message::MPromises { detached, attached } => {
+                self.handle_promises(from, detached, attached, now_us, &mut out)
+            }
+            Message::MStable { dot } => self.handle_stable(from, dot, now_us, &mut out),
+            Message::MRec { dot, ballot } => self.handle_rec(from, dot, ballot, now_us, &mut out),
+            Message::MRecAck {
+                dot,
+                ts,
+                phase,
+                abal,
+                ballot,
+            } => self.handle_rec_ack(from, dot, ts, phase, abal, ballot, now_us, &mut out),
+            Message::MRecNAck { dot, ballot } => {
+                self.handle_rec_nack(dot, ballot, now_us, &mut out)
+            }
+            Message::MCommitRequest { dot } => {
+                self.handle_commit_request(from, dot, now_us, &mut out)
+            }
+            Message::MCommitInfo { dot, cmd, ts } => {
+                self.handle_commit_info(dot, cmd, ts, now_us, &mut out)
+            }
+        }
+        out
+    }
+}
+
+impl Protocol for Tempo {
+    type Message = Message;
+
+    const NAME: &'static str = "Tempo";
+
+    fn new(process: ProcessId, shard: ShardId, config: Config) -> Self {
+        Self::with_options(process, shard, config, TempoOptions::default())
+    }
+
+    fn id(&self) -> ProcessId {
+        self.process
+    }
+
+    fn shard(&self) -> ShardId {
+        self.shard
+    }
+
+    fn discover(&mut self, view: View) {
+        assert_eq!(view.config, self.config, "view must match the configuration");
+        self.view = view;
+    }
+
+    fn submit(&mut self, cmd: Command, now_us: u64) -> Vec<Action<Message>> {
+        // Algorithm 1, lines 1-4: the submitting process must replicate one of the shards
+        // the command accesses (pre: i ∈ I_c).
+        assert!(
+            cmd.accesses(self.shard),
+            "commands must be submitted at a process replicating one of their shards"
+        );
+        let dot = self.dot_gen.next_id();
+        let mut quorums = Quorums::new();
+        for shard in cmd.shards() {
+            quorums.insert(shard, self.view.fast_quorum(shard, self.config.fast_quorum_size()));
+        }
+        let targets = self.local_coordinators_of(&cmd);
+        let msg = Message::MSubmit { dot, cmd, quorums };
+        let mut out = Vec::new();
+        self.send(targets, msg, now_us, &mut out);
+        out
+    }
+
+    fn handle(&mut self, from: ProcessId, msg: Message, now_us: u64) -> Vec<Action<Message>> {
+        self.dispatch(from, msg, now_us)
+    }
+
+    fn tick(&mut self, now_us: u64) -> Vec<Action<Message>> {
+        let mut out = Vec::new();
+
+        // Periodic MPromises broadcast (Algorithm 2, line 45). Local copies of these
+        // promises were already registered when they were generated.
+        if self.clock.has_pending_promises() {
+            let detached = self.clock.take_detached();
+            let attached = self.clock.take_attached();
+            let targets: Vec<ProcessId> = self
+                .shard_peers
+                .iter()
+                .copied()
+                .filter(|p| *p != self.process)
+                .collect();
+            if !targets.is_empty() {
+                let msg = Message::MPromises { detached, attached };
+                self.send(targets, msg, now_us, &mut out);
+            }
+        }
+
+        // Execution might have become possible thanks to locally generated promises.
+        self.try_execute(now_us, &mut out);
+
+        // Liveness: re-send payloads, request commits and start recovery for commands that
+        // have been pending for too long (Algorithm 6, lines 75-78 and 95-96).
+        let stale: Vec<Dot> = self
+            .pending
+            .iter()
+            .copied()
+            .filter(|dot| {
+                self.info
+                    .get(dot)
+                    .map(|i| now_us.saturating_sub(i.since_us) >= self.options.commit_request_timeout_us)
+                    .unwrap_or(false)
+            })
+            .collect();
+        for dot in stale {
+            let (age, has_payload, ballot) = {
+                let info = &self.info[&dot];
+                (now_us.saturating_sub(info.since_us), info.has_payload(), info.bal)
+            };
+            // Ask around for a commit outcome we might have missed.
+            let request = Message::MCommitRequest { dot };
+            let targets = self.shard_peers.clone();
+            self.send(targets, request, now_us, &mut out);
+            // Re-send the payload so that every replica can take part in recovery
+            // (Algorithm 6, line 77).
+            if has_payload {
+                let (cmd, quorums) = {
+                    let info = &self.info[&dot];
+                    (info.cmd.clone().expect("payload present"), info.quorums.clone())
+                };
+                let payload = Message::MPayload { dot, cmd: cmd.clone(), quorums };
+                let targets = self.all_replicas_of(&cmd);
+                self.send(targets, payload, now_us, &mut out);
+            }
+            // If we are the shard leader and the command has been pending for long enough,
+            // take over as its coordinator.
+            if self.is_leader()
+                && has_payload
+                && age >= self.options.recovery_timeout_us
+                && (ballot == 0 || self.rank_of_ballot(ballot) != self.rank)
+            {
+                self.start_recovery(dot, now_us, &mut out);
+            }
+        }
+        out
+    }
+
+    fn drain_executed(&mut self) -> Vec<Executed> {
+        std::mem::take(&mut self.executed)
+    }
+
+    fn metrics(&self) -> ProtocolMetrics {
+        self.metrics.clone()
+    }
+}

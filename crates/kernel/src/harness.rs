@@ -1,0 +1,190 @@
+//! A minimal synchronous cluster harness used by protocol unit tests.
+//!
+//! [`LocalCluster`] instantiates one protocol state machine per process of a deployment
+//! and routes messages between them in FIFO order with no latency model. It is *not* the
+//! evaluation runtime (see `tempo-sim` and `tempo-runtime` for those); it exists so that
+//! protocol crates can unit-test commit/execution/recovery logic deterministically without
+//! pulling in the simulator.
+
+use crate::command::Command;
+use crate::config::Config;
+use crate::id::ProcessId;
+use crate::protocol::{Action, Executed, Protocol, View};
+use std::collections::{BTreeMap, VecDeque};
+
+/// A message in flight between two processes.
+#[derive(Debug, Clone)]
+struct InFlight<M> {
+    from: ProcessId,
+    to: ProcessId,
+    msg: M,
+}
+
+/// A synchronous cluster of protocol instances with FIFO message delivery.
+pub struct LocalCluster<P: Protocol> {
+    processes: BTreeMap<ProcessId, P>,
+    queue: VecDeque<InFlight<P::Message>>,
+    /// Processes that have crashed: messages to and from them are dropped.
+    crashed: Vec<ProcessId>,
+    /// Messages delivered so far (for assertions on message complexity).
+    pub delivered: u64,
+    now_us: u64,
+}
+
+impl<P: Protocol> LocalCluster<P> {
+    /// Creates a cluster with one protocol instance per process of `config`, using the
+    /// trivial (ring-distance) view.
+    pub fn new(config: Config) -> Self {
+        Self::with_views(config, |process| View::trivial(config, process))
+    }
+
+    /// Creates a cluster using a custom view per process (e.g. one built from a planet).
+    pub fn with_views(config: Config, mut view_for: impl FnMut(ProcessId) -> View) -> Self {
+        let membership = crate::membership::Membership::from_config(&config);
+        let mut processes = BTreeMap::new();
+        for id in membership.all_processes() {
+            let shard = membership.shard_of(id);
+            let mut p = P::new(id, shard, config);
+            p.discover(view_for(id));
+            processes.insert(id, p);
+        }
+        Self {
+            processes,
+            queue: VecDeque::new(),
+            crashed: Vec::new(),
+            delivered: 0,
+            now_us: 0,
+        }
+    }
+
+    /// Current simulated time (advanced only by [`Self::tick_all`]).
+    pub fn now_us(&self) -> u64 {
+        self.now_us
+    }
+
+    /// Access a process (panics if unknown).
+    pub fn process(&self, id: ProcessId) -> &P {
+        &self.processes[&id]
+    }
+
+    /// Mutable access to a process (panics if unknown).
+    pub fn process_mut(&mut self, id: ProcessId) -> &mut P {
+        self.processes.get_mut(&id).expect("unknown process")
+    }
+
+    /// All process identifiers.
+    pub fn process_ids(&self) -> Vec<ProcessId> {
+        self.processes.keys().copied().collect()
+    }
+
+    /// Marks a process as crashed: it no longer receives nor sends messages.
+    pub fn crash(&mut self, id: ProcessId) {
+        if !self.crashed.contains(&id) {
+            self.crashed.push(id);
+        }
+    }
+
+    /// Whether a process has crashed.
+    pub fn is_crashed(&self, id: ProcessId) -> bool {
+        self.crashed.contains(&id)
+    }
+
+    fn enqueue(&mut self, from: ProcessId, actions: Vec<Action<P::Message>>) {
+        if self.crashed.contains(&from) {
+            return;
+        }
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => {
+                    for target in to {
+                        if target == from {
+                            // Protocols deliver self-addressed messages internally.
+                            continue;
+                        }
+                        self.queue.push_back(InFlight {
+                            from,
+                            to: target,
+                            msg: msg.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Submits a command at `process` and delivers all resulting messages to quiescence.
+    pub fn submit(&mut self, process: ProcessId, cmd: Command) {
+        let actions = {
+            let now = self.now_us;
+            let p = self.process_mut(process);
+            p.submit(cmd, now)
+        };
+        self.enqueue(process, actions);
+        self.run_to_quiescence();
+    }
+
+    /// Submits a command without running message delivery (for tests that interleave).
+    pub fn submit_no_deliver(&mut self, process: ProcessId, cmd: Command) {
+        let actions = {
+            let now = self.now_us;
+            let p = self.process_mut(process);
+            p.submit(cmd, now)
+        };
+        self.enqueue(process, actions);
+    }
+
+    /// Delivers a single in-flight message, if any. Returns whether one was delivered.
+    pub fn step(&mut self) -> bool {
+        while let Some(inflight) = self.queue.pop_front() {
+            if self.crashed.contains(&inflight.to) || self.crashed.contains(&inflight.from) {
+                continue;
+            }
+            let now = self.now_us;
+            let actions = {
+                let p = self
+                    .processes
+                    .get_mut(&inflight.to)
+                    .expect("unknown destination");
+                p.handle(inflight.from, inflight.msg, now)
+            };
+            self.delivered += 1;
+            self.enqueue(inflight.to, actions);
+            return true;
+        }
+        false
+    }
+
+    /// Delivers messages until none are in flight.
+    pub fn run_to_quiescence(&mut self) {
+        while self.step() {}
+    }
+
+    /// Calls `tick` on every live process (advancing time by `advance_us`) and delivers
+    /// all resulting messages.
+    pub fn tick_all(&mut self, advance_us: u64) {
+        self.now_us += advance_us;
+        let ids = self.process_ids();
+        for id in ids {
+            if self.crashed.contains(&id) {
+                continue;
+            }
+            let now = self.now_us;
+            let actions = {
+                let p = self.processes.get_mut(&id).expect("unknown process");
+                p.tick(now)
+            };
+            self.enqueue(id, actions);
+        }
+        self.run_to_quiescence();
+    }
+
+    /// Drains the commands executed at `process`.
+    pub fn executed(&mut self, process: ProcessId) -> Vec<Executed> {
+        self.process_mut(process).drain_executed()
+    }
+
+    /// Number of messages currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+}

@@ -1,0 +1,44 @@
+//! `tempo-kernel` — the common substrate shared by every replication protocol in this
+//! workspace.
+//!
+//! The crate defines the vocabulary of partial state-machine replication (PSMR, §2 of the
+//! Tempo paper):
+//!
+//! * [`id`] — process, site, shard, client and command identifiers,
+//! * [`command`] — commands, key accesses and conflict detection,
+//! * [`config`] — replication configuration (`n`, `f`, shards) and quorum sizes,
+//! * [`membership`] — the static placement of processes onto sites and shards,
+//! * [`protocol`] — the [`Protocol`](protocol::Protocol) trait implemented by Tempo and
+//!   every baseline, together with the [`Action`](protocol::Action) model that lets the
+//!   same state machine be driven by the discrete-event simulator or the threaded runtime,
+//! * [`kvstore`] — the deterministic in-memory key-value store used as the replicated
+//!   state machine,
+//! * [`metrics`] — latency histograms and throughput accounting,
+//! * [`rand`] — a small deterministic PRNG and a Zipfian sampler (no external RNG
+//!   dependency in the core library),
+//! * [`util`] — assorted helpers.
+//!
+//! The crate is dependency free so that the protocol implementations stay easy to audit
+//! and embed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod command;
+pub mod config;
+pub mod harness;
+pub mod id;
+pub mod kvstore;
+pub mod membership;
+pub mod metrics;
+pub mod protocol;
+pub mod rand;
+pub mod util;
+
+pub use command::{Command, CommandResult, KVOp, Key};
+pub use config::Config;
+pub use id::{ClientId, Dot, ProcessId, Rifl, ShardId, SiteId};
+pub use kvstore::KVStore;
+pub use membership::Membership;
+pub use metrics::{Histogram, Percentile};
+pub use protocol::{Action, Executed, Protocol, View};

@@ -1,0 +1,156 @@
+//! Static placement of processes onto sites and shards.
+//!
+//! The deployments of §6 place one process per shard at each site: with `n` sites and `s`
+//! shards there are `n·s` processes. [`Membership`] encodes this grid and provides the
+//! lookups protocols need:
+//!
+//! * all processes replicating a shard (the set `I_p` of the paper),
+//! * the process of a given shard colocated at a given site (used to build `I^i_c`, the
+//!   per-partition coordinators close to the submitting process),
+//! * site/shard of a process.
+//!
+//! Process identifiers are assigned deterministically as `shard * n_sites + site`, so
+//! membership can be reconstructed from the [`Config`] alone.
+
+use crate::config::Config;
+use crate::id::{ProcessId, ShardId, SiteId};
+
+/// The process grid of a deployment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Membership {
+    sites: usize,
+    shards: usize,
+}
+
+impl Membership {
+    /// Builds the membership implied by a configuration (`n` sites, `shards` shards).
+    pub fn from_config(config: &Config) -> Self {
+        Self {
+            sites: config.n(),
+            shards: config.shards(),
+        }
+    }
+
+    /// Builds a membership with the given number of sites and shards.
+    pub fn new(sites: usize, shards: usize) -> Self {
+        assert!(sites > 0 && shards > 0);
+        Self { sites, shards }
+    }
+
+    /// Number of sites.
+    pub fn sites(&self) -> usize {
+        self.sites
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Total number of processes.
+    pub fn total_processes(&self) -> usize {
+        self.sites * self.shards
+    }
+
+    /// The process replicating `shard` at `site`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` or `site` are out of range.
+    pub fn process(&self, shard: ShardId, site: SiteId) -> ProcessId {
+        assert!((shard as usize) < self.shards, "shard {shard} out of range");
+        assert!((site as usize) < self.sites, "site {site} out of range");
+        shard * self.sites as u64 + site
+    }
+
+    /// The shard replicated by `process`.
+    pub fn shard_of(&self, process: ProcessId) -> ShardId {
+        process / self.sites as u64
+    }
+
+    /// The site hosting `process`.
+    pub fn site_of(&self, process: ProcessId) -> SiteId {
+        process % self.sites as u64
+    }
+
+    /// All processes replicating `shard`, ordered by site.
+    pub fn processes_of_shard(&self, shard: ShardId) -> Vec<ProcessId> {
+        (0..self.sites as u64)
+            .map(|site| self.process(shard, site))
+            .collect()
+    }
+
+    /// All processes colocated at `site` (one per shard), ordered by shard.
+    pub fn processes_of_site(&self, site: SiteId) -> Vec<ProcessId> {
+        (0..self.shards as u64)
+            .map(|shard| self.process(shard, site))
+            .collect()
+    }
+
+    /// All process identifiers.
+    pub fn all_processes(&self) -> Vec<ProcessId> {
+        (0..self.total_processes() as u64).collect()
+    }
+
+    /// All site identifiers.
+    pub fn all_sites(&self) -> Vec<SiteId> {
+        (0..self.sites as u64).collect()
+    }
+
+    /// Whether two processes are colocated at the same site. Messages between colocated
+    /// processes are assumed to be (near) instantaneous (§4, "Genuineness and
+    /// parallelism": colocated partitions can communicate through shared memory).
+    pub fn colocated(&self, a: ProcessId, b: ProcessId) -> bool {
+        self.site_of(a) == self.site_of(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_roundtrip() {
+        let m = Membership::new(5, 3);
+        assert_eq!(m.total_processes(), 15);
+        for shard in 0..3u64 {
+            for site in 0..5u64 {
+                let p = m.process(shard, site);
+                assert_eq!(m.shard_of(p), shard);
+                assert_eq!(m.site_of(p), site);
+            }
+        }
+    }
+
+    #[test]
+    fn processes_of_shard_and_site() {
+        let m = Membership::new(3, 2);
+        assert_eq!(m.processes_of_shard(0), vec![0, 1, 2]);
+        assert_eq!(m.processes_of_shard(1), vec![3, 4, 5]);
+        assert_eq!(m.processes_of_site(0), vec![0, 3]);
+        assert_eq!(m.processes_of_site(2), vec![2, 5]);
+        assert_eq!(m.all_processes().len(), 6);
+        assert_eq!(m.all_sites(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn colocation_is_same_site() {
+        let m = Membership::new(3, 2);
+        assert!(m.colocated(0, 3));
+        assert!(!m.colocated(0, 4));
+    }
+
+    #[test]
+    fn from_config_matches_dimensions() {
+        let c = Config::new(5, 2, 4);
+        let m = Membership::from_config(&c);
+        assert_eq!(m.sites(), 5);
+        assert_eq!(m.shards(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_site_panics() {
+        Membership::new(3, 1).process(0, 3);
+    }
+}

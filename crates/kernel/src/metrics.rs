@@ -1,0 +1,219 @@
+//! Latency histograms and throughput accounting.
+//!
+//! The paper reports per-site average latency (Figure 5), tail percentiles from the 95th
+//! to the 99.99th (Figure 6) and throughput/latency curves (Figures 7-9). [`Histogram`]
+//! records individual latency samples (in microseconds) and computes those statistics.
+
+use std::fmt;
+
+/// A percentile request, in percent (e.g. `99.9`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Percentile(pub f64);
+
+impl Percentile {
+    /// The percentiles reported in Figure 6.
+    pub const FIGURE6: [Percentile; 5] = [
+        Percentile(95.0),
+        Percentile(97.0),
+        Percentile(99.0),
+        Percentile(99.9),
+        Percentile(99.99),
+    ];
+}
+
+impl fmt::Display for Percentile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A latency histogram: records samples in microseconds and answers percentile queries.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a latency sample in microseconds.
+    pub fn record(&mut self, sample_us: u64) {
+        self.samples.push(sample_us);
+        self.sorted = false;
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the histogram holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// Mean latency in milliseconds (0 when empty).
+    pub fn mean_ms(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let sum: u128 = self.samples.iter().map(|s| u128::from(*s)).sum();
+        (sum as f64 / self.samples.len() as f64) / 1000.0
+    }
+
+    /// Minimum latency in milliseconds (0 when empty).
+    pub fn min_ms(&mut self) -> f64 {
+        self.ensure_sorted();
+        self.samples.first().map_or(0.0, |s| *s as f64 / 1000.0)
+    }
+
+    /// Maximum latency in milliseconds (0 when empty).
+    pub fn max_ms(&mut self) -> f64 {
+        self.ensure_sorted();
+        self.samples.last().map_or(0.0, |s| *s as f64 / 1000.0)
+    }
+
+    /// The requested percentile in milliseconds (0 when empty).
+    ///
+    /// Uses the nearest-rank method, which is what latency reporting tools commonly use.
+    pub fn percentile_ms(&mut self, p: Percentile) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let p = p.0.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
+        let index = rank.max(1).min(self.samples.len()) - 1;
+        self.samples[index] as f64 / 1000.0
+    }
+
+    /// Convenience: the median in milliseconds.
+    pub fn median_ms(&mut self) -> f64 {
+        self.percentile_ms(Percentile(50.0))
+    }
+
+    /// All samples, in microseconds (sorted ascending).
+    pub fn sorted_samples(&mut self) -> &[u64] {
+        self.ensure_sorted();
+        &self.samples
+    }
+}
+
+/// Throughput accounting for a run: completed commands over a time window.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Throughput {
+    /// Number of completed commands.
+    pub completed: u64,
+    /// Duration of the measurement window, in microseconds.
+    pub window_us: u64,
+}
+
+impl Throughput {
+    /// Creates a throughput record.
+    pub fn new(completed: u64, window_us: u64) -> Self {
+        Self {
+            completed,
+            window_us,
+        }
+    }
+
+    /// Commands per second (0 when the window is empty).
+    pub fn ops_per_second(&self) -> f64 {
+        if self.window_us == 0 {
+            0.0
+        } else {
+            self.completed as f64 / (self.window_us as f64 / 1_000_000.0)
+        }
+    }
+
+    /// Commands per second, in thousands (the unit used by Figures 7-9).
+    pub fn kops_per_second(&self) -> f64 {
+        self.ops_per_second() / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean_ms(), 0.0);
+        assert_eq!(h.percentile_ms(Percentile(99.0)), 0.0);
+        assert_eq!(h.max_ms(), 0.0);
+    }
+
+    #[test]
+    fn mean_and_percentiles() {
+        let mut h = Histogram::new();
+        for ms in 1..=100u64 {
+            h.record(ms * 1000);
+        }
+        assert_eq!(h.len(), 100);
+        assert!((h.mean_ms() - 50.5).abs() < 1e-9);
+        assert_eq!(h.median_ms(), 50.0);
+        assert_eq!(h.percentile_ms(Percentile(95.0)), 95.0);
+        assert_eq!(h.percentile_ms(Percentile(99.0)), 99.0);
+        assert_eq!(h.percentile_ms(Percentile(100.0)), 100.0);
+        assert_eq!(h.min_ms(), 1.0);
+        assert_eq!(h.max_ms(), 100.0);
+    }
+
+    #[test]
+    fn percentile_is_monotone() {
+        let mut h = Histogram::new();
+        for i in 0..1000u64 {
+            h.record((i * i) % 7919 + 1);
+        }
+        let mut last = 0.0;
+        for p in [50.0, 90.0, 95.0, 99.0, 99.9, 99.99] {
+            let v = h.percentile_ms(Percentile(p));
+            assert!(v >= last, "percentile {p} went down");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = Histogram::new();
+        a.record(1000);
+        let mut b = Histogram::new();
+        b.record(3000);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert!((a.mean_ms() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_units() {
+        let t = Throughput::new(230_000, 1_000_000);
+        assert!((t.ops_per_second() - 230_000.0).abs() < 1e-6);
+        assert!((t.kops_per_second() - 230.0).abs() < 1e-9);
+        assert_eq!(Throughput::default().ops_per_second(), 0.0);
+    }
+
+    #[test]
+    fn figure6_percentile_list() {
+        assert_eq!(Percentile::FIGURE6.len(), 5);
+        assert_eq!(format!("{}", Percentile(99.9)), "p99.9");
+    }
+}

@@ -1,0 +1,284 @@
+//! The protocol abstraction shared by Tempo and every baseline.
+//!
+//! Each replication protocol is implemented as a *deterministic message-driven state
+//! machine*: it consumes client submissions, peer messages and periodic ticks, and emits
+//! [`Action`]s (messages to send) plus executed commands. The same state machine is
+//! driven, unchanged, by the discrete-event simulator (`tempo-sim`) and by the threaded
+//! cluster runtime (`tempo-runtime`) — mirroring the simulator/cluster/cloud modes of the
+//! paper's evaluation framework (§6.1).
+
+use crate::command::{Command, CommandResult};
+use crate::config::Config;
+use crate::id::{ProcessId, Rifl, ShardId, SiteId};
+use crate::membership::Membership;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Estimated wire size of a message, consumed by the simulator's network/CPU cost model.
+pub trait WireSize {
+    /// Size of the message in bytes once serialized. The default is a small constant,
+    /// appropriate for control messages that carry no command payload.
+    fn wire_size(&self) -> usize {
+        64
+    }
+}
+
+/// An action requested by a protocol state machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action<M> {
+    /// Send `msg` to every process in `to` (self-addressed messages are delivered
+    /// immediately by the runtime, as assumed in Algorithm 1).
+    Send {
+        /// Destination processes.
+        to: Vec<ProcessId>,
+        /// The message.
+        msg: M,
+    },
+}
+
+impl<M> Action<M> {
+    /// Convenience constructor for a send action.
+    pub fn send(to: Vec<ProcessId>, msg: M) -> Self {
+        Action::Send { to, msg }
+    }
+
+    /// Convenience constructor for a send to a single process.
+    pub fn send_one(to: ProcessId, msg: M) -> Self {
+        Action::Send { to: vec![to], msg }
+    }
+}
+
+/// A command executed at one process (of one shard), reported in execution order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Executed {
+    /// The request identifier of the executed command.
+    pub rifl: Rifl,
+    /// The partial result produced by this shard.
+    pub result: CommandResult,
+}
+
+/// Counters exposed by every protocol, used by the benchmark harnesses and tests.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProtocolMetrics {
+    /// Commands committed through the fast path at this process (coordinator side).
+    pub fast_paths: u64,
+    /// Commands committed through the slow path at this process (coordinator side).
+    pub slow_paths: u64,
+    /// Commands committed at this process (any role).
+    pub committed: u64,
+    /// Commands executed at this process.
+    pub executed: u64,
+    /// Recoveries started by this process.
+    pub recoveries: u64,
+    /// Point-to-point messages produced by this process.
+    pub messages_sent: u64,
+}
+
+impl ProtocolMetrics {
+    /// Fraction of coordinator-side commits that used the fast path.
+    pub fn fast_path_ratio(&self) -> f64 {
+        let total = self.fast_paths + self.slow_paths;
+        if total == 0 {
+            0.0
+        } else {
+            self.fast_paths as f64 / total as f64
+        }
+    }
+}
+
+/// The static view of the deployment handed to a protocol at start-up.
+///
+/// Besides membership, it carries — for each shard — the processes of that shard sorted by
+/// ascending network distance from this process's site. Protocols use it to pick fast
+/// quorums made of the closest replicas (as the paper's implementation does) and to find
+/// the colocated replica of every other shard (the set `I^i_c`).
+#[derive(Debug, Clone)]
+pub struct View {
+    /// The deployment configuration.
+    pub config: Config,
+    /// The process grid.
+    pub membership: Membership,
+    /// The site of the process owning this view.
+    pub site: SiteId,
+    /// For each shard, its processes sorted by ascending distance from `site` (the
+    /// colocated process, if any, comes first).
+    pub sorted_by_distance: BTreeMap<ShardId, Vec<ProcessId>>,
+}
+
+impl View {
+    /// Builds a view in which distance is measured by site-identifier distance (useful for
+    /// tests and for deployments without a geographic model).
+    pub fn trivial(config: Config, process: ProcessId) -> Self {
+        let membership = Membership::from_config(&config);
+        let site = membership.site_of(process);
+        let sites = membership.sites() as u64;
+        let mut sorted_by_distance = BTreeMap::new();
+        for shard in 0..membership.shards() as u64 {
+            let mut processes = membership.processes_of_shard(shard);
+            processes.sort_by_key(|p| {
+                let s = membership.site_of(*p);
+                // Ring distance between sites, colocated first.
+                let d = (s + sites - site) % sites;
+                (d, *p)
+            });
+            sorted_by_distance.insert(shard, processes);
+        }
+        Self {
+            config,
+            membership,
+            site,
+            sorted_by_distance,
+        }
+    }
+
+    /// The processes of `shard` closest to this process, in ascending distance order.
+    pub fn closest(&self, shard: ShardId) -> &[ProcessId] {
+        self.sorted_by_distance
+            .get(&shard)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The closest process of `shard` (the colocated one when the site hosts the shard).
+    pub fn closest_process(&self, shard: ShardId) -> ProcessId {
+        self.closest(shard)[0]
+    }
+
+    /// A fast quorum of `size` processes of `shard`, made of the closest replicas
+    /// (including the colocated coordinator).
+    pub fn fast_quorum(&self, shard: ShardId, size: usize) -> Vec<ProcessId> {
+        let closest = self.closest(shard);
+        assert!(
+            size <= closest.len(),
+            "fast quorum of {size} requested but shard {shard} has only {} replicas",
+            closest.len()
+        );
+        closest[..size].to_vec()
+    }
+
+    /// All processes of `shard` (`I_p`).
+    pub fn shard_processes(&self, shard: ShardId) -> Vec<ProcessId> {
+        self.membership.processes_of_shard(shard)
+    }
+
+    /// For a command, the set `I^i_c`: one process per accessed shard, each the closest
+    /// replica of that shard from this process's site.
+    pub fn local_coordinators(&self, cmd: &Command) -> Vec<ProcessId> {
+        cmd.shards().map(|s| self.closest_process(s)).collect()
+    }
+
+    /// For a command, the set `I_c`: every process replicating a shard the command
+    /// accesses.
+    pub fn all_replicas(&self, cmd: &Command) -> Vec<ProcessId> {
+        let mut out = Vec::new();
+        for shard in cmd.shards() {
+            out.extend(self.shard_processes(shard));
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// A replication protocol instance running at one process (replica of one shard).
+pub trait Protocol: Sized {
+    /// The wire messages exchanged between processes.
+    type Message: Clone + fmt::Debug + WireSize;
+
+    /// Human-readable protocol name (used in reports: "Tempo", "Atlas", ...).
+    const NAME: &'static str;
+
+    /// Creates the protocol state machine for `process`, replicating `shard`.
+    fn new(process: ProcessId, shard: ShardId, config: Config) -> Self;
+
+    /// The identifier of this process.
+    fn id(&self) -> ProcessId;
+
+    /// The shard replicated by this process.
+    fn shard(&self) -> ShardId;
+
+    /// Provides the static deployment view; called once before any command is submitted.
+    fn discover(&mut self, view: View);
+
+    /// Submits a client command at this process (which must replicate one of the shards
+    /// the command accesses). Returns the actions to perform.
+    fn submit(&mut self, cmd: Command, now_us: u64) -> Vec<Action<Self::Message>>;
+
+    /// Handles a message from `from`. Returns the actions to perform.
+    fn handle(&mut self, from: ProcessId, msg: Self::Message, now_us: u64)
+        -> Vec<Action<Self::Message>>;
+
+    /// Periodic housekeeping (promise broadcast, executor checks, recovery timeouts).
+    /// Runtimes call this at a fixed interval (default 5 ms, matching the paper's socket
+    /// flush / periodic handlers).
+    fn tick(&mut self, now_us: u64) -> Vec<Action<Self::Message>>;
+
+    /// Drains the commands executed at this process since the last call, in execution
+    /// order.
+    fn drain_executed(&mut self) -> Vec<Executed>;
+
+    /// Protocol counters.
+    fn metrics(&self) -> ProtocolMetrics;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::KVOp;
+
+    #[test]
+    fn trivial_view_full_replication() {
+        let config = Config::full(5, 1);
+        let view = View::trivial(config, 2);
+        assert_eq!(view.site, 2);
+        // Closest process of shard 0 is the colocated one.
+        assert_eq!(view.closest_process(0), 2);
+        let fq = view.fast_quorum(0, config.fast_quorum_size());
+        assert_eq!(fq.len(), 3);
+        assert_eq!(fq[0], 2);
+        assert_eq!(view.shard_processes(0), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn trivial_view_partial_replication() {
+        let config = Config::new(3, 1, 2);
+        let view = View::trivial(config, 1); // shard 0, site 1
+        let cmd = Command::new(
+            Rifl::new(1, 1),
+            vec![(0, 7, KVOp::Get), (1, 9, KVOp::Put(1))],
+            0,
+        );
+        // Local coordinators: colocated processes of shards 0 and 1 at site 1.
+        assert_eq!(view.local_coordinators(&cmd), vec![1, 4]);
+        let all = view.all_replicas(&cmd);
+        assert_eq!(all, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fast quorum")]
+    fn oversized_fast_quorum_panics() {
+        let config = Config::full(3, 1);
+        let view = View::trivial(config, 0);
+        let _ = view.fast_quorum(0, 4);
+    }
+
+    #[test]
+    fn metrics_fast_path_ratio() {
+        let mut m = ProtocolMetrics::default();
+        assert_eq!(m.fast_path_ratio(), 0.0);
+        m.fast_paths = 3;
+        m.slow_paths = 1;
+        assert!((m.fast_path_ratio() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn action_constructors() {
+        let a: Action<u32> = Action::send_one(3, 42);
+        match a {
+            Action::Send { to, msg } => {
+                assert_eq!(to, vec![3]);
+                assert_eq!(msg, 42);
+            }
+        }
+    }
+}

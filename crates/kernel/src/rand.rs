@@ -1,0 +1,275 @@
+//! Deterministic pseudo-randomness for workloads and the simulator.
+//!
+//! The core library implements its own small PRNG (xoshiro256++ seeded through SplitMix64)
+//! and a Zipfian sampler so that experiments are reproducible bit-for-bit from a seed and
+//! the protocol crates carry no external randomness dependency. The Zipfian sampler uses
+//! the rejection-inversion method of Gries/Hörmann (the same approach used by YCSB's
+//! `ZipfianGenerator`), so it supports the 1M-key universes of §6.4 without precomputing a
+//! cumulative table.
+
+/// A deterministic pseudo-random number generator (xoshiro256++).
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: [u64; 4],
+}
+
+fn splitmix64(seed: &mut u64) -> u64 {
+    *seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *seed;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator from a seed. Equal seeds produce equal streams.
+    pub fn new(seed: u64) -> Self {
+        let mut s = seed;
+        let state = [
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+        ];
+        Self { state }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0
+            .wrapping_add(s3)
+            .rotate_left(23)
+            .wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2n = s2 ^ s0;
+        let mut s3n = s3 ^ s1;
+        let s1n = s1 ^ s2n;
+        let s0n = s0 ^ s3n;
+        s2n ^= t;
+        s3n = s3n.rotate_left(45);
+        self.state = [s0n, s1n, s2n, s3n];
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 bits of mantissa.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn gen_range(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range bound must be positive");
+        // Lemire's multiply-shift rejection-free approximation is fine here: modulo bias
+        // is negligible for the bounds used by the workloads, but use widening multiply to
+        // avoid it entirely.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// A Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Shuffles a slice in place (Fisher-Yates).
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
+        assert!(!slice.is_empty());
+        &slice[self.gen_range(slice.len() as u64) as usize]
+    }
+}
+
+/// A Zipfian sampler over `{0, 1, ..., n-1}` with exponent `theta`.
+///
+/// `theta = 0` degenerates to the uniform distribution; the paper's YCSB+T workloads use
+/// `theta ∈ {0.5, 0.7}` (Figure 9). Sampling is O(1) via rejection inversion.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    h_x1: f64,
+    h_n: f64,
+    s: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` items with skew `theta` (must satisfy `theta >= 0` and
+    /// `theta != 1`; YCSB uses values strictly below 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is not in `[0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one item");
+        assert!(
+            (0.0..1.0).contains(&theta),
+            "theta must be in [0, 1), got {theta}"
+        );
+        let h = |x: f64, theta: f64| -> f64 { (x.powf(1.0 - theta) - 1.0) / (1.0 - theta) };
+        let h_x1 = h(1.5, theta) - 1.0;
+        let h_n = h(n as f64 + 0.5, theta);
+        let s = 2.0 - Self::h_integral_inverse(h(2.5, theta) - 2f64.powf(-theta), theta);
+        Self {
+            n,
+            theta,
+            h_x1,
+            h_n,
+            s,
+        }
+    }
+
+    fn h_integral(x: f64, theta: f64) -> f64 {
+        (x.powf(1.0 - theta) - 1.0) / (1.0 - theta)
+    }
+
+    fn h_integral_inverse(x: f64, theta: f64) -> f64 {
+        (x * (1.0 - theta) + 1.0).powf(1.0 / (1.0 - theta))
+    }
+
+    /// Number of items.
+    pub fn items(&self) -> u64 {
+        self.n
+    }
+
+    /// The skew exponent.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draws a sample in `[0, n)`. Item 0 is the most popular.
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
+        if self.theta == 0.0 {
+            return rng.gen_range(self.n);
+        }
+        loop {
+            let u = self.h_x1 + rng.next_f64() * (self.h_n - self.h_x1);
+            let x = Self::h_integral_inverse(u, self.theta);
+            let k = x.round().clamp(1.0, self.n as f64);
+            if k - x <= self.s
+                || u >= Self::h_integral(k + 0.5, self.theta) - k.powf(-self.theta)
+            {
+                return k as u64 - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::new(43);
+        assert_ne!(Rng::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bound() {
+        let mut rng = Rng::new(1);
+        for bound in [1u64, 2, 7, 100, 1_000_000] {
+            for _ in 0..200 {
+                assert!(rng.gen_range(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = Rng::new(7);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability_roughly() {
+        let mut rng = Rng::new(3);
+        let trials = 20_000;
+        let hits = (0..trials).filter(|_| rng.gen_bool(0.02)).count();
+        let rate = hits as f64 / trials as f64;
+        assert!(rate > 0.01 && rate < 0.03, "conflict rate way off: {rate}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::new(5);
+        let mut v: Vec<u64> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zipf_uniform_when_theta_zero() {
+        let zipf = Zipf::new(10, 0.0);
+        let mut rng = Rng::new(11);
+        let mut counts = [0u64; 10];
+        for _ in 0..50_000 {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        for c in counts {
+            // Each bucket should get roughly 5000 draws.
+            assert!(c > 4_000 && c < 6_000, "uniform bucket count off: {c}");
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let zipf = Zipf::new(1_000_000, 0.7);
+        let mut rng = Rng::new(13);
+        let mut first_decile = 0u64;
+        let draws = 50_000;
+        for _ in 0..draws {
+            let s = zipf.sample(&mut rng);
+            assert!(s < 1_000_000);
+            if s < 100_000 {
+                first_decile += 1;
+            }
+        }
+        // With theta = 0.7 the first 10% of items receive far more than 10% of accesses.
+        assert!(
+            first_decile as f64 / draws as f64 > 0.3,
+            "zipf(0.7) not skewed enough: {first_decile}/{draws}"
+        );
+    }
+
+    #[test]
+    fn zipf_higher_theta_is_more_skewed() {
+        let mut rng = Rng::new(17);
+        let mass = |theta: f64, rng: &mut Rng| {
+            let zipf = Zipf::new(10_000, theta);
+            (0..20_000).filter(|_| zipf.sample(rng) < 100).count()
+        };
+        let low = mass(0.5, &mut rng);
+        let high = mass(0.95, &mut rng);
+        assert!(high > low, "expected zipf 0.95 ({high}) > zipf 0.5 ({low})");
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn zipf_rejects_theta_one() {
+        let _ = Zipf::new(10, 1.0);
+    }
+}

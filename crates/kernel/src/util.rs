@@ -1,0 +1,84 @@
+//! Small helpers shared by the protocol implementations.
+
+use std::collections::BTreeMap;
+
+/// Returns the maximum value in `values` together with the number of occurrences of that
+/// maximum — the quantities the Tempo coordinator needs for the fast-path test
+/// `count(max{t_j}) >= f` (Algorithm 1, lines 19-20).
+///
+/// Returns `None` when `values` is empty.
+pub fn max_and_count<I>(values: I) -> Option<(u64, usize)>
+where
+    I: IntoIterator<Item = u64>,
+{
+    let mut max: Option<u64> = None;
+    let mut count = 0usize;
+    for v in values {
+        match max {
+            Some(m) if v > m => {
+                max = Some(v);
+                count = 1;
+            }
+            Some(m) if v == m => count += 1,
+            Some(_) => {}
+            None => {
+                max = Some(v);
+                count = 1;
+            }
+        }
+    }
+    max.map(|m| (m, count))
+}
+
+/// Groups an iterator of `(key, value)` pairs into a map of vectors.
+pub fn group_by<K: Ord, V, I: IntoIterator<Item = (K, V)>>(iter: I) -> BTreeMap<K, Vec<V>> {
+    let mut out: BTreeMap<K, Vec<V>> = BTreeMap::new();
+    for (k, v) in iter {
+        out.entry(k).or_default().push(v);
+    }
+    out
+}
+
+/// Computes the mean of an iterator of `f64`, returning 0 for an empty iterator.
+pub fn mean<I: IntoIterator<Item = f64>>(iter: I) -> f64 {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for v in iter {
+        sum += v;
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_and_count_examples_from_table1() {
+        // Table 1 a): proposals 6, 7, 11, 11 -> max 11 seen twice (fast path with f = 2).
+        assert_eq!(max_and_count([6, 7, 11, 11]), Some((11, 2)));
+        // Table 1 b): proposals 6, 7, 11, 6 -> max 11 seen once (no fast path with f = 2).
+        assert_eq!(max_and_count([6, 7, 11, 6]), Some((11, 1)));
+        // Table 1 d): proposals 6, 6, 6 -> max 6 seen three times.
+        assert_eq!(max_and_count([6, 6, 6]), Some((6, 3)));
+        assert_eq!(max_and_count([]), None);
+    }
+
+    #[test]
+    fn group_by_collects_in_order() {
+        let grouped = group_by(vec![(1, "a"), (2, "b"), (1, "c")]);
+        assert_eq!(grouped[&1], vec!["a", "c"]);
+        assert_eq!(grouped[&2], vec!["b"]);
+    }
+
+    #[test]
+    fn mean_handles_empty() {
+        assert_eq!(mean(std::iter::empty()), 0.0);
+        assert!((mean([1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+}

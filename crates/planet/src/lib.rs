@@ -1,0 +1,377 @@
+//! `tempo-planet` — the geographic model used by the evaluation.
+//!
+//! The paper deploys protocols over up to 5 Amazon EC2 regions (§6.2) and, in cluster and
+//! simulator modes, injects the wide-area latencies measured between those regions
+//! (Table 2 of Appendix A). This crate provides:
+//!
+//! * [`Region`] — the five EC2 regions used by the paper (plus support for synthetic
+//!   regions),
+//! * [`Planet`] — a symmetric ping-latency matrix with lookups in microseconds,
+//! * [`Planet::ec2`] — the exact Table 2 matrix,
+//! * site-placement helpers that map the sites of a
+//!   [`Membership`](tempo_kernel::Membership) onto regions and pre-compute the
+//!   sorted-by-distance process lists required by
+//!   [`View`](tempo_kernel::protocol::View).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use tempo_kernel::config::Config;
+use tempo_kernel::id::{ProcessId, ShardId, SiteId};
+use tempo_kernel::membership::Membership;
+use tempo_kernel::protocol::View;
+
+/// A geographic region hosting one site.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Region(pub String);
+
+impl Region {
+    /// Creates a region from a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Region(name.into())
+    }
+
+    /// Region name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+/// The five EC2 regions of the paper's evaluation, in the order used by Figure 5.
+pub fn ec2_regions() -> Vec<Region> {
+    vec![
+        Region::new("eu-west-1"),      // Ireland
+        Region::new("us-west-1"),      // Northern California
+        Region::new("ap-southeast-1"), // Singapore
+        Region::new("ca-central-1"),   // Canada
+        Region::new("sa-east-1"),      // Sao Paulo
+    ]
+}
+
+/// Human-readable names for the EC2 regions, matching the labels of Figure 5.
+pub fn ec2_region_label(region: &Region) -> &'static str {
+    match region.name() {
+        "eu-west-1" => "Ireland",
+        "us-west-1" => "N. California",
+        "ap-southeast-1" => "Singapore",
+        "ca-central-1" => "Canada",
+        "sa-east-1" => "S. Paulo",
+        _ => "unknown",
+    }
+}
+
+/// A symmetric latency matrix between regions.
+///
+/// Latencies are stored as one-way delays in microseconds; the constructor takes
+/// round-trip ping times in milliseconds (as reported in Table 2) and halves them, which
+/// is how the paper's framework injects delays in cluster/simulator modes.
+#[derive(Debug, Clone)]
+pub struct Planet {
+    regions: Vec<Region>,
+    /// `one_way_us[i][j]`: one-way delay between regions i and j, in microseconds.
+    one_way_us: Vec<Vec<u64>>,
+}
+
+impl Planet {
+    /// Builds a planet from a list of regions and a symmetric matrix of round-trip ping
+    /// latencies in milliseconds (`ping_ms[i][j]`, with zeros on the diagonal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square with one row per region or is asymmetric.
+    pub fn from_ping_matrix(regions: Vec<Region>, ping_ms: Vec<Vec<f64>>) -> Self {
+        let n = regions.len();
+        assert_eq!(ping_ms.len(), n, "ping matrix must have one row per region");
+        for row in &ping_ms {
+            assert_eq!(row.len(), n, "ping matrix must be square");
+        }
+        for i in 0..n {
+            for j in 0..n {
+                assert!(
+                    (ping_ms[i][j] - ping_ms[j][i]).abs() < 1e-9,
+                    "ping matrix must be symmetric"
+                );
+            }
+        }
+        let one_way_us = ping_ms
+            .iter()
+            .map(|row| row.iter().map(|ms| (ms * 1000.0 / 2.0) as u64).collect())
+            .collect();
+        Self {
+            regions,
+            one_way_us,
+        }
+    }
+
+    /// The exact EC2 planet of the paper (Table 2, Appendix A).
+    ///
+    /// Average ping latencies in ms between Ireland, N. California, Singapore, Canada and
+    /// São Paulo. Intra-region latency is taken as 0.5 ms (same-datacenter).
+    pub fn ec2() -> Self {
+        let regions = ec2_regions();
+        // Order: Ireland, N. California, Singapore, Canada, S. Paulo.
+        let ping = vec![
+            vec![0.5, 141.0, 186.0, 72.0, 183.0],
+            vec![141.0, 0.5, 181.0, 78.0, 190.0],
+            vec![186.0, 181.0, 0.5, 221.0, 338.0],
+            vec![72.0, 78.0, 221.0, 0.5, 123.0],
+            vec![183.0, 190.0, 338.0, 123.0, 0.5],
+        ];
+        Self::from_ping_matrix(regions, ping)
+    }
+
+    /// The 3-region sub-planet used for the partial-replication experiments (§6.4):
+    /// Ireland, N. California and Singapore.
+    pub fn ec2_three_regions() -> Self {
+        let full = Self::ec2();
+        full.subset(&[0, 1, 2])
+    }
+
+    /// A synthetic planet where every pair of distinct regions is separated by the same
+    /// round-trip latency (useful for controlled experiments and tests).
+    pub fn equidistant(sites: usize, ping_ms: f64) -> Self {
+        let regions = (0..sites)
+            .map(|i| Region::new(format!("region-{i}")))
+            .collect::<Vec<_>>();
+        let ping = (0..sites)
+            .map(|i| {
+                (0..sites)
+                    .map(|j| if i == j { 0.0 } else { ping_ms })
+                    .collect()
+            })
+            .collect();
+        Self::from_ping_matrix(regions, ping)
+    }
+
+    /// Restricts the planet to the regions at the given indices.
+    pub fn subset(&self, indices: &[usize]) -> Self {
+        let regions = indices.iter().map(|i| self.regions[*i].clone()).collect();
+        let one_way_us = indices
+            .iter()
+            .map(|i| indices.iter().map(|j| self.one_way_us[*i][*j]).collect())
+            .collect();
+        Self {
+            regions,
+            one_way_us,
+        }
+    }
+
+    /// The regions of this planet, indexed by site identifier.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Number of regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Whether the planet has no regions.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// One-way delay between two sites, in microseconds.
+    pub fn one_way_us(&self, from: SiteId, to: SiteId) -> u64 {
+        self.one_way_us[from as usize][to as usize]
+    }
+
+    /// Round-trip delay between two sites, in milliseconds.
+    pub fn ping_ms(&self, from: SiteId, to: SiteId) -> f64 {
+        (self.one_way_us(from, to) * 2) as f64 / 1000.0
+    }
+
+    /// The sites sorted by ascending one-way latency from `site` (the site itself first).
+    pub fn sorted_sites_from(&self, site: SiteId) -> Vec<SiteId> {
+        let mut sites: Vec<SiteId> = (0..self.len() as u64).collect();
+        sites.sort_by_key(|other| {
+            let distance = if *other == site {
+                0
+            } else {
+                self.one_way_us(site, *other)
+            };
+            (distance, *other)
+        });
+        sites
+    }
+
+    /// Builds the deployment [`View`] for a process, using this planet to sort each
+    /// shard's replicas by distance from the process's site.
+    pub fn view_for(&self, config: Config, process: ProcessId) -> View {
+        let membership = Membership::from_config(&config);
+        assert_eq!(
+            membership.sites(),
+            self.len(),
+            "config has {} sites but the planet has {} regions",
+            membership.sites(),
+            self.len()
+        );
+        let site = membership.site_of(process);
+        let site_order = self.sorted_sites_from(site);
+        let mut sorted_by_distance: BTreeMap<ShardId, Vec<ProcessId>> = BTreeMap::new();
+        for shard in 0..membership.shards() as u64 {
+            let processes = site_order
+                .iter()
+                .map(|s| membership.process(shard, *s))
+                .collect();
+            sorted_by_distance.insert(shard, processes);
+        }
+        View {
+            config,
+            membership,
+            site,
+            sorted_by_distance,
+        }
+    }
+
+    /// Renders the ping matrix as the rows of Table 2 (upper triangle, milliseconds).
+    pub fn table2(&self) -> Vec<String> {
+        let mut rows = Vec::new();
+        for i in 0..self.len() {
+            let mut cells = Vec::new();
+            for j in (i + 1)..self.len() {
+                cells.push(format!(
+                    "{} -> {}: {:.0} ms",
+                    ec2_region_label(&self.regions[i]),
+                    ec2_region_label(&self.regions[j]),
+                    self.ping_ms(i as u64, j as u64)
+                ));
+            }
+            if !cells.is_empty() {
+                rows.push(cells.join(", "));
+            }
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ec2_matches_table2() {
+        let planet = Planet::ec2();
+        // Ireland row of Table 2.
+        assert_eq!(planet.ping_ms(0, 1), 141.0);
+        assert_eq!(planet.ping_ms(0, 2), 186.0);
+        assert_eq!(planet.ping_ms(0, 3), 72.0);
+        assert_eq!(planet.ping_ms(0, 4), 183.0);
+        // N. California row.
+        assert_eq!(planet.ping_ms(1, 2), 181.0);
+        assert_eq!(planet.ping_ms(1, 3), 78.0);
+        assert_eq!(planet.ping_ms(1, 4), 190.0);
+        // Singapore row.
+        assert_eq!(planet.ping_ms(2, 3), 221.0);
+        assert_eq!(planet.ping_ms(2, 4), 338.0);
+        // Canada row.
+        assert_eq!(planet.ping_ms(3, 4), 123.0);
+        // Symmetry.
+        assert_eq!(planet.ping_ms(4, 2), 338.0);
+        // Latency range quoted in §6.2: 72 ms to 338 ms.
+        let mut min = f64::MAX;
+        let mut max: f64 = 0.0;
+        for i in 0..5u64 {
+            for j in 0..5u64 {
+                if i != j {
+                    min = min.min(planet.ping_ms(i, j));
+                    max = max.max(planet.ping_ms(i, j));
+                }
+            }
+        }
+        assert_eq!(min, 72.0);
+        assert_eq!(max, 338.0);
+    }
+
+    #[test]
+    fn one_way_is_half_of_ping() {
+        let planet = Planet::ec2();
+        assert_eq!(planet.one_way_us(0, 3), 36_000);
+        assert_eq!(planet.one_way_us(2, 4), 169_000);
+        assert_eq!(planet.one_way_us(1, 1), 250);
+    }
+
+    #[test]
+    fn sorted_sites_starts_with_self() {
+        let planet = Planet::ec2();
+        for site in 0..5u64 {
+            let sorted = planet.sorted_sites_from(site);
+            assert_eq!(sorted[0], site);
+            assert_eq!(sorted.len(), 5);
+        }
+        // From Ireland, the closest remote site is Canada (72 ms).
+        assert_eq!(planet.sorted_sites_from(0)[1], 3);
+        // From Singapore, the closest remote site is N. California (181 ms).
+        assert_eq!(planet.sorted_sites_from(2)[1], 1);
+    }
+
+    #[test]
+    fn three_region_subset() {
+        let planet = Planet::ec2_three_regions();
+        assert_eq!(planet.len(), 3);
+        assert!(!planet.is_empty());
+        assert_eq!(planet.regions()[0].name(), "eu-west-1");
+        assert_eq!(planet.ping_ms(0, 2), 186.0);
+        assert_eq!(planet.ping_ms(1, 2), 181.0);
+    }
+
+    #[test]
+    fn equidistant_planet() {
+        let planet = Planet::equidistant(4, 100.0);
+        for i in 0..4u64 {
+            for j in 0..4u64 {
+                if i == j {
+                    assert_eq!(planet.one_way_us(i, j), 0);
+                } else {
+                    assert_eq!(planet.one_way_us(i, j), 50_000);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn view_fast_quorum_uses_closest_sites() {
+        let planet = Planet::ec2();
+        let config = Config::full(5, 1);
+        // Process 0 is the Ireland replica of shard 0.
+        let view = planet.view_for(config, 0);
+        let fq = view.fast_quorum(0, config.fast_quorum_size());
+        // Ireland plus its two closest sites: Canada (72 ms) and N. California (141 ms).
+        assert_eq!(fq, vec![0, 3, 1]);
+    }
+
+    #[test]
+    fn view_partial_replication_local_coordinators() {
+        let planet = Planet::ec2_three_regions();
+        let config = Config::new(3, 1, 2);
+        // Process 4 replicates shard 1 at site 1 (N. California).
+        let view = planet.view_for(config, 4);
+        assert_eq!(view.site, 1);
+        assert_eq!(view.closest_process(0), 1);
+        assert_eq!(view.closest_process(1), 4);
+    }
+
+    #[test]
+    fn table2_rendering_has_ten_pairs() {
+        let planet = Planet::ec2();
+        let rows = planet.table2();
+        let pairs: usize = rows.iter().map(|r| r.matches("->").count()).sum();
+        assert_eq!(pairs, 10);
+    }
+
+    #[test]
+    fn region_labels() {
+        for region in ec2_regions() {
+            assert_ne!(ec2_region_label(&region), "unknown");
+        }
+        assert_eq!(ec2_region_label(&Region::new("mars")), "unknown");
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn asymmetric_matrix_is_rejected() {
+        let regions = vec![Region::new("a"), Region::new("b")];
+        let _ = Planet::from_ping_matrix(regions, vec![vec![0.0, 10.0], vec![20.0, 0.0]]);
+    }
+}

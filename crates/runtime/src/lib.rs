@@ -1,0 +1,376 @@
+//! `tempo-runtime` — a threaded, in-process cluster runtime.
+//!
+//! This is the "cluster mode" of the evaluation framework (§6.1) scaled down to a single
+//! machine: every protocol process runs on its own OS thread, messages travel over
+//! crossbeam channels, and — when a [`Planet`] is supplied — a dedicated network thread
+//! delays each message by the one-way latency between the sender's and receiver's
+//! regions, emulating a wide-area deployment.
+//!
+//! The runtime drives exactly the same [`Protocol`] state machines as the discrete-event
+//! simulator (`tempo-sim`); it exists so that examples and integration tests exercise the
+//! protocols under real concurrency.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tempo_kernel::command::Command;
+use tempo_kernel::config::Config;
+use tempo_kernel::id::{ProcessId, Rifl, ShardId, SiteId};
+use tempo_kernel::membership::Membership;
+use tempo_kernel::protocol::{Action, Protocol, ProtocolMetrics};
+use tempo_planet::Planet;
+
+enum Envelope<M> {
+    Message { from: ProcessId, msg: M },
+    Submit { cmd: Command },
+    Stop,
+}
+
+struct Delayed<M> {
+    due: Instant,
+    to: ProcessId,
+    from: ProcessId,
+    msg: M,
+}
+
+impl<M> PartialEq for Delayed<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due
+    }
+}
+impl<M> Eq for Delayed<M> {}
+impl<M> PartialOrd for Delayed<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Delayed<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.due.cmp(&self.due)
+    }
+}
+
+/// A completion notice: `rifl` executed at `process`.
+#[derive(Debug, Clone, Copy)]
+struct Completion {
+    rifl: Rifl,
+    shard: ShardId,
+    site: SiteId,
+}
+
+/// A running threaded cluster.
+pub struct ThreadedCluster<P: Protocol> {
+    config: Config,
+    membership: Membership,
+    inboxes: BTreeMap<ProcessId, Sender<Envelope<P::Message>>>,
+    completions: Receiver<Completion>,
+    /// Completions observed so far but not yet claimed by a waiter.
+    seen: Mutex<BTreeMap<(Rifl, SiteId), BTreeSet<ShardId>>>,
+    handles: Vec<JoinHandle<ProtocolMetrics>>,
+    network: Option<JoinHandle<()>>,
+    network_tx: Option<Sender<Option<Delayed<P::Message>>>>,
+}
+
+impl<P: Protocol + Send + 'static> ThreadedCluster<P>
+where
+    P::Message: Send + 'static,
+{
+    /// Starts one thread per process of `config`. When `planet` is provided, messages are
+    /// delayed by the corresponding one-way latencies; otherwise they are delivered
+    /// immediately (LAN mode).
+    pub fn start(config: Config, planet: Option<Planet>) -> Arc<Self> {
+        let membership = Membership::from_config(&config);
+        let start = Instant::now();
+        let tick_interval = Duration::from_millis(5);
+
+        let mut inboxes = BTreeMap::new();
+        let mut receivers = BTreeMap::new();
+        for id in membership.all_processes() {
+            let (tx, rx) = unbounded::<Envelope<P::Message>>();
+            inboxes.insert(id, tx);
+            receivers.insert(id, rx);
+        }
+        let (completion_tx, completion_rx) = unbounded::<Completion>();
+
+        // Optional network thread injecting wide-area delays.
+        let (network_tx, network_handle) = if let Some(planet) = planet.clone() {
+            let (tx, rx) = unbounded::<Option<Delayed<P::Message>>>();
+            let inboxes_for_net: BTreeMap<ProcessId, Sender<Envelope<P::Message>>> =
+                inboxes.clone();
+            let handle = std::thread::spawn(move || {
+                let _ = planet;
+                let mut heap: BinaryHeap<Delayed<P::Message>> = BinaryHeap::new();
+                loop {
+                    let timeout = heap
+                        .peek()
+                        .map(|d| d.due.saturating_duration_since(Instant::now()))
+                        .unwrap_or(Duration::from_millis(50));
+                    match rx.recv_timeout(timeout) {
+                        Ok(Some(delayed)) => heap.push(delayed),
+                        Ok(None) => break,
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                    }
+                    while let Some(head) = heap.peek() {
+                        if head.due > Instant::now() {
+                            break;
+                        }
+                        let delayed = heap.pop().expect("peeked");
+                        if let Some(inbox) = inboxes_for_net.get(&delayed.to) {
+                            let _ = inbox.send(Envelope::Message {
+                                from: delayed.from,
+                                msg: delayed.msg,
+                            });
+                        }
+                    }
+                }
+            });
+            (Some(tx), Some(handle))
+        } else {
+            (None, None)
+        };
+
+        let mut handles = Vec::new();
+        for id in membership.all_processes() {
+            let shard = membership.shard_of(id);
+            let site = membership.site_of(id);
+            let rx = receivers.remove(&id).expect("receiver exists");
+            let inboxes_for_thread = inboxes.clone();
+            let completion_tx = completion_tx.clone();
+            let network_tx = network_tx.clone();
+            let planet_for_thread = planet.clone();
+            let membership_for_thread = membership.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("process-{id}"))
+                .spawn(move || {
+                    let mut protocol = P::new(id, shard, config);
+                    match &planet_for_thread {
+                        Some(planet) => protocol.discover(planet.view_for(config, id)),
+                        None => protocol
+                            .discover(tempo_kernel::protocol::View::trivial(config, id)),
+                    }
+                    let mut next_tick = Instant::now() + tick_interval;
+                    loop {
+                        let now_us = start.elapsed().as_micros() as u64;
+                        let timeout = next_tick.saturating_duration_since(Instant::now());
+                        let actions = match rx.recv_timeout(timeout) {
+                            Ok(Envelope::Message { from, msg }) => protocol.handle(from, msg, now_us),
+                            Ok(Envelope::Submit { cmd }) => protocol.submit(cmd, now_us),
+                            Ok(Envelope::Stop) => break,
+                            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                                next_tick = Instant::now() + tick_interval;
+                                protocol.tick(now_us)
+                            }
+                            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                        };
+                        // Route outgoing messages.
+                        for action in actions {
+                            match action {
+                                Action::Send { to, msg } => {
+                                    for target in to {
+                                        if target == id {
+                                            continue;
+                                        }
+                                        match (&network_tx, &planet_for_thread) {
+                                            (Some(net), Some(planet)) => {
+                                                let delay = planet.one_way_us(
+                                                    site,
+                                                    membership_for_thread.site_of(target),
+                                                );
+                                                let _ = net.send(Some(Delayed {
+                                                    due: Instant::now()
+                                                        + Duration::from_micros(delay),
+                                                    to: target,
+                                                    from: id,
+                                                    msg: msg.clone(),
+                                                }));
+                                            }
+                                            _ => {
+                                                if let Some(inbox) = inboxes_for_thread.get(&target)
+                                                {
+                                                    let _ = inbox.send(Envelope::Message {
+                                                        from: id,
+                                                        msg: msg.clone(),
+                                                    });
+                                                }
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        // Report executions.
+                        for executed in protocol.drain_executed() {
+                            let _ = completion_tx.send(Completion {
+                                rifl: executed.rifl,
+                                shard,
+                                site,
+                            });
+                        }
+                    }
+                    protocol.metrics()
+                })
+                .expect("spawn process thread");
+            handles.push(handle);
+        }
+
+        Arc::new(Self {
+            config,
+            membership,
+            inboxes,
+            completions: completion_rx,
+            seen: Mutex::new(BTreeMap::new()),
+            handles,
+            network: network_handle,
+            network_tx,
+        })
+    }
+
+    /// The deployment configuration.
+    pub fn config(&self) -> Config {
+        self.config
+    }
+
+    /// Submits `cmd` at `site` and blocks until it has executed at that site's replica of
+    /// every shard it accesses, returning the observed latency. Returns `None` on timeout.
+    pub fn submit_sync(&self, site: SiteId, cmd: Command, timeout: Duration) -> Option<Duration> {
+        let rifl = cmd.rifl;
+        let needed: BTreeSet<ShardId> = cmd.shards().collect();
+        let target = self.membership.process(cmd.target_shard(), site);
+        let started = Instant::now();
+        self.inboxes[&target]
+            .send(Envelope::Submit { cmd })
+            .expect("process thread alive");
+        let deadline = started + timeout;
+        loop {
+            // Check completions already recorded by other waiters.
+            {
+                let mut seen = self.seen.lock();
+                if let Some(shards) = seen.get(&(rifl, site)) {
+                    if needed.is_subset(shards) {
+                        seen.remove(&(rifl, site));
+                        return Some(started.elapsed());
+                    }
+                }
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return None;
+            }
+            match self.completions.recv_timeout(remaining.min(Duration::from_millis(10))) {
+                Ok(completion) => {
+                    let mut seen = self.seen.lock();
+                    seen.entry((completion.rifl, completion.site))
+                        .or_default()
+                        .insert(completion.shard);
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return None,
+            }
+        }
+    }
+
+    /// Stops every thread and returns the per-process protocol metrics.
+    pub fn shutdown(mut self: Arc<Self>) -> Vec<ProtocolMetrics> {
+        for inbox in self.inboxes.values() {
+            let _ = inbox.send(Envelope::Stop);
+        }
+        let this = Arc::get_mut(&mut self).expect("all clients dropped before shutdown");
+        if let Some(tx) = this.network_tx.take() {
+            let _ = tx.send(None);
+        }
+        let mut metrics = Vec::new();
+        for handle in this.handles.drain(..) {
+            if let Ok(m) = handle.join() {
+                metrics.push(m);
+            }
+        }
+        if let Some(net) = this.network.take() {
+            let _ = net.join();
+        }
+        metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_atlas::Atlas;
+    use tempo_core::Tempo;
+    use tempo_fpaxos::FPaxos;
+    use tempo_kernel::{KVOp, Rifl};
+
+    fn cmd(client: u64, seq: u64, key: u64) -> Command {
+        Command::single(Rifl::new(client, seq), 0, key, KVOp::Put(seq), 0)
+    }
+
+    #[test]
+    fn tempo_runs_on_threads_without_delays() {
+        let cluster = ThreadedCluster::<Tempo>::start(Config::full(3, 1), None);
+        for seq in 1..=10 {
+            let latency = cluster
+                .submit_sync(0, cmd(1, seq, seq % 2), Duration::from_secs(5))
+                .expect("command must complete");
+            assert!(latency < Duration::from_secs(1));
+        }
+        let metrics = Arc::clone(&cluster);
+        drop(cluster);
+        let metrics = metrics.shutdown();
+        let committed: u64 = metrics.iter().map(|m| m.committed).sum();
+        assert!(committed >= 10);
+    }
+
+    #[test]
+    fn concurrent_clients_from_different_sites() {
+        let cluster = ThreadedCluster::<Atlas>::start(Config::full(3, 1), None);
+        let mut threads = Vec::new();
+        for site in 0..3u64 {
+            let cluster = Arc::clone(&cluster);
+            threads.push(std::thread::spawn(move || {
+                let mut done = 0;
+                for seq in 1..=5 {
+                    if cluster
+                        .submit_sync(site, cmd(site + 1, seq, 0), Duration::from_secs(5))
+                        .is_some()
+                    {
+                        done += 1;
+                    }
+                }
+                done
+            }));
+        }
+        let total: u32 = threads.into_iter().map(|t| t.join().unwrap()).sum();
+        assert_eq!(total, 15);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn injected_delays_slow_down_remote_quorums() {
+        // With a 40 ms equidistant planet, a Tempo fast path needs one round trip to the
+        // closest remote replica, so latency must be at least ~40 ms.
+        let planet = Planet::equidistant(3, 40.0);
+        let cluster = ThreadedCluster::<Tempo>::start(Config::full(3, 1), Some(planet));
+        let latency = cluster
+            .submit_sync(0, cmd(1, 1, 7), Duration::from_secs(10))
+            .expect("command must complete");
+        assert!(
+            latency >= Duration::from_millis(35),
+            "expected a wide-area round trip, got {latency:?}"
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn fpaxos_completes_under_the_threaded_runtime() {
+        let cluster = ThreadedCluster::<FPaxos>::start(Config::full(3, 1), None);
+        let latency = cluster.submit_sync(2, cmd(1, 1, 0), Duration::from_secs(5));
+        assert!(latency.is_some());
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,614 @@
+//! `tempo-sim` — a discrete-event simulator for geo-replicated SMR protocols.
+//!
+//! The paper's framework provides three execution modes: cloud (EC2), cluster (LAN with
+//! injected wide-area delays) and a simulator that "computes the observed client latency
+//! in a given wide-area configuration when CPU and network bottlenecks are disregarded"
+//! (§6.1). This crate reproduces the simulator mode and extends it with an optional
+//! analytical [`CpuModel`] so that the saturation behaviour of Figures 7-9 can also be
+//! studied on a laptop.
+//!
+//! A simulation runs closed-loop clients at each site against one protocol instance per
+//! (site, shard) pair; messages are delivered after the one-way latency of the
+//! [`Planet`](tempo_planet::Planet); executed commands complete the issuing client's
+//! request once every accessed shard has executed the command at the client's site.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+
+pub use report::{RunReport, SiteReport};
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use tempo_kernel::command::Command;
+use tempo_kernel::config::Config;
+use tempo_kernel::id::{ClientId, ProcessId, Rifl, ShardId, SiteId};
+use tempo_kernel::membership::Membership;
+use tempo_kernel::metrics::Histogram;
+use tempo_kernel::protocol::{Action, Protocol, ProtocolMetrics, WireSize};
+use tempo_planet::Planet;
+use tempo_workload::Workload;
+
+/// Analytical CPU/network cost model (the substitute for the paper's real-cluster
+/// hardware bottlenecks, see DESIGN.md §2).
+///
+/// Each process is modelled as a single server: *receiving* a message keeps it busy for
+/// `per_message_us + per_kilobyte_us · size/1024` microseconds, *sending* a message to a
+/// remote process costs the same (serialization plus outgoing bandwidth — this is what
+/// turns the FPaxos leader, which broadcasts every command, into the bottleneck the paper
+/// observes in Figure 7), and each local command execution adds `per_execution_us`.
+/// Messages that arrive while the process is busy queue up, which is what produces
+/// saturation as the client load grows.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuModel {
+    /// Fixed cost of handling one message, in microseconds.
+    pub per_message_us: f64,
+    /// Cost per kilobyte of message payload, in microseconds.
+    pub per_kilobyte_us: f64,
+    /// Cost of executing one command against the local store, in microseconds.
+    pub per_execution_us: f64,
+}
+
+impl CpuModel {
+    /// A model loosely calibrated against the paper's cluster (8 vCPUs, 16 TCP sockets):
+    /// a few microseconds per message plus a per-byte serialization cost.
+    pub fn cluster() -> Self {
+        Self {
+            per_message_us: 4.0,
+            per_kilobyte_us: 2.0,
+            per_execution_us: 1.0,
+        }
+    }
+
+    fn message_cost_us(&self, wire_size: usize) -> u64 {
+        (self.per_message_us + self.per_kilobyte_us * wire_size as f64 / 1024.0).ceil() as u64
+    }
+}
+
+/// Simulation options.
+#[derive(Debug, Clone, Copy)]
+pub struct SimOpts {
+    /// Closed-loop clients per site.
+    pub clients_per_site: usize,
+    /// Commands issued by each client.
+    pub commands_per_client: usize,
+    /// Interval of the periodic protocol tick (promise broadcast etc.), in microseconds.
+    /// The paper flushes sockets every 5 ms.
+    pub tick_interval_us: u64,
+    /// Optional CPU cost model; `None` reproduces the paper's idealized simulator mode.
+    pub cpu: Option<CpuModel>,
+    /// Seed for workload randomness.
+    pub seed: u64,
+    /// Safety cap on simulated time; a run that exceeds it is reported as stalled.
+    pub max_sim_time_us: u64,
+}
+
+impl Default for SimOpts {
+    fn default() -> Self {
+        Self {
+            clients_per_site: 16,
+            commands_per_client: 20,
+            tick_interval_us: 5_000,
+            cpu: None,
+            seed: 1,
+            max_sim_time_us: 600_000_000,
+        }
+    }
+}
+
+enum EventKind<M> {
+    Deliver {
+        from: ProcessId,
+        to: ProcessId,
+        msg: M,
+    },
+    Tick {
+        process: ProcessId,
+    },
+    ClientSubmit {
+        client: ClientId,
+    },
+}
+
+struct Event<M> {
+    time: u64,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so that the BinaryHeap pops the earliest event first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+struct ClientState {
+    site: SiteId,
+    issued: usize,
+    completed: usize,
+    submit_time: u64,
+    pending_shards: BTreeSet<ShardId>,
+    current: Option<Rifl>,
+}
+
+/// The discrete-event simulation of one protocol deployment.
+pub struct Simulation<P: Protocol, W: Workload> {
+    config: Config,
+    membership: Membership,
+    planet: Planet,
+    opts: SimOpts,
+    processes: BTreeMap<ProcessId, P>,
+    workload: W,
+    clients: BTreeMap<ClientId, ClientState>,
+    queue: BinaryHeap<Event<P::Message>>,
+    next_seq: u64,
+    busy_until: BTreeMap<ProcessId, u64>,
+    now: u64,
+    completed_total: u64,
+    first_submit: u64,
+    last_completion: u64,
+    per_site: BTreeMap<SiteId, Histogram>,
+    overall: Histogram,
+}
+
+impl<P: Protocol, W: Workload> Simulation<P, W> {
+    /// Creates a simulation of `config` deployed over `planet` running `workload`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the planet does not have exactly one region per site of the config.
+    pub fn new(config: Config, planet: Planet, opts: SimOpts, workload: W) -> Self {
+        assert_eq!(
+            planet.len(),
+            config.n(),
+            "planet must have one region per site"
+        );
+        let membership = Membership::from_config(&config);
+        let mut processes = BTreeMap::new();
+        for id in membership.all_processes() {
+            let shard = membership.shard_of(id);
+            let mut p = P::new(id, shard, config);
+            p.discover(planet.view_for(config, id));
+            processes.insert(id, p);
+        }
+        let mut clients = BTreeMap::new();
+        let mut client_id: ClientId = 0;
+        for site in membership.all_sites() {
+            for _ in 0..opts.clients_per_site {
+                clients.insert(
+                    client_id,
+                    ClientState {
+                        site,
+                        issued: 0,
+                        completed: 0,
+                        submit_time: 0,
+                        pending_shards: BTreeSet::new(),
+                        current: None,
+                    },
+                );
+                client_id += 1;
+            }
+        }
+        let per_site = membership
+            .all_sites()
+            .into_iter()
+            .map(|s| (s, Histogram::new()))
+            .collect();
+        Self {
+            config,
+            membership,
+            planet,
+            opts,
+            processes,
+            workload,
+            clients,
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            busy_until: BTreeMap::new(),
+            now: 0,
+            completed_total: 0,
+            first_submit: u64::MAX,
+            last_completion: 0,
+            per_site,
+            overall: Histogram::new(),
+        }
+    }
+
+    fn push(&mut self, time: u64, kind: EventKind<P::Message>) {
+        self.next_seq += 1;
+        self.queue.push(Event {
+            time,
+            seq: self.next_seq,
+            kind,
+        });
+    }
+
+    fn charge_cpu(&mut self, process: ProcessId, arrival: u64, wire_size: usize) -> u64 {
+        match self.opts.cpu {
+            None => arrival,
+            Some(cpu) => {
+                let busy = self.busy_until.entry(process).or_insert(0);
+                let start = arrival.max(*busy);
+                let finish = start + cpu.message_cost_us(wire_size);
+                *busy = finish;
+                finish
+            }
+        }
+    }
+
+    fn charge_executions(&mut self, process: ProcessId, count: usize) {
+        if let Some(cpu) = self.opts.cpu {
+            let busy = self.busy_until.entry(process).or_insert(0);
+            *busy += (cpu.per_execution_us * count as f64).ceil() as u64;
+        }
+    }
+
+    fn route(&mut self, from: ProcessId, at: u64, actions: Vec<Action<P::Message>>) {
+        let from_site = self.membership.site_of(from);
+        let mut send_cost = 0u64;
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => {
+                    for target in to {
+                        if target == from {
+                            // Protocols handle self-addressed messages internally.
+                            continue;
+                        }
+                        // Sending costs CPU/outgoing bandwidth at the sender.
+                        if let Some(cpu) = self.opts.cpu {
+                            send_cost += cpu.message_cost_us(msg.wire_size());
+                        }
+                        let latency =
+                            self.planet.one_way_us(from_site, self.membership.site_of(target));
+                        self.push(
+                            at + send_cost + latency,
+                            EventKind::Deliver {
+                                from,
+                                to: target,
+                                msg: msg.clone(),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        if send_cost > 0 {
+            let busy = self.busy_until.entry(from).or_insert(0);
+            *busy = (*busy).max(at) + send_cost;
+        }
+    }
+
+    fn collect_executions(&mut self, process: ProcessId, at: u64) {
+        let site = self.membership.site_of(process);
+        let shard = self.membership.shard_of(process);
+        let executed = self
+            .processes
+            .get_mut(&process)
+            .expect("process exists")
+            .drain_executed();
+        if executed.is_empty() {
+            return;
+        }
+        self.charge_executions(process, executed.len());
+        for exec in executed {
+            let client_id = exec.rifl.client;
+            let Some(client) = self.clients.get_mut(&client_id) else {
+                continue;
+            };
+            if client.site != site || client.current != Some(exec.rifl) {
+                continue;
+            }
+            client.pending_shards.remove(&shard);
+            if client.pending_shards.is_empty() {
+                // The command completed: record the latency and issue the next command.
+                client.current = None;
+                client.completed += 1;
+                let latency = at.saturating_sub(client.submit_time);
+                self.per_site
+                    .get_mut(&site)
+                    .expect("site histogram exists")
+                    .record(latency);
+                self.overall.record(latency);
+                self.completed_total += 1;
+                self.last_completion = self.last_completion.max(at);
+                if client.issued < self.opts.commands_per_client {
+                    self.push(at, EventKind::ClientSubmit { client: client_id });
+                }
+            }
+        }
+    }
+
+    fn submit_for_client(&mut self, client_id: ClientId, at: u64) {
+        let site = self.clients[&client_id].site;
+        let cmd: Command = self.workload.next_command(client_id);
+        let target = self.membership.process(cmd.target_shard(), site);
+        {
+            let client = self.clients.get_mut(&client_id).expect("client exists");
+            client.issued += 1;
+            client.submit_time = at;
+            client.current = Some(cmd.rifl);
+            client.pending_shards = cmd.shards().collect();
+        }
+        self.first_submit = self.first_submit.min(at);
+        let start = self.charge_cpu(target, at, cmd.wire_size());
+        let actions = self
+            .processes
+            .get_mut(&target)
+            .expect("target exists")
+            .submit(cmd, start);
+        self.route(target, start, actions);
+        self.collect_executions(target, start);
+    }
+
+    fn total_commands(&self) -> u64 {
+        (self.clients.len() * self.opts.commands_per_client) as u64
+    }
+
+    /// Runs the simulation to completion and produces the report.
+    pub fn run(mut self) -> RunReport {
+        // Kick off every client, slightly staggered for determinism without full symmetry.
+        let client_ids: Vec<ClientId> = self.clients.keys().copied().collect();
+        for (i, client) in client_ids.into_iter().enumerate() {
+            self.push(i as u64 % 997, EventKind::ClientSubmit { client });
+        }
+        // Periodic ticks.
+        let process_ids: Vec<ProcessId> = self.processes.keys().copied().collect();
+        for p in &process_ids {
+            self.push(self.opts.tick_interval_us, EventKind::Tick { process: *p });
+        }
+
+        let target = self.total_commands();
+        let mut stalled = false;
+        while let Some(event) = self.queue.pop() {
+            self.now = event.time;
+            if self.completed_total >= target {
+                break;
+            }
+            if self.now > self.opts.max_sim_time_us {
+                stalled = true;
+                break;
+            }
+            match event.kind {
+                EventKind::Deliver { from, to, msg } => {
+                    let start = self.charge_cpu(to, event.time, msg.wire_size());
+                    let actions = self
+                        .processes
+                        .get_mut(&to)
+                        .expect("process exists")
+                        .handle(from, msg, start);
+                    self.route(to, start, actions);
+                    self.collect_executions(to, start);
+                }
+                EventKind::Tick { process } => {
+                    let actions = self
+                        .processes
+                        .get_mut(&process)
+                        .expect("process exists")
+                        .tick(event.time);
+                    self.route(process, event.time, actions);
+                    self.collect_executions(process, event.time);
+                    self.push(
+                        event.time + self.opts.tick_interval_us,
+                        EventKind::Tick { process },
+                    );
+                }
+                EventKind::ClientSubmit { client } => {
+                    self.submit_for_client(client, event.time);
+                }
+            }
+        }
+        if self.completed_total < target {
+            stalled = true;
+        }
+
+        let mut metrics = ProtocolMetrics::default();
+        for p in self.processes.values() {
+            let m = p.metrics();
+            metrics.fast_paths += m.fast_paths;
+            metrics.slow_paths += m.slow_paths;
+            metrics.committed += m.committed;
+            metrics.executed += m.executed;
+            metrics.recoveries += m.recoveries;
+            metrics.messages_sent += m.messages_sent;
+        }
+        let duration = self.last_completion.saturating_sub(self.first_submit.min(self.last_completion));
+        let sites = self
+            .per_site
+            .into_iter()
+            .map(|(site, histogram)| {
+                let region = self.planet.regions()[site as usize].clone();
+                (site, SiteReport { region, histogram })
+            })
+            .collect();
+        RunReport {
+            protocol: P::NAME.to_string(),
+            config: self.config,
+            sites,
+            overall: self.overall,
+            completed: self.completed_total,
+            ops_per_command: self.workload.ops_per_command(),
+            duration_us: duration,
+            metrics,
+            stalled,
+        }
+    }
+}
+
+/// Convenience entry point: builds and runs a simulation in one call.
+pub fn run<P: Protocol, W: Workload>(
+    config: Config,
+    planet: Planet,
+    opts: SimOpts,
+    workload: W,
+) -> RunReport {
+    Simulation::<P, W>::new(config, planet, opts, workload).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_atlas::Atlas;
+    use tempo_core::Tempo;
+    use tempo_fpaxos::FPaxos;
+    use tempo_workload::ConflictWorkload;
+
+    fn small_opts() -> SimOpts {
+        SimOpts {
+            clients_per_site: 4,
+            commands_per_client: 5,
+            ..SimOpts::default()
+        }
+    }
+
+    #[test]
+    fn tempo_completes_all_commands_on_ec2() {
+        let config = Config::full(5, 1);
+        let report = run::<Tempo, _>(
+            config,
+            Planet::ec2(),
+            small_opts(),
+            ConflictWorkload::new(0.02, 100, 7),
+        );
+        assert!(!report.stalled, "simulation stalled");
+        assert_eq!(report.completed, 5 * 4 * 5);
+        assert!(report.mean_latency_ms() > 50.0, "wide-area latency expected");
+        assert!(report.throughput_kops() > 0.0);
+    }
+
+    #[test]
+    fn fpaxos_is_unfair_towards_remote_sites() {
+        // Figure 5's qualitative shape: the leader site observes much lower latency than
+        // far-away sites.
+        let config = Config::full(5, 1);
+        let report = run::<FPaxos, _>(
+            config,
+            Planet::ec2(),
+            small_opts(),
+            ConflictWorkload::new(0.02, 100, 7),
+        );
+        assert!(!report.stalled);
+        let leader = report.site_mean_ms(0); // Ireland hosts process 0, the leader.
+        let singapore = report.site_mean_ms(2);
+        assert!(
+            singapore > 2.0 * leader,
+            "expected Singapore ({singapore:.0} ms) to be much slower than the leader site ({leader:.0} ms)"
+        );
+    }
+
+    #[test]
+    fn tempo_is_fairer_than_fpaxos() {
+        let config = Config::full(5, 1);
+        let tempo = run::<Tempo, _>(
+            config,
+            Planet::ec2(),
+            small_opts(),
+            ConflictWorkload::new(0.02, 100, 7),
+        );
+        let spread = |r: &RunReport| {
+            let means: Vec<f64> = (0..5).map(|s| r.site_mean_ms(s)).collect();
+            let max = means.iter().cloned().fold(0.0, f64::max);
+            let min = means.iter().cloned().fold(f64::MAX, f64::min);
+            max / min
+        };
+        let fpaxos = run::<FPaxos, _>(
+            config,
+            Planet::ec2(),
+            small_opts(),
+            ConflictWorkload::new(0.02, 100, 7),
+        );
+        assert!(
+            spread(&tempo) < spread(&fpaxos),
+            "Tempo should satisfy sites more uniformly (tempo spread {:.2}, fpaxos spread {:.2})",
+            spread(&tempo),
+            spread(&fpaxos)
+        );
+    }
+
+    #[test]
+    fn atlas_completes_with_low_conflicts() {
+        let config = Config::full(5, 1);
+        let report = run::<Atlas, _>(
+            config,
+            Planet::ec2(),
+            small_opts(),
+            ConflictWorkload::new(0.02, 100, 7),
+        );
+        assert!(!report.stalled);
+        assert_eq!(report.completed, 100);
+        assert!(report.metrics.fast_paths > 0);
+    }
+
+    #[test]
+    fn cpu_model_reduces_throughput_under_load() {
+        let config = Config::full(3, 1);
+        let planet = Planet::equidistant(3, 50.0);
+        let base = SimOpts {
+            clients_per_site: 32,
+            commands_per_client: 5,
+            ..SimOpts::default()
+        };
+        let ideal = run::<Tempo, _>(config, planet.clone(), base, ConflictWorkload::new(0.0, 4096, 3));
+        let with_cpu = run::<Tempo, _>(
+            config,
+            planet,
+            SimOpts {
+                cpu: Some(CpuModel {
+                    per_message_us: 200.0,
+                    per_kilobyte_us: 50.0,
+                    per_execution_us: 50.0,
+                }),
+                ..base
+            },
+            ConflictWorkload::new(0.0, 4096, 3),
+        );
+        assert!(!ideal.stalled && !with_cpu.stalled);
+        assert!(
+            with_cpu.throughput_kops() < ideal.throughput_kops(),
+            "CPU model must reduce throughput ({} vs {})",
+            with_cpu.throughput_kops(),
+            ideal.throughput_kops()
+        );
+        assert!(with_cpu.mean_latency_ms() > ideal.mean_latency_ms());
+    }
+
+    #[test]
+    fn multi_shard_deployment_completes() {
+        let config = Config::new(3, 1, 2);
+        let planet = Planet::ec2_three_regions();
+        let workload = tempo_workload::YcsbT::new(2, 1000, 0.5, 0.5, 11);
+        let report = run::<Tempo, _>(config, planet, small_opts(), workload);
+        assert!(!report.stalled, "partial replication run stalled");
+        assert_eq!(report.completed, 3 * 4 * 5);
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let config = Config::full(3, 1);
+        let go = || {
+            run::<Tempo, _>(
+                config,
+                Planet::equidistant(3, 80.0),
+                small_opts(),
+                ConflictWorkload::new(0.1, 10, 42),
+            )
+        };
+        let a = go();
+        let b = go();
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.duration_us, b.duration_us);
+        assert_eq!(a.metrics, b.metrics);
+    }
+}

@@ -1,0 +1,334 @@
+//! `tempo-workload` — the workloads of the paper's evaluation (§6.2-6.4).
+//!
+//! * [`ConflictWorkload`] — the full-replication microbenchmark: each command carries one
+//!   8-byte key and a configurable payload; with probability ρ (the *conflict rate*) the
+//!   key is the hot key 0, otherwise it is unique to the issuing client.
+//! * [`YcsbT`] — the YCSB+T workload used for partial replication (Figure 9): each
+//!   command (a one-shot transaction) accesses two keys chosen with a Zipfian
+//!   distribution over per-shard key spaces; a fraction `w` of commands are writes
+//!   (YCSB workloads C/B/A correspond to w = 0%, 5% and 50%).
+//! * [`BatchedConflict`] — the batching workload of Figure 8: several single-key commands
+//!   aggregated into one multi-key command.
+//!
+//! All generators are deterministic given their seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use tempo_kernel::command::{Command, KVOp, Key};
+use tempo_kernel::id::{ClientId, Rifl, ShardId};
+use tempo_kernel::rand::{Rng, Zipf};
+
+/// A stream of client commands.
+pub trait Workload {
+    /// Produces the next command for `client`.
+    fn next_command(&mut self, client: ClientId) -> Command;
+
+    /// How many application-level operations one command represents (1 unless batched).
+    fn ops_per_command(&self) -> u64 {
+        1
+    }
+}
+
+/// The conflict-rate microbenchmark of §6.2/§6.3 (single shard).
+///
+/// Commands carry a key of 8 bytes and a payload of `payload_size` bytes. With
+/// probability `conflict_rate` the command accesses key 0 (and therefore conflicts with
+/// every other such command); otherwise it accesses a key unique to the client.
+#[derive(Debug, Clone)]
+pub struct ConflictWorkload {
+    /// Probability of accessing the shared key.
+    pub conflict_rate: f64,
+    /// Payload carried by each command, in bytes.
+    pub payload_size: usize,
+    rng: Rng,
+    sequences: std::collections::BTreeMap<ClientId, u64>,
+}
+
+impl ConflictWorkload {
+    /// Creates the workload with the given conflict rate (e.g. `0.02` for 2%) and payload.
+    pub fn new(conflict_rate: f64, payload_size: usize, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&conflict_rate));
+        Self {
+            conflict_rate,
+            payload_size,
+            rng: Rng::new(seed),
+            sequences: std::collections::BTreeMap::new(),
+        }
+    }
+
+    fn next_seq(&mut self, client: ClientId) -> u64 {
+        let seq = self.sequences.entry(client).or_insert(0);
+        *seq += 1;
+        *seq
+    }
+}
+
+impl Workload for ConflictWorkload {
+    fn next_command(&mut self, client: ClientId) -> Command {
+        let seq = self.next_seq(client);
+        let rifl = Rifl::new(client, seq);
+        let key: Key = if self.rng.gen_bool(self.conflict_rate) {
+            0
+        } else {
+            // A key unique to this (client, command) pair: never conflicts.
+            1 + client * 1_000_000_000 + seq
+        };
+        Command::single(rifl, 0, key, KVOp::Put(seq), self.payload_size)
+    }
+}
+
+/// The YCSB+T workload of §6.4 (partial replication over several shards).
+#[derive(Debug, Clone)]
+pub struct YcsbT {
+    /// Number of shards.
+    pub shards: usize,
+    /// Keys per shard (the paper uses 1M).
+    pub keys_per_shard: u64,
+    /// Zipfian skew (the paper uses 0.5 and 0.7).
+    pub zipf: f64,
+    /// Fraction of write commands (0.0, 0.05 and 0.5 in Figure 9).
+    pub write_ratio: f64,
+    /// Keys accessed by each command (the paper uses 2).
+    pub keys_per_command: usize,
+    /// Payload carried by each command, in bytes.
+    pub payload_size: usize,
+    distribution: Zipf,
+    rng: Rng,
+    sequences: std::collections::BTreeMap<ClientId, u64>,
+}
+
+impl YcsbT {
+    /// Creates a YCSB+T workload.
+    pub fn new(shards: usize, keys_per_shard: u64, zipf: f64, write_ratio: f64, seed: u64) -> Self {
+        assert!(shards >= 1);
+        assert!((0.0..=1.0).contains(&write_ratio));
+        Self {
+            shards,
+            keys_per_shard,
+            zipf,
+            write_ratio,
+            keys_per_command: 2,
+            payload_size: 64,
+            distribution: Zipf::new(keys_per_shard, zipf),
+            rng: Rng::new(seed),
+            sequences: std::collections::BTreeMap::new(),
+        }
+    }
+
+    fn next_seq(&mut self, client: ClientId) -> u64 {
+        let seq = self.sequences.entry(client).or_insert(0);
+        *seq += 1;
+        *seq
+    }
+}
+
+impl Workload for YcsbT {
+    fn next_command(&mut self, client: ClientId) -> Command {
+        let seq = self.next_seq(client);
+        let rifl = Rifl::new(client, seq);
+        let is_write = self.rng.gen_bool(self.write_ratio);
+        let mut accesses: Vec<(ShardId, Key, KVOp)> = Vec::with_capacity(self.keys_per_command);
+        while accesses.len() < self.keys_per_command {
+            let shard = self.rng.gen_range(self.shards as u64);
+            let key = self.distribution.sample(&mut self.rng);
+            if accesses.iter().any(|(s, k, _)| *s == shard && *k == key) {
+                continue;
+            }
+            let op = if is_write { KVOp::Add(1) } else { KVOp::Get };
+            accesses.push((shard, key, op));
+        }
+        Command::new(rifl, accesses, self.payload_size)
+    }
+}
+
+/// The batching workload of Figure 8: `batch` single-key commands aggregated into one
+/// multi-key command (the paper aggregates single-partition commands into one
+/// multi-partition command at each site every 5 ms or 105 commands).
+#[derive(Debug, Clone)]
+pub struct BatchedConflict {
+    inner: ConflictWorkload,
+    batch: usize,
+}
+
+impl BatchedConflict {
+    /// Creates a batched variant of the conflict microbenchmark.
+    pub fn new(conflict_rate: f64, payload_size: usize, batch: usize, seed: u64) -> Self {
+        assert!(batch >= 1);
+        Self {
+            inner: ConflictWorkload::new(conflict_rate, payload_size, seed),
+            batch,
+        }
+    }
+}
+
+impl Workload for BatchedConflict {
+    fn next_command(&mut self, client: ClientId) -> Command {
+        let commands: Vec<Command> = (0..self.batch)
+            .map(|_| self.inner.next_command(client))
+            .collect();
+        let rifl = commands[0].rifl;
+        let payload: usize = commands.iter().map(|c| c.payload_size).sum();
+        let ops: Vec<(ShardId, Key, KVOp)> = commands
+            .iter()
+            .flat_map(|c| {
+                c.ops_of(0)
+                    .iter()
+                    .map(|(k, op)| (0u64, *k, *op))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        Command::new(rifl, ops, payload)
+    }
+
+    fn ops_per_command(&self) -> u64 {
+        self.batch as u64
+    }
+}
+
+/// A fixed-key workload where every command conflicts (useful for tests and for the
+/// pathological scenarios of Appendix D).
+#[derive(Debug, Clone)]
+pub struct AllConflicts {
+    sequences: std::collections::BTreeMap<ClientId, u64>,
+    /// Payload carried by each command.
+    pub payload_size: usize,
+}
+
+impl AllConflicts {
+    /// Creates the workload.
+    pub fn new(payload_size: usize) -> Self {
+        Self {
+            sequences: std::collections::BTreeMap::new(),
+            payload_size,
+        }
+    }
+}
+
+impl Workload for AllConflicts {
+    fn next_command(&mut self, client: ClientId) -> Command {
+        let seq = self.sequences.entry(client).or_insert(0);
+        *seq += 1;
+        Command::single(Rifl::new(client, *seq), 0, 0, KVOp::Add(1), self.payload_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conflict_workload_produces_requested_conflict_rate() {
+        let mut w = ConflictWorkload::new(0.1, 100, 42);
+        let mut hot = 0usize;
+        let total = 20_000;
+        for i in 0..total {
+            let cmd = w.next_command(i % 8);
+            if cmd.keys_of(0).next() == Some(0) {
+                hot += 1;
+            }
+            assert_eq!(cmd.payload_size, 100);
+            assert_eq!(cmd.shard_count(), 1);
+        }
+        let rate = hot as f64 / total as f64;
+        assert!((0.08..0.12).contains(&rate), "conflict rate off: {rate}");
+    }
+
+    #[test]
+    fn conflict_workload_rifls_are_unique_and_sequential_per_client() {
+        let mut w = ConflictWorkload::new(0.02, 0, 1);
+        let a1 = w.next_command(1);
+        let a2 = w.next_command(1);
+        let b1 = w.next_command(2);
+        assert_eq!(a1.rifl, Rifl::new(1, 1));
+        assert_eq!(a2.rifl, Rifl::new(1, 2));
+        assert_eq!(b1.rifl, Rifl::new(2, 1));
+    }
+
+    #[test]
+    fn non_conflicting_keys_are_unique_across_clients() {
+        let mut w = ConflictWorkload::new(0.0, 0, 7);
+        let mut keys = std::collections::BTreeSet::new();
+        for client in 0..50u64 {
+            for _ in 0..50 {
+                let cmd = w.next_command(client);
+                let key = cmd.keys_of(0).next().unwrap();
+                assert!(keys.insert(key), "duplicate key {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn ycsbt_commands_access_two_distinct_keys() {
+        let mut w = YcsbT::new(4, 1_000_000, 0.7, 0.5, 3);
+        for i in 0..1000 {
+            let cmd = w.next_command(i % 16);
+            assert_eq!(cmd.op_count(), 2);
+            let keys: Vec<_> = cmd.keys().collect();
+            assert_ne!(keys[0], keys[1]);
+            for (shard, key) in keys {
+                assert!(shard < 4);
+                assert!(key < 1_000_000);
+            }
+        }
+    }
+
+    #[test]
+    fn ycsbt_write_ratio_controls_read_only_commands() {
+        let count_writes = |ratio: f64| {
+            let mut w = YcsbT::new(2, 100_000, 0.5, ratio, 11);
+            (0..2000).filter(|i| !w.next_command(i % 4).is_read_only()).count()
+        };
+        assert_eq!(count_writes(0.0), 0);
+        let five = count_writes(0.05);
+        assert!((50..150).contains(&five), "5% writes off: {five}");
+        let fifty = count_writes(0.5);
+        assert!((850..1150).contains(&fifty), "50% writes off: {fifty}");
+    }
+
+    #[test]
+    fn ycsbt_zipf_concentrates_accesses() {
+        let mut w = YcsbT::new(2, 1_000_000, 0.7, 0.0, 5);
+        let mut hot = 0usize;
+        let draws = 4000;
+        for i in 0..draws {
+            let cmd = w.next_command(i % 8);
+            for (_, key) in cmd.keys() {
+                if key < 10_000 {
+                    hot += 1;
+                }
+            }
+        }
+        // With zipf 0.7, the hottest 1% of keys receive well over 1% of accesses.
+        assert!(hot as f64 / (2 * draws) as f64 > 0.1);
+    }
+
+    #[test]
+    fn batched_workload_aggregates_keys_and_payload() {
+        let mut w = BatchedConflict::new(0.0, 256, 10, 9);
+        assert_eq!(w.ops_per_command(), 10);
+        let cmd = w.next_command(3);
+        assert_eq!(cmd.op_count(), 10);
+        assert_eq!(cmd.payload_size, 2560);
+        assert_eq!(cmd.shard_count(), 1);
+    }
+
+    #[test]
+    fn all_conflicts_workload_always_hits_the_same_key() {
+        let mut w = AllConflicts::new(0);
+        for i in 0..10 {
+            let cmd = w.next_command(i);
+            assert_eq!(cmd.keys_of(0).next(), Some(0));
+        }
+        assert_eq!(w.ops_per_command(), 1);
+    }
+
+    #[test]
+    fn workloads_are_deterministic_given_a_seed() {
+        let run = || {
+            let mut w = YcsbT::new(3, 10_000, 0.5, 0.3, 123);
+            (0..100).map(|i| w.next_command(i % 5)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,26 @@
+//! Umbrella crate for the Tempo reproduction workspace.
+//!
+//! This crate re-exports the workspace members so that the examples under `examples/` and
+//! the integration tests under `tests/` can refer to everything through one dependency.
+//! The actual functionality lives in the member crates:
+//!
+//! * [`kernel`] — PSMR substrate (commands, configuration, protocol trait, KV store),
+//! * [`planet`] — EC2 regions and the Table 2 latency matrix,
+//! * [`tempo`] — the Tempo protocol (the paper's contribution),
+//! * [`atlas`], [`fpaxos`], [`caesar`], [`janus`] — the baselines of §6,
+//! * [`sim`] — the discrete-event simulator,
+//! * [`runtime`] — the threaded cluster runtime,
+//! * [`workload`] — microbenchmark, YCSB+T and batching workloads.
+
+#![forbid(unsafe_code)]
+
+pub use tempo_atlas as atlas;
+pub use tempo_caesar as caesar;
+pub use tempo_core as tempo;
+pub use tempo_fpaxos as fpaxos;
+pub use tempo_janus as janus;
+pub use tempo_kernel as kernel;
+pub use tempo_planet as planet;
+pub use tempo_runtime as runtime;
+pub use tempo_sim as sim;
+pub use tempo_workload as workload;

@@ -1,0 +1,166 @@
+//! Property-based tests (proptest) on the core data structures and protocol invariants.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+use tempo_atlas::DependencyGraph;
+use tempo_core::{PromiseTracker, Tempo};
+use tempo_kernel::harness::LocalCluster;
+use tempo_kernel::id::{Dot, ProcessId, Rifl};
+use tempo_kernel::kvstore::KVStore;
+use tempo_kernel::rand::{Rng, Zipf};
+use tempo_kernel::{Command, Config, KVOp};
+
+/// Reference (naive) implementation of Theorem 1: the largest `s` such that some majority
+/// of processes has every promise `1..=s`.
+fn naive_stable(n: usize, promises: &[(u64, u64)]) -> u64 {
+    let mut by_process: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
+    for (p, ts) in promises {
+        by_process.entry(*p).or_default().insert(*ts);
+    }
+    let mut prefixes: Vec<u64> = (0..n as u64)
+        .map(|p| {
+            let set = by_process.get(&p).cloned().unwrap_or_default();
+            let mut prefix = 0;
+            while set.contains(&(prefix + 1)) {
+                prefix += 1;
+            }
+            prefix
+        })
+        .collect();
+    prefixes.sort_unstable();
+    prefixes[n / 2]
+}
+
+proptest! {
+    #[test]
+    fn stability_matches_naive_reference(
+        promises in vec((0u64..5, 1u64..30), 0..120)
+    ) {
+        let processes: Vec<u64> = (0..5).collect();
+        let mut tracker = PromiseTracker::new(&processes, 2);
+        for (p, ts) in &promises {
+            tracker.add_single(*p, *ts);
+        }
+        prop_assert_eq!(tracker.stable_timestamp(), naive_stable(5, &promises));
+    }
+
+    #[test]
+    fn stability_is_monotone_under_new_promises(
+        first in vec((0u64..5, 1u64..30), 0..60),
+        second in vec((0u64..5, 1u64..30), 0..60)
+    ) {
+        let processes: Vec<u64> = (0..5).collect();
+        let mut tracker = PromiseTracker::new(&processes, 2);
+        for (p, ts) in &first {
+            tracker.add_single(*p, *ts);
+        }
+        let before = tracker.stable_timestamp();
+        for (p, ts) in &second {
+            tracker.add_single(*p, *ts);
+        }
+        prop_assert!(tracker.stable_timestamp() >= before);
+    }
+
+    #[test]
+    fn dependency_graph_executes_everything_exactly_once(
+        edges in vec((0u64..20, 0u64..20), 0..80)
+    ) {
+        // Build an arbitrary dependency graph over 20 commands (cycles allowed) and commit
+        // all of them; the executor must execute each exactly once, respecting
+        // committed-before-executed.
+        let mut deps: BTreeMap<u64, BTreeSet<Dot>> = (0..20u64).map(|i| (i, BTreeSet::new())).collect();
+        for (a, b) in edges {
+            if a != b {
+                deps.get_mut(&a).unwrap().insert(Dot::new(1, b + 1));
+            }
+        }
+        let mut graph = DependencyGraph::new();
+        let mut executed = Vec::new();
+        for (i, d) in &deps {
+            graph.add(Dot::new(1, i + 1), d.clone());
+            executed.extend(graph.try_execute());
+        }
+        executed.extend(graph.try_execute());
+        prop_assert_eq!(executed.len(), 20, "every command executes once all are committed");
+        let unique: BTreeSet<Dot> = executed.iter().copied().collect();
+        prop_assert_eq!(unique.len(), 20, "no duplicates");
+        prop_assert_eq!(graph.pending(), 0);
+    }
+
+    #[test]
+    fn kvstore_is_deterministic(ops in vec((0u64..10, 0u64..1000), 1..100)) {
+        let commands: Vec<Command> = ops
+            .iter()
+            .enumerate()
+            .map(|(i, (key, value))| {
+                Command::single(Rifl::new(1, i as u64 + 1), 0, *key, KVOp::Add(*value), 0)
+            })
+            .collect();
+        let mut a = KVStore::new();
+        let mut b = KVStore::new();
+        for c in &commands {
+            a.execute(0, c);
+        }
+        for c in &commands {
+            b.execute(0, c);
+        }
+        prop_assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn zipf_samples_stay_in_range(n in 1u64..1_000_000, theta in 0.0f64..0.99, seed in 0u64..1000) {
+        let zipf = Zipf::new(n, theta);
+        let mut rng = Rng::new(seed);
+        for _ in 0..100 {
+            prop_assert!(zipf.sample(&mut rng) < n);
+        }
+    }
+
+    #[test]
+    fn rng_range_is_always_below_bound(bound in 1u64..u64::MAX, seed in 0u64..1000) {
+        let mut rng = Rng::new(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.gen_range(bound) < bound);
+        }
+    }
+}
+
+proptest! {
+    // Heavier protocol-level property: fewer cases, still randomized.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn tempo_executes_all_commands_in_the_same_order_everywhere(
+        schedule in vec((0u64..5, 0u64..3, any::<bool>()), 5..40),
+        seed in 0u64..500
+    ) {
+        // `schedule` entries: (submitting process, key, deliver-some-messages?).
+        let config = Config::full(5, 1);
+        let mut cluster = LocalCluster::<Tempo>::new(config);
+        let mut rng = Rng::new(seed);
+        let mut seq = [0u64; 5];
+        for (process, key, deliver) in &schedule {
+            let p = *process as ProcessId;
+            seq[p as usize] += 1;
+            let cmd = Command::single(Rifl::new(p, seq[p as usize]), 0, *key, KVOp::Add(1), 0);
+            cluster.submit_no_deliver(p, cmd);
+            if *deliver {
+                for _ in 0..(rng.gen_range(6) + 1) {
+                    cluster.step();
+                }
+            }
+        }
+        cluster.run_to_quiescence();
+        for _ in 0..5 {
+            cluster.tick_all(5_000);
+        }
+        let total = schedule.len();
+        let reference: Vec<Rifl> = cluster.executed(0).into_iter().map(|e| e.rifl).collect();
+        prop_assert_eq!(reference.len(), total);
+        for p in 1..5u64 {
+            let order: Vec<Rifl> = cluster.executed(p).into_iter().map(|e| e.rifl).collect();
+            prop_assert_eq!(&order, &reference, "divergent execution order at process {}", p);
+        }
+    }
+}
