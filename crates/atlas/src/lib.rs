@@ -22,8 +22,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod executor;
 pub mod graph;
 pub mod protocol;
 
+pub use executor::{GraphExecutor, GraphInfo};
 pub use graph::{ConflictIndex, DependencyGraph};
 pub use protocol::{Atlas, EPaxos, Message, Variant};

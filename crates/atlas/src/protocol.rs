@@ -15,14 +15,16 @@
 //! [`crate::graph`], which is the source of the long dependency chains and high tail
 //! latency that Tempo avoids (§3.3).
 
-use crate::graph::{ConflictIndex, DependencyGraph};
+use crate::executor::{GraphExecutor, GraphInfo};
+use crate::graph::ConflictIndex;
 use std::collections::{BTreeMap, BTreeSet};
 use tempo_kernel::command::Command;
 use tempo_kernel::config::Config;
 use tempo_kernel::id::{Dot, DotGen, ProcessId, ShardId};
-use tempo_kernel::kvstore::KVStore;
 use tempo_kernel::membership::Membership;
-use tempo_kernel::protocol::{Action, Executed, Protocol, ProtocolMetrics, View, WireSize};
+use tempo_kernel::protocol::{
+    Action, Executor, Protocol, ProtocolMetrics, TimerId, View, WireSize,
+};
 
 /// Which dependency-based protocol variant to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,7 +103,6 @@ enum Phase {
     Start,
     Collect,
     Commit,
-    Execute,
 }
 
 #[derive(Debug)]
@@ -143,10 +144,9 @@ pub struct Atlas {
     rank: u64,
     dot_gen: DotGen,
     conflicts: ConflictIndex,
-    graph: DependencyGraph,
     info: BTreeMap<Dot, Info>,
-    kv: KVStore,
-    executed: Vec<Executed>,
+    /// The execution stage: the dependency-graph executor (shared with Janus*).
+    executor: GraphExecutor,
     metrics: ProtocolMetrics,
 }
 
@@ -175,10 +175,8 @@ impl Atlas {
             rank,
             dot_gen: DotGen::new(process),
             conflicts: ConflictIndex::new(),
-            graph: DependencyGraph::new(),
             info: BTreeMap::new(),
-            kv: KVStore::new(),
-            executed: Vec::new(),
+            executor: GraphExecutor::new(process, shard, config),
             metrics: ProtocolMetrics::default(),
         }
     }
@@ -198,13 +196,13 @@ impl Atlas {
 
     /// Sizes of the strongly connected components executed so far (diagnostics).
     pub fn scc_sizes(&self) -> &[usize] {
-        self.graph.scc_sizes()
+        self.executor.scc_sizes()
     }
 
     /// The committed dependency set of a command, if committed at this process.
     pub fn committed_deps(&self, dot: Dot) -> Option<&BTreeSet<Dot>> {
         self.info.get(&dot).and_then(|i| {
-            if matches!(i.phase, Phase::Commit | Phase::Execute) {
+            if i.phase == Phase::Commit {
                 Some(&i.deps)
             } else {
                 None
@@ -225,10 +223,10 @@ impl Atlas {
     ) {
         targets.sort_unstable();
         targets.dedup();
-        let to_self = targets.iter().any(|t| *t == self.process);
+        let to_self = targets.contains(&self.process);
         let remote: Vec<ProcessId> = targets.into_iter().filter(|t| *t != self.process).collect();
         if !remote.is_empty() {
-            self.metrics.messages_sent += remote.len() as u64;
+            // `messages_sent` is counted per destination by the kernel `Driver`.
             out.push(Action::send(remote, msg.clone()));
         }
         if to_self {
@@ -241,6 +239,7 @@ impl Atlas {
         cmd.keys_of(shard).collect()
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn handle_collect(
         &mut self,
         from: ProcessId,
@@ -303,16 +302,20 @@ impl Atlas {
             let fast_path_ok = match variant {
                 // Atlas: every dependency in the union must have been reported by at
                 // least f fast-quorum processes so it survives f failures.
-                Variant::Atlas => union.iter().all(|dep| {
-                    info.acks.values().filter(|deps| deps.contains(dep)).count() >= f
-                }),
+                Variant::Atlas => union
+                    .iter()
+                    .all(|dep| info.acks.values().filter(|deps| deps.contains(dep)).count() >= f),
                 // EPaxos: all reports must be identical.
                 Variant::EPaxos => {
                     let first = info.acks.values().next().expect("at least one ack");
                     info.acks.values().all(|deps| deps == first)
                 }
             };
-            (info.cmd.clone().expect("payload known"), union, fast_path_ok)
+            (
+                info.cmd.clone().expect("payload known"),
+                union,
+                fast_path_ok,
+            )
         };
         if fast_path_ok {
             self.metrics.fast_paths += 1;
@@ -349,11 +352,11 @@ impl Atlas {
         cmd: Command,
         deps: BTreeSet<Dot>,
         _now_us: u64,
-        _out: &mut Vec<Action<Message>>,
+        out: &mut Vec<Action<Message>>,
     ) {
         {
             let info = self.info_mut(dot);
-            if matches!(info.phase, Phase::Commit | Phase::Execute) {
+            if info.phase == Phase::Commit {
                 return;
             }
             info.phase = Phase::Commit;
@@ -365,10 +368,12 @@ impl Atlas {
         // was not in its fast quorum.
         let keys = Self::command_keys(&cmd, self.shard);
         let _ = self.conflicts.dependencies(dot, &keys, cmd.is_read_only());
-        self.graph.add(dot, deps);
-        self.run_executor();
+        // Hand the command to the execution stage and push its output to the runtime.
+        let executed = self.executor.handle(GraphInfo { dot, cmd, deps });
+        out.extend(executed.into_iter().map(Action::Deliver));
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn handle_consensus(
         &mut self,
         from: ProcessId,
@@ -381,7 +386,7 @@ impl Atlas {
     ) {
         {
             let info = self.info_mut(dot);
-            if info.bal > ballot || matches!(info.phase, Phase::Commit | Phase::Execute) {
+            if info.bal > ballot || info.phase == Phase::Commit {
                 return;
             }
             info.bal = ballot;
@@ -427,27 +432,6 @@ impl Atlas {
         self.send(targets, commit, now_us, out);
     }
 
-    fn run_executor(&mut self) {
-        for dot in self.graph.try_execute() {
-            let (cmd, phase_ok) = {
-                let info = self.info_mut(dot);
-                let ok = info.phase == Phase::Commit;
-                (info.cmd.clone(), ok)
-            };
-            if !phase_ok {
-                continue;
-            }
-            let cmd = cmd.expect("committed commands have a payload");
-            let result = self.kv.execute(self.shard, &cmd);
-            self.executed.push(Executed {
-                rifl: cmd.rifl,
-                result,
-            });
-            self.metrics.executed += 1;
-            self.info_mut(dot).phase = Phase::Execute;
-        }
-    }
-
     fn dispatch(&mut self, from: ProcessId, msg: Message, now_us: u64) -> Vec<Action<Message>> {
         let mut out = Vec::new();
         match msg {
@@ -479,6 +463,7 @@ impl Atlas {
 
 impl Protocol for Atlas {
     type Message = Message;
+    type Executor = GraphExecutor;
 
     const NAME: &'static str = "Atlas";
 
@@ -494,9 +479,12 @@ impl Protocol for Atlas {
         self.shard
     }
 
-    fn discover(&mut self, view: View) {
+    fn discover(&mut self, view: View) -> Vec<Action<Message>> {
         assert_eq!(view.config, self.config);
         self.view = view;
+        // Atlas/EPaxos have no periodic tasks in the failure-free path; retry/recovery
+        // is out of scope for the baseline (the evaluation never exercises it).
+        Vec::new()
     }
 
     fn submit(&mut self, cmd: Command, now_us: u64) -> Vec<Action<Message>> {
@@ -521,19 +509,19 @@ impl Protocol for Atlas {
         self.dispatch(from, msg, now_us)
     }
 
-    fn tick(&mut self, _now_us: u64) -> Vec<Action<Message>> {
-        // Atlas/EPaxos have no periodic tasks in the failure-free path; retry/recovery is
-        // out of scope for the baseline (the evaluation never exercises it).
-        self.run_executor();
+    fn timer(&mut self, _timer: TimerId, _now_us: u64) -> Vec<Action<Message>> {
         Vec::new()
     }
 
-    fn drain_executed(&mut self) -> Vec<Executed> {
-        std::mem::take(&mut self.executed)
+    fn executor(&self) -> &GraphExecutor {
+        &self.executor
     }
 
     fn metrics(&self) -> ProtocolMetrics {
-        self.metrics.clone()
+        let mut metrics = self.metrics.clone();
+        // The execution stage is the single source of truth for the executed count.
+        metrics.executed = self.executor.executed();
+        metrics
     }
 }
 
@@ -550,6 +538,7 @@ impl EPaxos {
 
 impl Protocol for EPaxos {
     type Message = Message;
+    type Executor = GraphExecutor;
 
     const NAME: &'static str = "EPaxos";
 
@@ -565,7 +554,7 @@ impl Protocol for EPaxos {
         self.0.shard()
     }
 
-    fn discover(&mut self, view: View) {
+    fn discover(&mut self, view: View) -> Vec<Action<Message>> {
         self.0.discover(view)
     }
 
@@ -577,12 +566,12 @@ impl Protocol for EPaxos {
         self.0.handle(from, msg, now_us)
     }
 
-    fn tick(&mut self, now_us: u64) -> Vec<Action<Message>> {
-        self.0.tick(now_us)
+    fn timer(&mut self, timer: TimerId, now_us: u64) -> Vec<Action<Message>> {
+        self.0.timer(timer, now_us)
     }
 
-    fn drain_executed(&mut self) -> Vec<Executed> {
-        self.0.drain_executed()
+    fn executor(&self) -> &GraphExecutor {
+        self.0.executor()
     }
 
     fn metrics(&self) -> ProtocolMetrics {

@@ -42,7 +42,10 @@ fn atlas_f1_always_takes_fast_path() {
         .iter()
         .map(|p| cluster.process(*p).metrics().slow_paths)
         .sum();
-    assert_eq!(fast, 5, "Atlas f = 1 always processes commands via the fast path");
+    assert_eq!(
+        fast, 5,
+        "Atlas f = 1 always processes commands via the fast path"
+    );
     assert_eq!(slow, 0);
 }
 
@@ -208,7 +211,13 @@ fn contention_grows_dependency_chains() {
     cluster.tick_all(5_000);
     let executed = cluster.executed(0);
     assert_eq!(executed.len() as u64, rounds * 5);
-    let max_scc = cluster.process(0).scc_sizes().iter().copied().max().unwrap();
+    let max_scc = cluster
+        .process(0)
+        .scc_sizes()
+        .iter()
+        .copied()
+        .max()
+        .unwrap();
     assert!(
         max_scc > 1,
         "expected contended commands to form multi-command SCCs, got max {max_scc}"
@@ -221,7 +230,10 @@ fn replicas_converge_to_the_same_store_digest() {
     let mut cluster = LocalCluster::<Atlas>::new(config);
     for seq in 1..=40u64 {
         let p = (seq % 3) as ProcessId;
-        cluster.submit(p, Command::single(Rifl::new(p, seq), 0, seq % 4, KVOp::Add(seq), 0));
+        cluster.submit(
+            p,
+            Command::single(Rifl::new(p, seq), 0, seq % 4, KVOp::Add(seq), 0),
+        );
     }
     cluster.tick_all(5_000);
     let executed_counts: Vec<usize> = cluster

@@ -21,7 +21,8 @@ fn main() {
         }
         tracker.stable_timestamp()
     };
-    let rows: Vec<(&str, Vec<&[(u64, u64)]>, u64)> = vec![
+    type Row<'a> = (&'a str, Vec<&'a [(u64, u64)]>, u64);
+    let rows: Vec<Row> = vec![
         ("X", vec![x], 0),
         ("Y", vec![y], 0),
         ("Z", vec![z], 0),

@@ -39,7 +39,10 @@ fn main() {
     );
     print!("{:<14}", "protocol");
     for region in ec2_regions() {
-        print!("{:>8}", &ec2_region_label(&region)[..ec2_region_label(&region).len().min(7)]);
+        print!(
+            "{:>8}",
+            &ec2_region_label(&region)[..ec2_region_label(&region).len().min(7)]
+        );
     }
     println!("{:>10} {:>12}", "avg(ms)", "paper avg");
 
@@ -63,11 +66,15 @@ fn main() {
     let fpaxos_spread = (0..5)
         .map(|s| fpaxos1.site_mean_ms(s))
         .fold(0.0f64, f64::max)
-        / (0..5).map(|s| fpaxos1.site_mean_ms(s)).fold(f64::MAX, f64::min);
+        / (0..5)
+            .map(|s| fpaxos1.site_mean_ms(s))
+            .fold(f64::MAX, f64::min);
     let tempo_spread = (0..5)
         .map(|s| tempo1.site_mean_ms(s))
         .fold(0.0f64, f64::max)
-        / (0..5).map(|s| tempo1.site_mean_ms(s)).fold(f64::MAX, f64::min);
+        / (0..5)
+            .map(|s| tempo1.site_mean_ms(s))
+            .fold(f64::MAX, f64::min);
     println!("  FPaxos worst/best site ratio: {fpaxos_spread:.1} (paper: up to 3.3x)");
     println!("  Tempo  worst/best site ratio: {tempo_spread:.1} (leaderless, ~uniform)");
     println!(
@@ -75,12 +82,11 @@ fn main() {
         tempo2.mean_latency_ms(),
         atlas2.mean_latency_ms()
     );
-    println!(
-        "  note: this reproduction disseminates clock-bump promises only via the periodic"
-    );
-    println!(
-        "  MPromises broadcast, which adds up to one extra WAN hop of execution delay to"
-    );
+    println!("  note: this reproduction disseminates clock-bump promises only via the periodic");
+    println!("  MPromises broadcast, which adds up to one extra WAN hop of execution delay to");
     println!("  Tempo compared to the authors' implementation (see EXPERIMENTS.md).");
-    assert!(fpaxos_spread > tempo_spread, "FPaxos must be less fair than Tempo");
+    assert!(
+        fpaxos_spread > tempo_spread,
+        "FPaxos must be less fair than Tempo"
+    );
 }

@@ -1,10 +1,14 @@
-//! Criterion micro-benchmarks for the protocol-critical data structures:
-//! the timestamping clock, promise tracking / stability detection, the dependency-graph
-//! executor and a full Tempo commit round on a local cluster.
+//! Micro-benchmarks for the protocol-critical data structures: the timestamping clock,
+//! promise tracking / stability detection, the dependency-graph executor and a full
+//! Tempo commit round on a local cluster.
+//!
+//! The workspace is dependency free, so this is a plain timing harness (median of
+//! several repetitions) rather than a criterion target. Run with
+//! `cargo bench -p tempo-bench --bench micro`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::collections::BTreeSet;
 use std::hint::black_box;
+use std::time::Instant;
 use tempo_atlas::DependencyGraph;
 use tempo_core::clock::Clock;
 use tempo_core::{PromiseRange, PromiseTracker, Tempo};
@@ -12,77 +16,72 @@ use tempo_kernel::harness::LocalCluster;
 use tempo_kernel::id::{Dot, Rifl};
 use tempo_kernel::{Command, Config, KVOp};
 
-fn bench_clock(c: &mut Criterion) {
-    c.bench_function("clock/proposal_and_bump", |b| {
-        b.iter_batched(
-            Clock::new,
-            |mut clock| {
-                for i in 0..1000u64 {
-                    let t = clock.proposal(Dot::new(1, i), i / 2);
-                    clock.bump(t + 1);
-                }
-                black_box(clock.value())
-            },
-            BatchSize::SmallInput,
-        )
+/// Runs `iterations` repetitions of `f` and reports the median wall-clock time.
+fn bench<R>(name: &str, iterations: usize, mut f: impl FnMut() -> R) {
+    // One warm-up round.
+    black_box(f());
+    let mut samples: Vec<u128> = (0..iterations)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    println!("{name:<45} median {:>10.1} µs", median as f64 / 1000.0);
+}
+
+fn bench_clock() {
+    bench("clock/proposal_and_bump_1000", 50, || {
+        let mut clock = Clock::new();
+        for i in 0..1000u64 {
+            let t = clock.proposal(Dot::new(1, i), i / 2);
+            clock.bump(t + 1);
+        }
+        clock.value()
     });
 }
 
-fn bench_stability(c: &mut Criterion) {
-    c.bench_function("promises/stability_detection_r5", |b| {
-        b.iter_batched(
-            || PromiseTracker::new(&[0, 1, 2, 3, 4], 2),
-            |mut tracker| {
-                for ts in 1..=1000u64 {
-                    for p in 0..5u64 {
-                        tracker.add(p, PromiseRange::single(ts));
-                    }
-                    black_box(tracker.stable_timestamp());
-                }
-                black_box(tracker.stable_timestamp())
-            },
-            BatchSize::SmallInput,
-        )
+fn bench_stability() {
+    bench("promises/stability_detection_r5_1000", 50, || {
+        let mut tracker = PromiseTracker::new(&[0, 1, 2, 3, 4], 2);
+        for ts in 1..=1000u64 {
+            for p in 0..5u64 {
+                tracker.add(p, PromiseRange::single(ts));
+            }
+            black_box(tracker.stable_timestamp());
+        }
+        tracker.stable_timestamp()
     });
 }
 
-fn bench_depgraph(c: &mut Criterion) {
-    c.bench_function("depgraph/chain_of_500", |b| {
-        b.iter_batched(
-            DependencyGraph::new,
-            |mut graph| {
-                for n in (2..=500u64).rev() {
-                    graph.add(Dot::new(1, n), BTreeSet::from([Dot::new(1, n - 1)]));
-                }
-                graph.add(Dot::new(1, 1), BTreeSet::new());
-                black_box(graph.try_execute().len())
-            },
-            BatchSize::SmallInput,
-        )
+fn bench_depgraph() {
+    bench("depgraph/chain_of_500", 50, || {
+        let mut graph = DependencyGraph::new();
+        for n in (2..=500u64).rev() {
+            graph.add(Dot::new(1, n), BTreeSet::from([Dot::new(1, n - 1)]));
+        }
+        graph.add(Dot::new(1, 1), BTreeSet::new());
+        graph.try_execute().len()
     });
 }
 
-fn bench_commit_path(c: &mut Criterion) {
-    c.bench_function("tempo/commit_and_execute_100_commands_r5", |b| {
-        b.iter_batched(
-            || LocalCluster::<Tempo>::new(Config::full(5, 1)),
-            |mut cluster| {
-                for seq in 1..=100u64 {
-                    let cmd = Command::single(Rifl::new(1, seq), 0, seq % 4, KVOp::Put(seq), 0);
-                    cluster.submit(0, cmd);
-                }
-                black_box(cluster.executed(0).len())
-            },
-            BatchSize::SmallInput,
-        )
+fn bench_commit_path() {
+    bench("tempo/commit_and_execute_100_commands_r5", 20, || {
+        let mut cluster = LocalCluster::<Tempo>::new(Config::full(5, 1));
+        for seq in 1..=100u64 {
+            let cmd = Command::single(Rifl::new(1, seq), 0, seq % 4, KVOp::Put(seq), 0);
+            cluster.submit(0, cmd);
+        }
+        cluster.executed(0).len()
     });
 }
 
-criterion_group!(
-    benches,
-    bench_clock,
-    bench_stability,
-    bench_depgraph,
-    bench_commit_path
-);
-criterion_main!(benches);
+fn main() {
+    println!("micro-benchmarks (median wall-clock per repetition)");
+    bench_clock();
+    bench_stability();
+    bench_depgraph();
+    bench_commit_path();
+}

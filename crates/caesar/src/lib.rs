@@ -23,7 +23,9 @@ use tempo_kernel::config::Config;
 use tempo_kernel::id::{Dot, DotGen, ProcessId, ShardId};
 use tempo_kernel::kvstore::KVStore;
 use tempo_kernel::membership::Membership;
-use tempo_kernel::protocol::{Action, Executed, Protocol, ProtocolMetrics, View, WireSize};
+use tempo_kernel::protocol::{
+    Action, Executed, Executor, Protocol, ProtocolMetrics, TimerId, View, WireSize,
+};
 
 /// A Caesar timestamp: a logical clock value made unique by the proposing process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -97,18 +99,132 @@ impl WireSize for Message {
     }
 }
 
+/// A committed command with its timestamp and dependencies, handed to the executor.
+#[derive(Debug, Clone)]
+pub struct CommitInfo {
+    /// Command identifier.
+    pub dot: Dot,
+    /// The command payload.
+    pub cmd: Command,
+    /// The committed timestamp.
+    pub ts: TimestampId,
+    /// The committed dependencies.
+    pub deps: BTreeSet<Dot>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ExecStatus {
+    Committed(TimestampId),
+    Executed,
+}
+
+/// The Caesar execution stage: dependency-based stability (§3.3).
+///
+/// A committed command executes once every dependency is either executed or committed
+/// with a higher timestamp; eligible commands execute in timestamp order. The executor
+/// tracks only commit/execute status — it never reads protocol state — so the stability
+/// rule can be tested with hand-crafted commit sequences.
+#[derive(Debug)]
+pub struct CaesarExecutor {
+    shard: ShardId,
+    status: BTreeMap<Dot, ExecStatus>,
+    cmds: BTreeMap<Dot, (Command, BTreeSet<Dot>)>,
+    /// Committed-but-not-executed commands ordered by timestamp.
+    queue: BTreeSet<(TimestampId, Dot)>,
+    kv: KVStore,
+    executed_count: u64,
+}
+
+impl CaesarExecutor {
+    /// Number of committed commands waiting for execution.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Read access to the replicated store (tests and diagnostics).
+    pub fn store(&self) -> &KVStore {
+        &self.kv
+    }
+
+    fn run(&mut self, out: &mut Vec<Executed>) {
+        loop {
+            let mut executed_one = false;
+            let queue: Vec<(TimestampId, Dot)> = self.queue.iter().copied().collect();
+            for (ts, dot) in queue {
+                let ready = {
+                    let (_, deps) = &self.cmds[&dot];
+                    deps.iter().all(|d| match self.status.get(d) {
+                        None => false,
+                        Some(ExecStatus::Executed) => true,
+                        Some(ExecStatus::Committed(dep_ts)) => *dep_ts > ts,
+                    })
+                };
+                if !ready {
+                    // Commands execute in timestamp order: stop at the first blocked one.
+                    break;
+                }
+                let (cmd, _) = self
+                    .cmds
+                    .remove(&dot)
+                    .expect("queued commands have payloads");
+                let result = self.kv.execute(self.shard, &cmd);
+                out.push(Executed {
+                    rifl: cmd.rifl,
+                    result,
+                });
+                self.executed_count += 1;
+                self.status.insert(dot, ExecStatus::Executed);
+                self.queue.remove(&(ts, dot));
+                executed_one = true;
+            }
+            if !executed_one {
+                break;
+            }
+        }
+    }
+}
+
+impl Executor for CaesarExecutor {
+    type Info = CommitInfo;
+
+    fn new(_process: ProcessId, shard: ShardId, _config: Config) -> Self {
+        Self {
+            shard,
+            status: BTreeMap::new(),
+            cmds: BTreeMap::new(),
+            queue: BTreeSet::new(),
+            kv: KVStore::new(),
+            executed_count: 0,
+        }
+    }
+
+    fn handle(&mut self, info: CommitInfo) -> Vec<Executed> {
+        if self.status.contains_key(&info.dot) {
+            return Vec::new();
+        }
+        self.status.insert(info.dot, ExecStatus::Committed(info.ts));
+        self.cmds.insert(info.dot, (info.cmd, info.deps));
+        self.queue.insert((info.ts, info.dot));
+        let mut out = Vec::new();
+        self.run(&mut out);
+        out
+    }
+
+    fn executed(&self) -> u64 {
+        self.executed_count
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Status {
     Proposed,
     Committed,
-    Executed,
 }
 
 #[derive(Debug)]
 struct Info {
     cmd: Command,
     ts: TimestampId,
-    deps: BTreeSet<Dot>,
     status: Status,
     /// Coordinator-side: acks received so far (ok flag and deps).
     acks: BTreeMap<ProcessId, (bool, BTreeSet<Dot>)>,
@@ -141,10 +257,8 @@ pub struct Caesar {
     /// Per-key index of known commands, used to find conflicts.
     key_index: HashMap<u64, BTreeSet<Dot>>,
     blocked: Vec<BlockedReply>,
-    /// Committed-but-not-executed commands ordered by timestamp.
-    exec_queue: BTreeSet<(TimestampId, Dot)>,
-    kv: KVStore,
-    executed: Vec<Executed>,
+    /// The execution stage: dependency-based stability in timestamp order.
+    executor: CaesarExecutor,
     metrics: ProtocolMetrics,
     /// Diagnostics: how many proposal replies were delayed by the wait condition.
     blocked_replies: u64,
@@ -164,9 +278,9 @@ impl Caesar {
 
     /// The committed timestamp of a command, if committed at this process.
     pub fn committed_timestamp(&self, dot: Dot) -> Option<TimestampId> {
-        self.info.get(&dot).and_then(|i| {
-            matches!(i.status, Status::Committed | Status::Executed).then_some(i.ts)
-        })
+        self.info
+            .get(&dot)
+            .and_then(|i| matches!(i.status, Status::Committed).then_some(i.ts))
     }
 
     fn send(
@@ -178,10 +292,10 @@ impl Caesar {
     ) {
         targets.sort_unstable();
         targets.dedup();
-        let to_self = targets.iter().any(|t| *t == self.process);
+        let to_self = targets.contains(&self.process);
         let remote: Vec<ProcessId> = targets.into_iter().filter(|t| *t != self.process).collect();
         if !remote.is_empty() {
-            self.metrics.messages_sent += remote.len() as u64;
+            // `messages_sent` is counted per destination by the kernel `Driver`.
             out.push(Action::send(remote, msg.clone()));
         }
         if to_self {
@@ -247,7 +361,7 @@ impl Caesar {
         // could no longer be guaranteed).
         let ok = !conflicting.iter().any(|d| {
             let info = &self.info[d];
-            matches!(info.status, Status::Committed | Status::Executed) && info.ts > ts
+            info.status == Status::Committed && info.ts > ts
         });
         let deps: BTreeSet<Dot> = conflicting
             .into_iter()
@@ -283,12 +397,11 @@ impl Caesar {
     ) {
         let first = match self.info.get_mut(&dot) {
             Some(info) => {
-                if matches!(info.status, Status::Committed | Status::Executed) {
+                if info.status == Status::Committed {
                     false
                 } else {
                     info.status = Status::Committed;
                     info.ts = ts;
-                    info.deps = deps.clone();
                     true
                 }
             }
@@ -298,7 +411,6 @@ impl Caesar {
                     Info {
                         cmd: cmd.clone(),
                         ts,
-                        deps: deps.clone(),
                         status: Status::Committed,
                         acks: BTreeMap::new(),
                         retry_acks: BTreeMap::new(),
@@ -315,49 +427,10 @@ impl Caesar {
         }
         self.clock = self.clock.max(ts.time);
         self.metrics.committed += 1;
-        self.exec_queue.insert((ts, dot));
+        // Hand the command to the execution stage (dependency-based stability, §3.3).
+        let executed = self.executor.handle(CommitInfo { dot, cmd, ts, deps });
+        out.extend(executed.into_iter().map(Action::Deliver));
         self.unblock(dot, now_us, out);
-        self.try_execute();
-    }
-
-    /// Dependency-based stability (§3.3 "Dependency-based stability"): a committed command
-    /// executes once every dependency is either executed or committed with a higher
-    /// timestamp. Eligible commands execute in timestamp order.
-    fn try_execute(&mut self) {
-        loop {
-            let mut executed_one = false;
-            let queue: Vec<(TimestampId, Dot)> = self.exec_queue.iter().copied().collect();
-            for (ts, dot) in queue {
-                let ready = {
-                    let info = &self.info[&dot];
-                    info.deps.iter().all(|d| match self.info.get(d) {
-                        None => false,
-                        Some(dep) => match dep.status {
-                            Status::Executed => true,
-                            Status::Committed => dep.ts > ts,
-                            Status::Proposed => false,
-                        },
-                    })
-                };
-                if !ready {
-                    // Commands must execute in timestamp order: stop at the first blocked one.
-                    break;
-                }
-                let cmd = self.info[&dot].cmd.clone();
-                let result = self.kv.execute(self.shard, &cmd);
-                self.executed.push(Executed {
-                    rifl: cmd.rifl,
-                    result,
-                });
-                self.metrics.executed += 1;
-                self.info.get_mut(&dot).expect("info exists").status = Status::Executed;
-                self.exec_queue.remove(&(ts, dot));
-                executed_one = true;
-            }
-            if !executed_one {
-                break;
-            }
-        }
     }
 
     fn coordinator_finish(&mut self, dot: Dot, now_us: u64, out: &mut Vec<Action<Message>>) {
@@ -391,7 +464,6 @@ impl Caesar {
                     Info {
                         cmd: cmd.clone(),
                         ts,
-                        deps: BTreeSet::new(),
                         status: Status::Proposed,
                         acks: BTreeMap::new(),
                         retry_acks: BTreeMap::new(),
@@ -450,20 +522,16 @@ impl Caesar {
             Message::MRetry { dot, cmd, ts } => {
                 self.clock = self.clock.max(ts.time);
                 let conflicting = {
-                    if !self.info.contains_key(&dot) {
-                        self.info.insert(
-                            dot,
-                            Info {
-                                cmd: cmd.clone(),
-                                ts,
-                                deps: BTreeSet::new(),
-                                status: Status::Proposed,
-                                acks: BTreeMap::new(),
-                                retry_acks: BTreeMap::new(),
-                                committed_sent: false,
-                                retried: true,
-                            },
-                        );
+                    if let std::collections::btree_map::Entry::Vacant(e) = self.info.entry(dot) {
+                        e.insert(Info {
+                            cmd: cmd.clone(),
+                            ts,
+                            status: Status::Proposed,
+                            acks: BTreeMap::new(),
+                            retry_acks: BTreeMap::new(),
+                            committed_sent: false,
+                            retried: true,
+                        });
                         self.register(dot, &cmd);
                     } else {
                         let info = self.info.get_mut(&dot).expect("info exists");
@@ -504,6 +572,7 @@ impl Caesar {
 
 impl Protocol for Caesar {
     type Message = Message;
+    type Executor = CaesarExecutor;
 
     const NAME: &'static str = "Caesar";
 
@@ -521,9 +590,7 @@ impl Protocol for Caesar {
             info: BTreeMap::new(),
             key_index: HashMap::new(),
             blocked: Vec::new(),
-            exec_queue: BTreeSet::new(),
-            kv: KVStore::new(),
-            executed: Vec::new(),
+            executor: CaesarExecutor::new(process, shard, config),
             metrics: ProtocolMetrics::default(),
             blocked_replies: 0,
         }
@@ -537,9 +604,11 @@ impl Protocol for Caesar {
         self.shard
     }
 
-    fn discover(&mut self, view: View) {
+    fn discover(&mut self, view: View) -> Vec<Action<Message>> {
         assert_eq!(view.config, self.config);
         self.view = view;
+        // Caesar has no periodic tasks; recovery is out of scope, as in the paper.
+        Vec::new()
     }
 
     fn submit(&mut self, cmd: Command, now_us: u64) -> Vec<Action<Message>> {
@@ -561,17 +630,19 @@ impl Protocol for Caesar {
         self.dispatch(from, msg, now_us)
     }
 
-    fn tick(&mut self, _now_us: u64) -> Vec<Action<Message>> {
-        self.try_execute();
+    fn timer(&mut self, _timer: TimerId, _now_us: u64) -> Vec<Action<Message>> {
         Vec::new()
     }
 
-    fn drain_executed(&mut self) -> Vec<Executed> {
-        std::mem::take(&mut self.executed)
+    fn executor(&self) -> &CaesarExecutor {
+        &self.executor
     }
 
     fn metrics(&self) -> ProtocolMetrics {
-        self.metrics.clone()
+        let mut metrics = self.metrics.clone();
+        // The execution stage is the single source of truth for the executed count.
+        metrics.executed = self.executor.executed();
+        metrics
     }
 }
 
@@ -612,8 +683,14 @@ mod tests {
         cluster.submit(0, cmd(1, 1, 0));
         cluster.submit(1, cmd(2, 1, 0));
         cluster.tick_all(5_000);
-        let t1 = cluster.process(0).committed_timestamp(Dot::new(0, 1)).unwrap();
-        let t2 = cluster.process(0).committed_timestamp(Dot::new(1, 1)).unwrap();
+        let t1 = cluster
+            .process(0)
+            .committed_timestamp(Dot::new(0, 1))
+            .unwrap();
+        let t2 = cluster
+            .process(0)
+            .committed_timestamp(Dot::new(1, 1))
+            .unwrap();
         assert!(t2 > t1, "later conflicting command has a higher timestamp");
         // Timestamp agreement across replicas.
         for p in cluster.process_ids() {
@@ -691,7 +768,10 @@ mod tests {
             .iter()
             .map(|p| cluster.process(*p).blocked_replies())
             .sum();
-        assert_eq!(blocked, 0, "independent commands must not hit the wait condition");
+        assert_eq!(
+            blocked, 0,
+            "independent commands must not hit the wait condition"
+        );
         for p in cluster.process_ids() {
             assert_eq!(cluster.executed(p).len(), 5);
         }

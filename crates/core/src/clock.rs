@@ -47,7 +47,8 @@ impl Clock {
     pub fn proposal(&mut self, dot: Dot, min: u64) -> u64 {
         let t = std::cmp::max(min, self.clock + 1);
         if t > self.clock + 1 {
-            self.detached_buffer.push(PromiseRange::new(self.clock + 1, t - 1));
+            self.detached_buffer
+                .push(PromiseRange::new(self.clock + 1, t - 1));
         }
         self.attached_buffer.push((dot, t));
         self.clock = t;
@@ -60,7 +61,8 @@ impl Clock {
     /// messages.
     pub fn bump(&mut self, t: u64) {
         if t > self.clock {
-            self.detached_buffer.push(PromiseRange::new(self.clock + 1, t));
+            self.detached_buffer
+                .push(PromiseRange::new(self.clock + 1, t));
             self.clock = t;
         }
     }

@@ -1,0 +1,349 @@
+//! The Tempo execution stage: stability-ordered execution as a separate, independently
+//! testable component (Algorithm 2 lines 49-53 and Algorithm 3 lines 60-66).
+//!
+//! The ordering stage ([`crate::protocol::Tempo`]) feeds this executor three kinds of
+//! [`ExecutionInfo`] events: commands committed with their final timestamp, advances of
+//! the stability watermark (Theorem 1), and per-shard stability announcements (`MStable`)
+//! for multi-shard commands. The executor owns the replicated key-value store and applies
+//! committed commands in `⟨timestamp, id⟩` order once their timestamp is stable — and,
+//! for multi-shard commands, once the colocated replica of every other accessed shard has
+//! announced stability.
+//!
+//! Because the executor never looks at protocol state, it can be unit-tested by feeding
+//! hand-crafted event sequences (see the tests below), exactly the ordering/execution
+//! split the paper describes.
+
+use std::collections::{BTreeMap, BTreeSet};
+use tempo_kernel::command::Command;
+use tempo_kernel::config::Config;
+use tempo_kernel::id::{Dot, ProcessId, ShardId};
+use tempo_kernel::kvstore::KVStore;
+use tempo_kernel::protocol::{Executed, Executor};
+
+/// Ordering events handed from the Tempo ordering stage to the executor.
+#[derive(Debug, Clone)]
+pub enum ExecutionInfo {
+    /// A command committed with final timestamp `ts`. `waits` are the colocated
+    /// sibling-shard processes whose `MStable` announcements must arrive before the
+    /// command may execute locally (empty for single-shard commands).
+    Committed {
+        /// Command identifier.
+        dot: Dot,
+        /// The final (maximum over shards) timestamp.
+        ts: u64,
+        /// The command payload.
+        cmd: Command,
+        /// Colocated processes of the *other* accessed shards (the set `I^i_c \ {i}`).
+        waits: Vec<ProcessId>,
+    },
+    /// The local stability watermark advanced to `ts` (Theorem 1).
+    Stable {
+        /// The highest stable timestamp.
+        ts: u64,
+    },
+    /// Process `from` announced that `dot` is stable at its shard (`MStable`).
+    ShardStable {
+        /// Command identifier.
+        dot: Dot,
+        /// The announcing process.
+        from: ProcessId,
+    },
+}
+
+#[derive(Debug)]
+struct PendingCommand {
+    cmd: Command,
+    /// Sibling-shard processes whose `MStable` is still missing.
+    waits: BTreeSet<ProcessId>,
+    /// Whether the command is multi-shard (and thus needs an `MStable` announcement).
+    multi_shard: bool,
+}
+
+/// The Tempo executor at one process.
+#[derive(Debug)]
+pub struct TempoExecutor {
+    shard: ShardId,
+    /// Highest stable timestamp seen so far.
+    stable: u64,
+    /// Committed-but-not-executed commands, ordered by `⟨final timestamp, id⟩`.
+    queue: BTreeSet<(u64, Dot)>,
+    pending: BTreeMap<Dot, PendingCommand>,
+    /// `MStable` announcements received before the command committed locally.
+    early_stables: BTreeMap<Dot, BTreeSet<ProcessId>>,
+    /// Multi-shard dots that became locally stable and still need an `MStable`
+    /// broadcast; drained by the ordering stage via [`Self::take_newly_stable`].
+    newly_stable: Vec<Dot>,
+    announced: BTreeSet<Dot>,
+    /// Dots executed and not yet claimed via [`Self::take_executed_dots`].
+    executed_dots: Vec<Dot>,
+    kv: KVStore,
+    executed_count: u64,
+}
+
+impl TempoExecutor {
+    /// Multi-shard dots that became locally stable since the last call and must be
+    /// announced with `MStable` to every replica of the command.
+    pub fn take_newly_stable(&mut self) -> Vec<Dot> {
+        std::mem::take(&mut self.newly_stable)
+    }
+
+    /// Dots executed since the last call (for phase bookkeeping in the ordering stage).
+    pub fn take_executed_dots(&mut self) -> Vec<Dot> {
+        std::mem::take(&mut self.executed_dots)
+    }
+
+    /// The highest stable timestamp the executor has been told about.
+    pub fn stable_timestamp(&self) -> u64 {
+        self.stable
+    }
+
+    /// Number of committed commands waiting for stability.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Read access to the replicated store (tests and diagnostics).
+    pub fn store(&self) -> &KVStore {
+        &self.kv
+    }
+
+    fn run(&mut self, out: &mut Vec<Executed>) {
+        // First pass: flag stability of multi-shard commands as soon as they are locally
+        // stable, without waiting for earlier commands to execute (the `MStable`
+        // announcement of Algorithm 3).
+        for (ts, dot) in self.queue.iter() {
+            if *ts > self.stable {
+                break;
+            }
+            let pending = self.pending.get(dot).expect("queued commands are pending");
+            if pending.multi_shard && !self.announced.contains(dot) {
+                self.announced.insert(*dot);
+                self.newly_stable.push(*dot);
+            }
+        }
+        // Second pass: execute the stable prefix in `⟨ts, id⟩` order; a multi-shard
+        // command blocks the prefix until every sibling shard announced stability.
+        while let Some(&(ts, dot)) = self.queue.iter().next() {
+            if ts > self.stable {
+                break;
+            }
+            let ready = self
+                .pending
+                .get(&dot)
+                .map(|p| p.waits.is_empty())
+                .unwrap_or(false);
+            if !ready {
+                break;
+            }
+            let pending = self.pending.remove(&dot).expect("checked above");
+            let result = self.kv.execute(self.shard, &pending.cmd);
+            out.push(Executed {
+                rifl: pending.cmd.rifl,
+                result,
+            });
+            self.executed_count += 1;
+            self.executed_dots.push(dot);
+            self.announced.remove(&dot);
+            self.queue.remove(&(ts, dot));
+        }
+    }
+}
+
+impl Executor for TempoExecutor {
+    type Info = ExecutionInfo;
+
+    fn new(_process: ProcessId, shard: ShardId, _config: Config) -> Self {
+        Self {
+            shard,
+            stable: 0,
+            queue: BTreeSet::new(),
+            pending: BTreeMap::new(),
+            early_stables: BTreeMap::new(),
+            newly_stable: Vec::new(),
+            announced: BTreeSet::new(),
+            executed_dots: Vec::new(),
+            kv: KVStore::new(),
+            executed_count: 0,
+        }
+    }
+
+    fn handle(&mut self, info: ExecutionInfo) -> Vec<Executed> {
+        let mut out = Vec::new();
+        match info {
+            ExecutionInfo::Committed {
+                dot,
+                ts,
+                cmd,
+                waits,
+            } => {
+                if self.pending.contains_key(&dot) {
+                    return out;
+                }
+                let mut waits: BTreeSet<ProcessId> = waits.into_iter().collect();
+                if let Some(early) = self.early_stables.remove(&dot) {
+                    for from in early {
+                        waits.remove(&from);
+                    }
+                }
+                let multi_shard = cmd.is_multi_shard();
+                self.pending.insert(
+                    dot,
+                    PendingCommand {
+                        cmd,
+                        waits,
+                        multi_shard,
+                    },
+                );
+                self.queue.insert((ts, dot));
+                self.run(&mut out);
+            }
+            ExecutionInfo::Stable { ts } => {
+                if ts > self.stable {
+                    self.stable = ts;
+                    self.run(&mut out);
+                }
+            }
+            ExecutionInfo::ShardStable { dot, from } => {
+                match self.pending.get_mut(&dot) {
+                    Some(pending) => {
+                        pending.waits.remove(&from);
+                    }
+                    None => {
+                        self.early_stables.entry(dot).or_default().insert(from);
+                    }
+                }
+                self.run(&mut out);
+            }
+        }
+        out
+    }
+
+    fn executed(&self) -> u64 {
+        self.executed_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_kernel::command::KVOp;
+    use tempo_kernel::id::Rifl;
+
+    fn executor() -> TempoExecutor {
+        TempoExecutor::new(0, 0, Config::full(3, 1))
+    }
+
+    fn cmd(seq: u64, key: u64) -> Command {
+        Command::single(Rifl::new(1, seq), 0, key, KVOp::Put(seq), 0)
+    }
+
+    fn multi_cmd(seq: u64) -> Command {
+        Command::new(
+            Rifl::new(1, seq),
+            vec![(0, 1, KVOp::Put(seq)), (1, 2, KVOp::Put(seq))],
+            0,
+        )
+    }
+
+    #[test]
+    fn executes_in_timestamp_order_once_stable() {
+        let mut ex = executor();
+        // Committed out of timestamp order.
+        assert!(ex
+            .handle(ExecutionInfo::Committed {
+                dot: Dot::new(2, 1),
+                ts: 5,
+                cmd: cmd(2, 0),
+                waits: vec![],
+            })
+            .is_empty());
+        assert!(ex
+            .handle(ExecutionInfo::Committed {
+                dot: Dot::new(1, 1),
+                ts: 3,
+                cmd: cmd(1, 0),
+                waits: vec![],
+            })
+            .is_empty());
+        // Stability up to 4 releases only the first command.
+        let first = ex.handle(ExecutionInfo::Stable { ts: 4 });
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].rifl, Rifl::new(1, 1));
+        // Stability up to 5 releases the second.
+        let second = ex.handle(ExecutionInfo::Stable { ts: 5 });
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].rifl, Rifl::new(1, 2));
+        assert_eq!(ex.executed(), 2);
+        assert_eq!(
+            ex.take_executed_dots(),
+            vec![Dot::new(1, 1), Dot::new(2, 1)]
+        );
+    }
+
+    #[test]
+    fn multi_shard_commands_wait_for_sibling_stability() {
+        let mut ex = executor();
+        assert!(ex
+            .handle(ExecutionInfo::Committed {
+                dot: Dot::new(1, 1),
+                ts: 1,
+                cmd: multi_cmd(1),
+                waits: vec![3],
+            })
+            .is_empty());
+        // Locally stable: announced but blocked on the sibling shard.
+        assert!(ex.handle(ExecutionInfo::Stable { ts: 1 }).is_empty());
+        assert_eq!(ex.take_newly_stable(), vec![Dot::new(1, 1)]);
+        // The sibling announcement releases it.
+        let executed = ex.handle(ExecutionInfo::ShardStable {
+            dot: Dot::new(1, 1),
+            from: 3,
+        });
+        assert_eq!(executed.len(), 1);
+    }
+
+    #[test]
+    fn early_shard_stable_is_buffered() {
+        let mut ex = executor();
+        // MStable arrives before the local commit (multi-shard race).
+        assert!(ex
+            .handle(ExecutionInfo::ShardStable {
+                dot: Dot::new(1, 1),
+                from: 3,
+            })
+            .is_empty());
+        assert!(ex.handle(ExecutionInfo::Stable { ts: 10 }).is_empty());
+        let executed = ex.handle(ExecutionInfo::Committed {
+            dot: Dot::new(1, 1),
+            ts: 2,
+            cmd: multi_cmd(1),
+            waits: vec![3],
+        });
+        assert_eq!(executed.len(), 1, "buffered MStable must count");
+    }
+
+    #[test]
+    fn blocked_multi_shard_command_blocks_the_prefix() {
+        let mut ex = executor();
+        let _ = ex.handle(ExecutionInfo::Committed {
+            dot: Dot::new(1, 1),
+            ts: 1,
+            cmd: multi_cmd(1),
+            waits: vec![3],
+        });
+        let _ = ex.handle(ExecutionInfo::Committed {
+            dot: Dot::new(2, 1),
+            ts: 2,
+            cmd: cmd(2, 9),
+            waits: vec![],
+        });
+        // Both stable, but the earlier multi-shard command still waits on its sibling:
+        // nothing may execute (execution is in timestamp order).
+        assert!(ex.handle(ExecutionInfo::Stable { ts: 5 }).is_empty());
+        let executed = ex.handle(ExecutionInfo::ShardStable {
+            dot: Dot::new(1, 1),
+            from: 3,
+        });
+        assert_eq!(executed.len(), 2, "unblocking the head releases the prefix");
+    }
+}

@@ -94,12 +94,6 @@ pub struct CommandInfo {
     /// (Algorithm 2, line 47 adds them only once the command is committed).
     pub buffered_attached: Vec<(ProcessId, u64)>,
 
-    // ---- executor state ----
-    /// Whether this process already broadcast `MStable` for the command.
-    pub stable_sent: bool,
-    /// Processes from which `MStable` has been received.
-    pub stables_received: BTreeSet<ProcessId>,
-
     // ---- liveness ----
     /// Time (µs) at which this process first learned about the command.
     pub since_us: u64,
@@ -124,8 +118,6 @@ impl CommandInfo {
             rec_done: false,
             shard_commits: BTreeMap::new(),
             buffered_attached: Vec::new(),
-            stable_sent: false,
-            stables_received: BTreeSet::new(),
             since_us: now_us,
         }
     }

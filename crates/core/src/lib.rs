@@ -28,26 +28,31 @@
 //! assert_eq!(executed[0].rifl, Rifl::new(1, 1));
 //! ```
 //!
-//! The crate is organised as follows:
+//! The crate is organised around the paper's ordering/execution split (Algorithm 2):
 //!
 //! * [`clock`] — the timestamping clock (`proposal`/`bump`, Algorithm 1),
 //! * [`promises`] — attached/detached promises and stability detection (Algorithm 2,
 //!   Theorem 1),
 //! * [`messages`] — the wire protocol,
 //! * [`info`] — per-command state (Figure 1 phases, Table 3 variables),
-//! * [`protocol`] — the [`Tempo`] state machine: commit, execution, multi-partition and
-//!   recovery protocols.
+//! * [`protocol`] — the [`Tempo`] *ordering* state machine: commit, multi-partition and
+//!   recovery protocols, plus the protocol-owned timers (promise broadcast, liveness
+//!   scan),
+//! * [`executor`] — the [`TempoExecutor`] *execution* stage: stability-ordered
+//!   execution, fed with commit/stability events and independently testable.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod executor;
 pub mod info;
 pub mod messages;
 pub mod promises;
 pub mod protocol;
 
+pub use executor::{ExecutionInfo, TempoExecutor};
 pub use info::Phase;
 pub use messages::{Message, PromiseBundle, Quorums, RecPhase};
 pub use promises::{PromiseRange, PromiseTracker};
-pub use protocol::{Tempo, TempoOptions};
+pub use protocol::{Tempo, TempoOptions, TIMER_LIVENESS, TIMER_PROMISES};

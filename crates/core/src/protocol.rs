@@ -14,6 +14,7 @@
 //!   Appendix B (`MRecNAck`, `MCommitRequest`, periodic payload resend).
 
 use crate::clock::Clock;
+use crate::executor::{ExecutionInfo, TempoExecutor};
 use crate::info::{CommandInfo, Phase};
 use crate::messages::{Message, PromiseBundle, Quorums, RecPhase};
 use crate::promises::{PromiseRange, PromiseTracker};
@@ -21,10 +22,15 @@ use std::collections::{BTreeMap, BTreeSet};
 use tempo_kernel::command::Command;
 use tempo_kernel::config::Config;
 use tempo_kernel::id::{Dot, DotGen, ProcessId, ShardId};
-use tempo_kernel::kvstore::KVStore;
 use tempo_kernel::membership::Membership;
-use tempo_kernel::protocol::{Action, Executed, Protocol, ProtocolMetrics, View};
+use tempo_kernel::protocol::{Action, Executor, Protocol, ProtocolMetrics, TimerId, View};
 use tempo_kernel::util::max_and_count;
+
+/// Timer driving the periodic `MPromises` broadcast (Algorithm 2, line 45).
+pub const TIMER_PROMISES: TimerId = TimerId(1);
+/// Timer driving the liveness scan: payload resend, `MCommitRequest` and recovery
+/// take-over for commands pending too long (Appendix B).
+pub const TIMER_LIVENESS: TimerId = TimerId(2);
 
 /// Tunable options of the Tempo implementation. The defaults match the configuration
 /// evaluated in the paper; the other settings are used by the ablation benchmarks.
@@ -45,6 +51,13 @@ pub struct TempoOptions {
     /// How long a command may stay pending before a non-leader process asks for the
     /// commit outcome (`MCommitRequest`) and re-sends the payload, in microseconds.
     pub commit_request_timeout_us: u64,
+    /// Interval of the periodic `MPromises` broadcast (the paper flushes sockets every
+    /// 5 ms), in microseconds. Registered by the protocol itself via
+    /// [`Action::Schedule`] on [`TIMER_PROMISES`].
+    pub promise_interval_us: u64,
+    /// Interval of the liveness scan over pending commands, in microseconds
+    /// ([`TIMER_LIVENESS`]).
+    pub liveness_interval_us: u64,
 }
 
 impl Default for TempoOptions {
@@ -55,6 +68,8 @@ impl Default for TempoOptions {
             all_equal_fast_path: false,
             recovery_timeout_us: 2_000_000,
             commit_request_timeout_us: 1_000_000,
+            promise_interval_us: 5_000,
+            liveness_interval_us: 5_000,
         }
     }
 }
@@ -78,10 +93,8 @@ pub struct Tempo {
     info: BTreeMap<Dot, CommandInfo>,
     /// Dots not yet committed at this process (for the periodic liveness scan).
     pending: BTreeSet<Dot>,
-    /// Committed-but-not-executed commands, ordered by `⟨final timestamp, id⟩`.
-    exec_queue: BTreeSet<(u64, Dot)>,
-    kv: KVStore,
-    executed: Vec<Executed>,
+    /// The execution stage: stability-ordered execution (Algorithm 2/3).
+    executor: TempoExecutor,
     metrics: ProtocolMetrics,
     /// Processes suspected to have failed (used to pick the recovery leader).
     suspected: BTreeSet<ProcessId>,
@@ -119,9 +132,7 @@ impl Tempo {
             promises,
             info: BTreeMap::new(),
             pending: BTreeSet::new(),
-            exec_queue: BTreeSet::new(),
-            kv: KVStore::new(),
-            executed: Vec::new(),
+            executor: TempoExecutor::new(process, shard, config),
             metrics: ProtocolMetrics::default(),
             suspected: BTreeSet::new(),
         }
@@ -221,10 +232,10 @@ impl Tempo {
     ) {
         targets.sort_unstable();
         targets.dedup();
-        let to_self = targets.iter().any(|t| *t == self.process);
+        let to_self = targets.contains(&self.process);
         let remote: Vec<ProcessId> = targets.into_iter().filter(|t| *t != self.process).collect();
         if !remote.is_empty() {
-            self.metrics.messages_sent += remote.len() as u64;
+            // `messages_sent` is counted per destination by the kernel `Driver`.
             out.push(Action::send(remote, msg.clone()));
         }
         if to_self {
@@ -330,6 +341,7 @@ impl Tempo {
         self.try_complete_commit(dot, now_us, out);
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn handle_propose(
         &mut self,
         from: ProcessId,
@@ -500,12 +512,7 @@ impl Tempo {
 
     /// Commits `dot` locally once the payload is known and a per-shard timestamp has been
     /// received from every accessed shard (Algorithm 3, lines 56-59).
-    fn try_complete_commit(
-        &mut self,
-        dot: Dot,
-        now_us: u64,
-        out: &mut Vec<Action<Message>>,
-    ) {
+    fn try_complete_commit(&mut self, dot: Dot, now_us: u64, out: &mut Vec<Action<Message>>) {
         let final_ts = {
             let info = match self.info.get(&dot) {
                 Some(info) => info,
@@ -529,14 +536,17 @@ impl Tempo {
         now_us: u64,
         out: &mut Vec<Action<Message>>,
     ) {
-        let buffered = {
+        let (buffered, cmd) = {
             let info = self.info.get_mut(&dot).expect("info exists");
             if info.phase.is_committed_or_executed() {
                 return;
             }
             info.final_ts = final_ts;
             info.phase = Phase::Commit;
-            std::mem::take(&mut info.buffered_attached)
+            (
+                std::mem::take(&mut info.buffered_attached),
+                info.cmd.clone().expect("committed commands have a payload"),
+            )
         };
         self.pending.remove(&dot);
         self.metrics.committed += 1;
@@ -547,8 +557,27 @@ impl Tempo {
         // Generate detached promises up to the committed timestamp (line 25/59); this is
         // what lets stability reach `final_ts` even when it exceeds this shard's clocks.
         self.clock_bump(final_ts);
-        self.exec_queue.insert((final_ts, dot));
-        self.try_execute(now_us, out);
+        // Hand the command to the execution stage; a multi-shard command additionally
+        // waits for the `MStable` of the colocated replica of every other accessed shard.
+        let waits: Vec<ProcessId> = if cmd.is_multi_shard() {
+            self.local_coordinators_of(&cmd)
+                .into_iter()
+                .filter(|p| *p != self.process)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        self.exec_feed(
+            ExecutionInfo::Committed {
+                dot,
+                ts: final_ts,
+                cmd,
+                waits,
+            },
+            now_us,
+            out,
+        );
+        self.sync_stability(now_us, out);
     }
 
     // --------------------------------------------------------------- consensus
@@ -696,71 +725,45 @@ impl Tempo {
                     .push((from, ts));
             }
         }
-        self.try_execute(now_us, out);
+        self.sync_stability(now_us, out);
     }
 
-    fn handle_stable(&mut self, from: ProcessId, dot: Dot, now_us: u64, out: &mut Vec<Action<Message>>) {
-        self.info_mut(dot, now_us).stables_received.insert(from);
-        self.try_execute(now_us, out);
+    fn handle_stable(
+        &mut self,
+        from: ProcessId,
+        dot: Dot,
+        now_us: u64,
+        out: &mut Vec<Action<Message>>,
+    ) {
+        self.exec_feed(ExecutionInfo::ShardStable { dot, from }, now_us, out);
     }
 
-    /// Executes every committed command whose timestamp is stable, in `⟨ts, id⟩` order
-    /// (Algorithm 2 lines 49-53 and Algorithm 3 lines 60-66).
-    fn try_execute(&mut self, now_us: u64, out: &mut Vec<Action<Message>>) {
+    /// Pushes the current stability watermark (Theorem 1) into the execution stage.
+    fn sync_stability(&mut self, now_us: u64, out: &mut Vec<Action<Message>>) {
         let stable = self.promises.stable_timestamp();
+        self.exec_feed(ExecutionInfo::Stable { ts: stable }, now_us, out);
+    }
 
-        // First pass: announce stability of multi-shard commands (MStable) as soon as they
-        // are locally stable, without waiting for earlier commands to execute.
-        let mut to_announce = Vec::new();
-        for (ts, dot) in self.exec_queue.iter() {
-            if *ts > stable {
-                break;
-            }
-            let info = self.info.get(dot).expect("queued commands have info");
-            let cmd = info.cmd.as_ref().expect("committed commands have payload");
-            if cmd.is_multi_shard() && !info.stable_sent {
-                to_announce.push((*dot, self.all_replicas_of(cmd)));
-            }
+    /// Feeds one event to the execution stage and acts on its output: broadcast
+    /// `MStable` for multi-shard commands that became locally stable, update per-command
+    /// phases for executed commands, and push executions to the runtime as
+    /// [`Action::Deliver`].
+    fn exec_feed(&mut self, info: ExecutionInfo, now_us: u64, out: &mut Vec<Action<Message>>) {
+        let executed = self.executor.handle(info);
+        for dot in self.executor.take_newly_stable() {
+            let cmd = self
+                .info
+                .get(&dot)
+                .and_then(|i| i.cmd.clone())
+                .expect("announced commands have a payload");
+            let targets = self.all_replicas_of(&cmd);
+            self.send(targets, Message::MStable { dot }, now_us, out);
         }
-        for (dot, targets) in to_announce {
-            self.info.get_mut(&dot).expect("info exists").stable_sent = true;
-            let msg = Message::MStable { dot };
-            self.send(targets, msg, now_us, out);
-        }
-
-        // Second pass: execute the stable prefix in order; a multi-shard command blocks
-        // until the colocated replica of every accessed shard has announced stability.
-        loop {
-            let head = match self.exec_queue.iter().next() {
-                Some((ts, dot)) => (*ts, *dot),
-                None => break,
-            };
-            let (ts, dot) = head;
-            if ts > stable {
-                break;
-            }
-            let (cmd, ready) = {
-                let info = self.info.get(&dot).expect("queued commands have info");
-                let cmd = info.cmd.clone().expect("committed commands have payload");
-                let ready = if cmd.is_multi_shard() {
-                    self.local_coordinators_of(&cmd)
-                        .into_iter()
-                        .all(|p| p == self.process || info.stables_received.contains(&p))
-                } else {
-                    true
-                };
-                (cmd, ready)
-            };
-            if !ready {
-                break;
-            }
-            let result = self.kv.execute(self.shard, &cmd);
-            self.executed.push(Executed {
-                rifl: cmd.rifl,
-                result,
-            });
-            self.metrics.executed += 1;
-            let info = self.info.get_mut(&dot).expect("info exists");
+        for dot in self.executor.take_executed_dots() {
+            let info = self
+                .info
+                .get_mut(&dot)
+                .expect("executed commands have info");
             info.phase = Phase::Execute;
             // Shrink transient state; the payload is kept so that this process can keep
             // answering MCommitRequest/MRec for the command (Appendix B liveness).
@@ -768,7 +771,69 @@ impl Tempo {
             info.proposals.clear();
             info.rec_acks.clear();
             info.buffered_attached.clear();
-            self.exec_queue.remove(&(ts, dot));
+        }
+        out.extend(executed.into_iter().map(Action::Deliver));
+    }
+
+    // --------------------------------------------------------------- liveness
+
+    /// Re-sends payloads, requests commits and starts recovery for commands that have
+    /// been pending for too long (Algorithm 6, lines 75-78 and 95-96). Driven by
+    /// [`TIMER_LIVENESS`].
+    fn liveness_scan(&mut self, now_us: u64, out: &mut Vec<Action<Message>>) {
+        let stale: Vec<Dot> = self
+            .pending
+            .iter()
+            .copied()
+            .filter(|dot| {
+                self.info
+                    .get(dot)
+                    .map(|i| {
+                        now_us.saturating_sub(i.since_us) >= self.options.commit_request_timeout_us
+                    })
+                    .unwrap_or(false)
+            })
+            .collect();
+        for dot in stale {
+            let (age, has_payload, ballot) = {
+                let info = &self.info[&dot];
+                (
+                    now_us.saturating_sub(info.since_us),
+                    info.has_payload(),
+                    info.bal,
+                )
+            };
+            // Ask around for a commit outcome we might have missed.
+            let request = Message::MCommitRequest { dot };
+            let targets = self.shard_peers.clone();
+            self.send(targets, request, now_us, out);
+            // Re-send the payload so that every replica can take part in recovery
+            // (Algorithm 6, line 77).
+            if has_payload {
+                let (cmd, quorums) = {
+                    let info = &self.info[&dot];
+                    (
+                        info.cmd.clone().expect("payload present"),
+                        info.quorums.clone(),
+                    )
+                };
+                let payload = Message::MPayload {
+                    dot,
+                    cmd: cmd.clone(),
+                    quorums,
+                };
+                let targets = self.all_replicas_of(&cmd);
+                self.send(targets, payload, now_us, out);
+            }
+            // If we are the shard leader and the command has been pending for long
+            // enough, take over as its coordinator.
+            if self.is_leader()
+                && has_payload
+                && age >= self.options.recovery_timeout_us
+                && (ballot == 0 || self.rank_of_ballot(ballot) != self.rank)
+            {
+                self.start_recovery(dot, now_us, out);
+            }
         }
     }
 
@@ -835,7 +900,11 @@ impl Tempo {
             return;
         }
         // Cannot participate without the payload (the phase would still be `start`).
-        let has_payload = self.info.get(&dot).map(|i| i.has_payload()).unwrap_or(false);
+        let has_payload = self
+            .info
+            .get(&dot)
+            .map(|i| i.has_payload())
+            .unwrap_or(false);
         if !has_payload {
             return;
         }
@@ -934,7 +1003,11 @@ impl Tempo {
                 // `s` of Algorithm 4 line 93: the initial coordinator cannot have taken the
                 // fast path, so any majority-derived maximum is a valid timestamp.
                 let safe_to_use_all = coordinator_replied || any_recover_r;
-                let quorum: Vec<ProcessId> = if safe_to_use_all { replied } else { intersection };
+                let quorum: Vec<ProcessId> = if safe_to_use_all {
+                    replied
+                } else {
+                    intersection
+                };
                 quorum
                     .iter()
                     .map(|p| info.rec_acks[p].0)
@@ -952,7 +1025,13 @@ impl Tempo {
         self.send(targets, consensus, now_us, out);
     }
 
-    fn handle_rec_nack(&mut self, dot: Dot, ballot: u64, now_us: u64, out: &mut Vec<Action<Message>>) {
+    fn handle_rec_nack(
+        &mut self,
+        dot: Dot,
+        ballot: u64,
+        now_us: u64,
+        out: &mut Vec<Action<Message>>,
+    ) {
         let should_retry = {
             let info = match self.info.get_mut(&dot) {
                 Some(info) => info,
@@ -1081,6 +1160,7 @@ impl Tempo {
 
 impl Protocol for Tempo {
     type Message = Message;
+    type Executor = TempoExecutor;
 
     const NAME: &'static str = "Tempo";
 
@@ -1096,9 +1176,17 @@ impl Protocol for Tempo {
         self.shard
     }
 
-    fn discover(&mut self, view: View) {
-        assert_eq!(view.config, self.config, "view must match the configuration");
+    fn discover(&mut self, view: View) -> Vec<Action<Message>> {
+        assert_eq!(
+            view.config, self.config,
+            "view must match the configuration"
+        );
         self.view = view;
+        // Tempo owns two periodic events: the promise broadcast and the liveness scan.
+        vec![
+            Action::schedule(TIMER_PROMISES, self.options.promise_interval_us),
+            Action::schedule(TIMER_LIVENESS, self.options.liveness_interval_us),
+        ]
     }
 
     fn submit(&mut self, cmd: Command, now_us: u64) -> Vec<Action<Message>> {
@@ -1111,7 +1199,10 @@ impl Protocol for Tempo {
         let dot = self.dot_gen.next_id();
         let mut quorums = Quorums::new();
         for shard in cmd.shards() {
-            quorums.insert(shard, self.view.fast_quorum(shard, self.config.fast_quorum_size()));
+            quorums.insert(
+                shard,
+                self.view.fast_quorum(shard, self.config.fast_quorum_size()),
+            );
         }
         let targets = self.local_coordinators_of(&cmd);
         let msg = Message::MSubmit { dot, cmd, quorums };
@@ -1124,80 +1215,54 @@ impl Protocol for Tempo {
         self.dispatch(from, msg, now_us)
     }
 
-    fn tick(&mut self, now_us: u64) -> Vec<Action<Message>> {
+    fn timer(&mut self, timer: TimerId, now_us: u64) -> Vec<Action<Message>> {
         let mut out = Vec::new();
-
-        // Periodic MPromises broadcast (Algorithm 2, line 45). Local copies of these
-        // promises were already registered when they were generated.
-        if self.clock.has_pending_promises() {
-            let detached = self.clock.take_detached();
-            let attached = self.clock.take_attached();
-            let targets: Vec<ProcessId> = self
-                .shard_peers
-                .iter()
-                .copied()
-                .filter(|p| *p != self.process)
-                .collect();
-            if !targets.is_empty() {
-                let msg = Message::MPromises { detached, attached };
-                self.send(targets, msg, now_us, &mut out);
+        match timer {
+            TIMER_PROMISES => {
+                // Periodic MPromises broadcast (Algorithm 2, line 45). Local copies of
+                // these promises were already registered when they were generated.
+                if self.clock.has_pending_promises() {
+                    let detached = self.clock.take_detached();
+                    let attached = self.clock.take_attached();
+                    let targets: Vec<ProcessId> = self
+                        .shard_peers
+                        .iter()
+                        .copied()
+                        .filter(|p| *p != self.process)
+                        .collect();
+                    if !targets.is_empty() {
+                        let msg = Message::MPromises { detached, attached };
+                        self.send(targets, msg, now_us, &mut out);
+                    }
+                }
+                // Execution might have become possible thanks to locally generated
+                // promises.
+                self.sync_stability(now_us, &mut out);
+                out.push(Action::schedule(
+                    TIMER_PROMISES,
+                    self.options.promise_interval_us,
+                ));
             }
-        }
-
-        // Execution might have become possible thanks to locally generated promises.
-        self.try_execute(now_us, &mut out);
-
-        // Liveness: re-send payloads, request commits and start recovery for commands that
-        // have been pending for too long (Algorithm 6, lines 75-78 and 95-96).
-        let stale: Vec<Dot> = self
-            .pending
-            .iter()
-            .copied()
-            .filter(|dot| {
-                self.info
-                    .get(dot)
-                    .map(|i| now_us.saturating_sub(i.since_us) >= self.options.commit_request_timeout_us)
-                    .unwrap_or(false)
-            })
-            .collect();
-        for dot in stale {
-            let (age, has_payload, ballot) = {
-                let info = &self.info[&dot];
-                (now_us.saturating_sub(info.since_us), info.has_payload(), info.bal)
-            };
-            // Ask around for a commit outcome we might have missed.
-            let request = Message::MCommitRequest { dot };
-            let targets = self.shard_peers.clone();
-            self.send(targets, request, now_us, &mut out);
-            // Re-send the payload so that every replica can take part in recovery
-            // (Algorithm 6, line 77).
-            if has_payload {
-                let (cmd, quorums) = {
-                    let info = &self.info[&dot];
-                    (info.cmd.clone().expect("payload present"), info.quorums.clone())
-                };
-                let payload = Message::MPayload { dot, cmd: cmd.clone(), quorums };
-                let targets = self.all_replicas_of(&cmd);
-                self.send(targets, payload, now_us, &mut out);
+            TIMER_LIVENESS => {
+                self.liveness_scan(now_us, &mut out);
+                out.push(Action::schedule(
+                    TIMER_LIVENESS,
+                    self.options.liveness_interval_us,
+                ));
             }
-            // If we are the shard leader and the command has been pending for long enough,
-            // take over as its coordinator.
-            if self.is_leader()
-                && has_payload
-                && age >= self.options.recovery_timeout_us
-                && (ballot == 0 || self.rank_of_ballot(ballot) != self.rank)
-            {
-                self.start_recovery(dot, now_us, &mut out);
-            }
+            _ => {}
         }
         out
     }
 
-    fn drain_executed(&mut self) -> Vec<Executed> {
-        std::mem::take(&mut self.executed)
+    fn executor(&self) -> &TempoExecutor {
+        &self.executor
     }
 
     fn metrics(&self) -> ProtocolMetrics {
-        self.metrics.clone()
+        let mut metrics = self.metrics.clone();
+        // The execution stage is the single source of truth for the executed count.
+        metrics.executed = self.executor.executed();
+        metrics
     }
 }

@@ -59,7 +59,11 @@ fn coordinator_executes_without_extra_ticks_thanks_to_piggybacking() {
     let mut cluster = LocalCluster::<Tempo>::new(config);
     cluster.submit(0, key_cmd(1, 1, 7));
     let executed = cluster.executed(0);
-    assert_eq!(executed.len(), 1, "coordinator should execute with no ticks");
+    assert_eq!(
+        executed.len(),
+        1,
+        "coordinator should execute with no ticks"
+    );
 }
 
 #[test]
@@ -163,8 +167,7 @@ fn all_equal_fast_path_ablation_forces_slow_path() {
             all_equal_fast_path: true,
             ..TempoOptions::default()
         };
-        *cluster.process_mut(p) =
-            Tempo::with_options(p, 0, config, options);
+        *cluster.process_mut(p) = Tempo::with_options(p, 0, config, options);
         let view = tempo_kernel::protocol::View::trivial(config, p);
         cluster.process_mut(p).discover(view);
     }
@@ -245,7 +248,11 @@ fn random_interleavings_preserve_ordering_property() {
             cluster.tick_all(5_000);
         }
         let reference: Vec<Rifl> = cluster.executed(0).into_iter().map(|e| e.rifl).collect();
-        assert_eq!(reference.len() as u64, total, "seed {seed}: missing executions");
+        assert_eq!(
+            reference.len() as u64,
+            total,
+            "seed {seed}: missing executions"
+        );
         for p in cluster.process_ids().into_iter().skip(1) {
             let order: Vec<Rifl> = cluster.executed(p).into_iter().map(|e| e.rifl).collect();
             assert_eq!(order, reference, "seed {seed}: divergent execution at {p}");
@@ -438,7 +445,10 @@ fn executions_follow_timestamp_order_per_process() {
     let mut cluster = LocalCluster::<Tempo>::new(config);
     for seq in 1..=20u64 {
         let source = (seq % 3) as ProcessId;
-        cluster.submit_no_deliver(source, Command::single(rifl(source, seq), 0, 0, KVOp::Get, 0));
+        cluster.submit_no_deliver(
+            source,
+            Command::single(rifl(source, seq), 0, 0, KVOp::Get, 0),
+        );
         // Interleave some deliveries to create concurrency.
         if seq % 2 == 0 {
             for _ in 0..3 {

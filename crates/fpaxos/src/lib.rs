@@ -34,7 +34,83 @@ use tempo_kernel::config::Config;
 use tempo_kernel::id::{ProcessId, ShardId};
 use tempo_kernel::kvstore::KVStore;
 use tempo_kernel::membership::Membership;
-use tempo_kernel::protocol::{Action, Executed, Protocol, ProtocolMetrics, View, WireSize};
+use tempo_kernel::protocol::{
+    Action, Executed, Executor, Protocol, ProtocolMetrics, TimerId, View, WireSize,
+};
+
+/// A chosen command with its log slot, handed to the slot executor.
+#[derive(Debug, Clone)]
+pub struct SlotInfo {
+    /// The log slot the command was chosen for.
+    pub slot: u64,
+    /// The chosen command.
+    pub cmd: Command,
+}
+
+/// The Flexible Paxos execution stage: applies chosen commands in contiguous slot order
+/// (the classic replicated log), independently of the accept/decide message flow.
+#[derive(Debug)]
+pub struct SlotExecutor {
+    shard: ShardId,
+    /// Decided log: slot -> command.
+    decided: BTreeMap<u64, Command>,
+    /// Next slot to execute.
+    execute_next: u64,
+    kv: KVStore,
+    executed_count: u64,
+}
+
+impl SlotExecutor {
+    /// Whether a slot has already been decided at this replica.
+    pub fn is_decided(&self, slot: u64) -> bool {
+        self.decided.contains_key(&slot)
+    }
+
+    /// Number of log slots decided at this replica.
+    pub fn decided_slots(&self) -> u64 {
+        self.decided.len() as u64
+    }
+
+    /// Read access to the replicated store (tests and diagnostics).
+    pub fn store(&self) -> &KVStore {
+        &self.kv
+    }
+}
+
+impl Executor for SlotExecutor {
+    type Info = SlotInfo;
+
+    fn new(_process: ProcessId, shard: ShardId, _config: Config) -> Self {
+        Self {
+            shard,
+            decided: BTreeMap::new(),
+            execute_next: 0,
+            kv: KVStore::new(),
+            executed_count: 0,
+        }
+    }
+
+    fn handle(&mut self, info: SlotInfo) -> Vec<Executed> {
+        if self.decided.insert(info.slot, info.cmd).is_some() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        while let Some(cmd) = self.decided.get(&self.execute_next).cloned() {
+            let result = self.kv.execute(self.shard, &cmd);
+            out.push(Executed {
+                rifl: cmd.rifl,
+                result,
+            });
+            self.executed_count += 1;
+            self.execute_next += 1;
+        }
+        out
+    }
+
+    fn executed(&self) -> u64 {
+        self.executed_count
+    }
+}
 
 /// Flexible Paxos wire messages.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -93,12 +169,8 @@ pub struct FPaxos {
     next_slot: u64,
     /// Leader state: in-flight proposals (slot -> (command, acks)).
     proposals: BTreeMap<u64, (Command, BTreeSet<ProcessId>)>,
-    /// Acceptor/learner state: decided log.
-    decided: BTreeMap<u64, Command>,
-    /// Next slot to execute.
-    execute_next: u64,
-    kv: KVStore,
-    executed: Vec<Executed>,
+    /// The execution stage: the slot-ordered log executor.
+    executor: SlotExecutor,
     metrics: ProtocolMetrics,
 }
 
@@ -125,7 +197,7 @@ impl FPaxos {
 
     /// Number of log slots decided at this replica.
     pub fn decided_slots(&self) -> u64 {
-        self.decided.len() as u64
+        self.executor.decided_slots()
     }
 
     fn send(
@@ -137,10 +209,10 @@ impl FPaxos {
     ) {
         targets.sort_unstable();
         targets.dedup();
-        let to_self = targets.iter().any(|t| *t == self.process);
+        let to_self = targets.contains(&self.process);
         let remote: Vec<ProcessId> = targets.into_iter().filter(|t| *t != self.process).collect();
         if !remote.is_empty() {
-            self.metrics.messages_sent += remote.len() as u64;
+            // `messages_sent` is counted per destination by the kernel `Driver`.
             out.push(Action::send(remote, msg.clone()));
         }
         if to_self {
@@ -225,23 +297,13 @@ impl FPaxos {
         self.send(targets, msg, now_us, out);
     }
 
-    fn handle_decided(&mut self, slot: u64, cmd: Command) {
-        if self.decided.insert(slot, cmd).is_none() {
-            self.metrics.committed += 1;
+    fn handle_decided(&mut self, slot: u64, cmd: Command, out: &mut Vec<Action<Message>>) {
+        if self.executor.is_decided(slot) {
+            return;
         }
-        self.try_execute();
-    }
-
-    fn try_execute(&mut self) {
-        while let Some(cmd) = self.decided.get(&self.execute_next).cloned() {
-            let result = self.kv.execute(self.shard, &cmd);
-            self.executed.push(Executed {
-                rifl: cmd.rifl,
-                result,
-            });
-            self.metrics.executed += 1;
-            self.execute_next += 1;
-        }
+        self.metrics.committed += 1;
+        let executed = self.executor.handle(SlotInfo { slot, cmd });
+        out.extend(executed.into_iter().map(Action::Deliver));
     }
 
     fn dispatch(&mut self, from: ProcessId, msg: Message, now_us: u64) -> Vec<Action<Message>> {
@@ -262,7 +324,7 @@ impl FPaxos {
             Message::MAccepted { slot, ballot } => {
                 self.handle_accepted(from, slot, ballot, now_us, &mut out)
             }
-            Message::MDecided { slot, cmd } => self.handle_decided(slot, cmd),
+            Message::MDecided { slot, cmd } => self.handle_decided(slot, cmd, &mut out),
         }
         out
     }
@@ -270,6 +332,7 @@ impl FPaxos {
 
 impl Protocol for FPaxos {
     type Message = Message;
+    type Executor = SlotExecutor;
 
     const NAME: &'static str = "FPaxos";
 
@@ -287,10 +350,7 @@ impl Protocol for FPaxos {
             ballot: 1,
             next_slot: 0,
             proposals: BTreeMap::new(),
-            decided: BTreeMap::new(),
-            execute_next: 0,
-            kv: KVStore::new(),
-            executed: Vec::new(),
+            executor: SlotExecutor::new(process, shard, config),
             metrics: ProtocolMetrics::default(),
         }
     }
@@ -303,9 +363,12 @@ impl Protocol for FPaxos {
         self.shard
     }
 
-    fn discover(&mut self, view: View) {
+    fn discover(&mut self, view: View) -> Vec<Action<Message>> {
         assert_eq!(view.config, self.config);
         self.view = view;
+        // Steady-state Flexible Paxos has no periodic tasks (leader election and
+        // re-proposals are out of scope, as in the paper's evaluation).
+        Vec::new()
     }
 
     fn submit(&mut self, cmd: Command, now_us: u64) -> Vec<Action<Message>> {
@@ -324,16 +387,19 @@ impl Protocol for FPaxos {
         self.dispatch(from, msg, now_us)
     }
 
-    fn tick(&mut self, _now_us: u64) -> Vec<Action<Message>> {
+    fn timer(&mut self, _timer: TimerId, _now_us: u64) -> Vec<Action<Message>> {
         Vec::new()
     }
 
-    fn drain_executed(&mut self) -> Vec<Executed> {
-        std::mem::take(&mut self.executed)
+    fn executor(&self) -> &SlotExecutor {
+        &self.executor
     }
 
     fn metrics(&self) -> ProtocolMetrics {
-        self.metrics.clone()
+        let mut metrics = self.metrics.clone();
+        // The execution stage is the single source of truth for the executed count.
+        metrics.executed = self.executor.executed();
+        metrics
     }
 }
 
@@ -372,7 +438,11 @@ mod tests {
         let config = Config::full(5, 1);
         let mut cluster = LocalCluster::<FPaxos>::new(config);
         cluster.submit(4, cmd(1, 1, 7));
-        assert_eq!(cluster.process(0).metrics().fast_paths, 1, "leader decided it");
+        assert_eq!(
+            cluster.process(0).metrics().fast_paths,
+            1,
+            "leader decided it"
+        );
         assert_eq!(cluster.executed(4).len(), 1);
     }
 

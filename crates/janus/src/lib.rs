@@ -18,13 +18,15 @@
 #![warn(missing_docs)]
 
 use std::collections::{BTreeMap, BTreeSet};
-use tempo_atlas::graph::{ConflictIndex, DependencyGraph};
+use tempo_atlas::executor::{GraphExecutor, GraphInfo};
+use tempo_atlas::graph::ConflictIndex;
 use tempo_kernel::command::Command;
 use tempo_kernel::config::Config;
 use tempo_kernel::id::{Dot, DotGen, ProcessId, ShardId};
-use tempo_kernel::kvstore::KVStore;
 use tempo_kernel::membership::Membership;
-use tempo_kernel::protocol::{Action, Executed, Protocol, ProtocolMetrics, View, WireSize};
+use tempo_kernel::protocol::{
+    Action, Executor, Protocol, ProtocolMetrics, TimerId, View, WireSize,
+};
 
 /// Janus* wire messages.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -86,7 +88,6 @@ enum Phase {
     Start,
     Collect,
     Commit,
-    Execute,
 }
 
 #[derive(Debug)]
@@ -124,10 +125,9 @@ pub struct Janus {
     membership: Membership,
     dot_gen: DotGen,
     conflicts: ConflictIndex,
-    graph: DependencyGraph,
     info: BTreeMap<Dot, Info>,
-    kv: KVStore,
-    executed: Vec<Executed>,
+    /// The execution stage: the dependency-graph executor shared with Atlas/EPaxos.
+    executor: GraphExecutor,
     metrics: ProtocolMetrics,
 }
 
@@ -135,7 +135,7 @@ impl Janus {
     /// The committed (union) dependency set of a command, if committed at this process.
     pub fn committed_deps(&self, dot: Dot) -> Option<BTreeSet<Dot>> {
         self.info.get(&dot).and_then(|i| {
-            if matches!(i.phase, Phase::Commit | Phase::Execute) {
+            if i.phase == Phase::Commit {
                 let mut union = BTreeSet::new();
                 for deps in i.shard_deps.values() {
                     union.extend(deps.iter().copied());
@@ -149,7 +149,7 @@ impl Janus {
 
     /// Sizes of the strongly connected components executed so far (diagnostics).
     pub fn scc_sizes(&self) -> &[usize] {
-        self.graph.scc_sizes()
+        self.executor.scc_sizes()
     }
 
     fn info_mut(&mut self, dot: Dot) -> &mut Info {
@@ -165,10 +165,10 @@ impl Janus {
     ) {
         targets.sort_unstable();
         targets.dedup();
-        let to_self = targets.iter().any(|t| *t == self.process);
+        let to_self = targets.contains(&self.process);
         let remote: Vec<ProcessId> = targets.into_iter().filter(|t| *t != self.process).collect();
         if !remote.is_empty() {
-            self.metrics.messages_sent += remote.len() as u64;
+            // `messages_sent` is counted per destination by the kernel `Driver`.
             out.push(Action::send(remote, msg.clone()));
         }
         if to_self {
@@ -177,13 +177,13 @@ impl Janus {
         }
     }
 
-    fn try_commit(&mut self, dot: Dot) {
+    fn try_commit(&mut self, dot: Dot, out: &mut Vec<Action<Message>>) {
         let (ready, cmd, deps) = {
             let info = match self.info.get(&dot) {
                 Some(info) => info,
                 None => return,
             };
-            if matches!(info.phase, Phase::Commit | Phase::Execute) || info.cmd.is_none() {
+            if info.phase == Phase::Commit || info.cmd.is_none() {
                 return;
             }
             let cmd = info.cmd.clone().expect("payload known");
@@ -223,31 +223,10 @@ impl Janus {
         if !keys.is_empty() {
             let _ = self.conflicts.dependencies(dot, &keys, cmd.is_read_only());
         }
-        self.graph.add(dot, deps);
-        self.run_executor();
-    }
-
-    fn run_executor(&mut self) {
-        for dot in self.graph.try_execute() {
-            let cmd = {
-                let info = self.info_mut(dot);
-                if info.phase != Phase::Commit {
-                    continue;
-                }
-                info.phase = Phase::Execute;
-                info.cmd.clone().expect("committed commands have payloads")
-            };
-            // Only apply the part of the command that touches this shard; commands that
-            // never touch it are ordering-only vertices.
-            if cmd.accesses(self.shard) {
-                let result = self.kv.execute(self.shard, &cmd);
-                self.executed.push(Executed {
-                    rifl: cmd.rifl,
-                    result,
-                });
-                self.metrics.executed += 1;
-            }
-        }
+        // Hand the command to the execution stage; ordering-only vertices (commands that
+        // never touch this shard) enter the graph but are not applied locally.
+        let executed = self.executor.handle(GraphInfo { dot, cmd, deps });
+        out.extend(executed.into_iter().map(Action::Deliver));
     }
 
     fn dispatch(&mut self, from: ProcessId, msg: Message, now_us: u64) -> Vec<Action<Message>> {
@@ -299,8 +278,7 @@ impl Janus {
                         return out;
                     }
                     info.acks.insert(from, deps);
-                    !info.quorum.is_empty()
-                        && info.quorum.iter().all(|q| info.acks.contains_key(q))
+                    !info.quorum.is_empty() && info.quorum.iter().all(|q| info.acks.contains_key(q))
                 };
                 if !ready {
                     return out;
@@ -314,9 +292,9 @@ impl Janus {
                     // Atlas-style fast-path condition; with the evaluation's f = 1 it
                     // always holds, otherwise one extra (local) round is modelled by the
                     // slow-path counter.
-                    let fast = union.iter().all(|dep| {
-                        info.acks.values().filter(|d| d.contains(dep)).count() >= f
-                    });
+                    let fast = union
+                        .iter()
+                        .all(|dep| info.acks.values().filter(|d| d.contains(dep)).count() >= f);
                     (info.cmd.clone().expect("payload known"), union, fast)
                 };
                 if fast {
@@ -349,7 +327,7 @@ impl Janus {
                     }
                     info.shard_deps.insert(shard, deps);
                 }
-                self.try_commit(dot);
+                self.try_commit(dot, &mut out);
             }
         }
         out
@@ -358,6 +336,7 @@ impl Janus {
 
 impl Protocol for Janus {
     type Message = Message;
+    type Executor = GraphExecutor;
 
     const NAME: &'static str = "Janus*";
 
@@ -371,10 +350,8 @@ impl Protocol for Janus {
             membership,
             dot_gen: DotGen::new(process),
             conflicts: ConflictIndex::new(),
-            graph: DependencyGraph::new(),
             info: BTreeMap::new(),
-            kv: KVStore::new(),
-            executed: Vec::new(),
+            executor: GraphExecutor::new(process, shard, config),
             metrics: ProtocolMetrics::default(),
         }
     }
@@ -387,9 +364,11 @@ impl Protocol for Janus {
         self.shard
     }
 
-    fn discover(&mut self, view: View) {
+    fn discover(&mut self, view: View) -> Vec<Action<Message>> {
         assert_eq!(view.config, self.config);
         self.view = view;
+        // Janus* has no periodic tasks; recovery is out of scope for the baseline.
+        Vec::new()
     }
 
     fn submit(&mut self, cmd: Command, now_us: u64) -> Vec<Action<Message>> {
@@ -414,17 +393,19 @@ impl Protocol for Janus {
         self.dispatch(from, msg, now_us)
     }
 
-    fn tick(&mut self, _now_us: u64) -> Vec<Action<Message>> {
-        self.run_executor();
+    fn timer(&mut self, _timer: TimerId, _now_us: u64) -> Vec<Action<Message>> {
         Vec::new()
     }
 
-    fn drain_executed(&mut self) -> Vec<Executed> {
-        std::mem::take(&mut self.executed)
+    fn executor(&self) -> &GraphExecutor {
+        &self.executor
     }
 
     fn metrics(&self) -> ProtocolMetrics {
-        self.metrics.clone()
+        let mut metrics = self.metrics.clone();
+        // The execution stage is the single source of truth for the executed count.
+        metrics.executed = self.executor.executed();
+        metrics
     }
 }
 
@@ -505,7 +486,10 @@ mod tests {
         }
         // And so do shard-1 replicas, in the same relative order.
         let shard1: Vec<Rifl> = cluster.executed(3).into_iter().map(|e| e.rifl).collect();
-        assert_eq!(shard1, reference, "shards disagree on conflicting command order");
+        assert_eq!(
+            shard1, reference,
+            "shards disagree on conflicting command order"
+        );
     }
 
     #[test]
@@ -515,11 +499,7 @@ mod tests {
             let mut cluster = LocalCluster::<Janus>::new(config);
             for seq in 1..=10u64 {
                 let op = if write { KVOp::Add(1) } else { KVOp::Get };
-                let cmd = Command::new(
-                    Rifl::new(0, seq),
-                    vec![(0, 0, op), (1, 0, op)],
-                    0,
-                );
+                let cmd = Command::new(Rifl::new(0, seq), vec![(0, 0, op), (1, 0, op)], 0);
                 cluster.submit(0, cmd);
             }
             cluster.tick_all(5_000);

@@ -1,15 +1,17 @@
 //! A minimal synchronous cluster harness used by protocol unit tests.
 //!
-//! [`LocalCluster`] instantiates one protocol state machine per process of a deployment
-//! and routes messages between them in FIFO order with no latency model. It is *not* the
-//! evaluation runtime (see `tempo-sim` and `tempo-runtime` for those); it exists so that
-//! protocol crates can unit-test commit/execution/recovery logic deterministically without
-//! pulling in the simulator.
+//! [`LocalCluster`] instantiates one [`Driver`] per process of a deployment and routes
+//! messages between them in FIFO order with no latency model. It is *not* the evaluation
+//! runtime (see `tempo-sim` and `tempo-runtime` for those); it exists so that protocol
+//! crates can unit-test commit/execution/recovery logic deterministically without pulling
+//! in the simulator. All dispatch goes through the shared [`Driver`] core: the harness
+//! only owns transport (a FIFO queue) and time (advanced by [`LocalCluster::tick_all`]).
 
 use crate::command::Command;
 use crate::config::Config;
+use crate::driver::{Driver, Output};
 use crate::id::ProcessId;
-use crate::protocol::{Action, Executed, Protocol, View};
+use crate::protocol::{Executed, Protocol, View};
 use std::collections::{BTreeMap, VecDeque};
 
 /// A message in flight between two processes.
@@ -22,9 +24,12 @@ struct InFlight<M> {
 
 /// A synchronous cluster of protocol instances with FIFO message delivery.
 pub struct LocalCluster<P: Protocol> {
-    processes: BTreeMap<ProcessId, P>,
+    drivers: BTreeMap<ProcessId, Driver<P>>,
     queue: VecDeque<InFlight<P::Message>>,
-    /// Processes that have crashed: messages to and from them are dropped.
+    /// Commands executed at each process and not yet claimed via [`Self::executed`].
+    completions: BTreeMap<ProcessId, Vec<Executed>>,
+    /// Processes that have crashed: messages to and from them are dropped and their
+    /// timers no longer fire.
     crashed: Vec<ProcessId>,
     /// Messages delivered so far (for assertions on message complexity).
     pub delivered: u64,
@@ -39,22 +44,34 @@ impl<P: Protocol> LocalCluster<P> {
     }
 
     /// Creates a cluster using a custom view per process (e.g. one built from a planet).
-    pub fn with_views(config: Config, mut view_for: impl FnMut(ProcessId) -> View) -> Self {
+    pub fn with_views(config: Config, view_for: impl FnMut(ProcessId) -> View) -> Self {
+        Self::from_protocols(config, view_for, |id, shard| P::new(id, shard, config))
+    }
+
+    /// Creates a cluster from custom protocol instances (e.g. ones built with
+    /// non-default options), wiring each into the shared driver core.
+    pub fn from_protocols(
+        config: Config,
+        mut view_for: impl FnMut(ProcessId) -> View,
+        mut make: impl FnMut(ProcessId, crate::id::ShardId) -> P,
+    ) -> Self {
         let membership = crate::membership::Membership::from_config(&config);
-        let mut processes = BTreeMap::new();
-        for id in membership.all_processes() {
-            let shard = membership.shard_of(id);
-            let mut p = P::new(id, shard, config);
-            p.discover(view_for(id));
-            processes.insert(id, p);
-        }
-        Self {
-            processes,
+        let mut cluster = Self {
+            drivers: BTreeMap::new(),
             queue: VecDeque::new(),
+            completions: BTreeMap::new(),
             crashed: Vec::new(),
             delivered: 0,
             now_us: 0,
+        };
+        for id in membership.all_processes() {
+            let shard = membership.shard_of(id);
+            let mut driver = Driver::from_protocol(make(id, shard));
+            let output = driver.start(view_for(id), 0);
+            cluster.drivers.insert(id, driver);
+            cluster.absorb(id, output);
         }
+        cluster
     }
 
     /// Current simulated time (advanced only by [`Self::tick_all`]).
@@ -64,17 +81,26 @@ impl<P: Protocol> LocalCluster<P> {
 
     /// Access a process (panics if unknown).
     pub fn process(&self, id: ProcessId) -> &P {
-        &self.processes[&id]
+        self.drivers[&id].protocol()
     }
 
-    /// Mutable access to a process (panics if unknown).
+    /// Mutable access to a process (panics if unknown). Actions produced by direct
+    /// protocol calls bypass the harness; use this for state inspection and injection.
     pub fn process_mut(&mut self, id: ProcessId) -> &mut P {
-        self.processes.get_mut(&id).expect("unknown process")
+        self.drivers
+            .get_mut(&id)
+            .expect("unknown process")
+            .protocol_mut()
+    }
+
+    /// The driver of a process (metrics with `messages_sent`, timer introspection).
+    pub fn driver(&self, id: ProcessId) -> &Driver<P> {
+        &self.drivers[&id]
     }
 
     /// All process identifiers.
     pub fn process_ids(&self) -> Vec<ProcessId> {
-        self.processes.keys().copied().collect()
+        self.drivers.keys().copied().collect()
     }
 
     /// Marks a process as crashed: it no longer receives nor sends messages.
@@ -89,48 +115,43 @@ impl<P: Protocol> LocalCluster<P> {
         self.crashed.contains(&id)
     }
 
-    fn enqueue(&mut self, from: ProcessId, actions: Vec<Action<P::Message>>) {
+    fn absorb(&mut self, from: ProcessId, output: Output<P::Message>) {
         if self.crashed.contains(&from) {
             return;
         }
-        for action in actions {
-            match action {
-                Action::Send { to, msg } => {
-                    for target in to {
-                        if target == from {
-                            // Protocols deliver self-addressed messages internally.
-                            continue;
-                        }
-                        self.queue.push_back(InFlight {
-                            from,
-                            to: target,
-                            msg: msg.clone(),
-                        });
-                    }
-                }
+        for send in output.sends {
+            for target in send.to {
+                debug_assert_ne!(target, from, "protocols deliver self-sends internally");
+                self.queue.push_back(InFlight {
+                    from,
+                    to: target,
+                    msg: send.msg.clone(),
+                });
             }
+        }
+        if !output.executed.is_empty() {
+            self.completions
+                .entry(from)
+                .or_default()
+                .extend(output.executed);
         }
     }
 
     /// Submits a command at `process` and delivers all resulting messages to quiescence.
     pub fn submit(&mut self, process: ProcessId, cmd: Command) {
-        let actions = {
-            let now = self.now_us;
-            let p = self.process_mut(process);
-            p.submit(cmd, now)
-        };
-        self.enqueue(process, actions);
+        self.submit_no_deliver(process, cmd);
         self.run_to_quiescence();
     }
 
     /// Submits a command without running message delivery (for tests that interleave).
     pub fn submit_no_deliver(&mut self, process: ProcessId, cmd: Command) {
-        let actions = {
-            let now = self.now_us;
-            let p = self.process_mut(process);
-            p.submit(cmd, now)
-        };
-        self.enqueue(process, actions);
+        let now = self.now_us;
+        let output = self
+            .drivers
+            .get_mut(&process)
+            .expect("unknown process")
+            .submit(cmd, now);
+        self.absorb(process, output);
     }
 
     /// Delivers a single in-flight message, if any. Returns whether one was delivered.
@@ -140,15 +161,13 @@ impl<P: Protocol> LocalCluster<P> {
                 continue;
             }
             let now = self.now_us;
-            let actions = {
-                let p = self
-                    .processes
-                    .get_mut(&inflight.to)
-                    .expect("unknown destination");
-                p.handle(inflight.from, inflight.msg, now)
-            };
+            let output = self
+                .drivers
+                .get_mut(&inflight.to)
+                .expect("unknown destination")
+                .handle(inflight.from, inflight.msg, now);
             self.delivered += 1;
-            self.enqueue(inflight.to, actions);
+            self.absorb(inflight.to, output);
             return true;
         }
         false
@@ -159,8 +178,8 @@ impl<P: Protocol> LocalCluster<P> {
         while self.step() {}
     }
 
-    /// Calls `tick` on every live process (advancing time by `advance_us`) and delivers
-    /// all resulting messages.
+    /// Advances time by `advance_us`, fires every protocol timer that became due on every
+    /// live process, and delivers all resulting messages.
     pub fn tick_all(&mut self, advance_us: u64) {
         self.now_us += advance_us;
         let ids = self.process_ids();
@@ -169,18 +188,19 @@ impl<P: Protocol> LocalCluster<P> {
                 continue;
             }
             let now = self.now_us;
-            let actions = {
-                let p = self.processes.get_mut(&id).expect("unknown process");
-                p.tick(now)
-            };
-            self.enqueue(id, actions);
+            let output = self
+                .drivers
+                .get_mut(&id)
+                .expect("unknown process")
+                .fire_due(now);
+            self.absorb(id, output);
         }
         self.run_to_quiescence();
     }
 
-    /// Drains the commands executed at `process`.
+    /// Drains the commands executed at `process` since the last call, in execution order.
     pub fn executed(&mut self, process: ProcessId) -> Vec<Executed> {
-        self.process_mut(process).drain_executed()
+        self.completions.remove(&process).unwrap_or_default()
     }
 
     /// Number of messages currently in flight.

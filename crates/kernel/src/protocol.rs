@@ -1,11 +1,27 @@
-//! The protocol abstraction shared by Tempo and every baseline.
+//! The protocol abstraction shared by Tempo and every baseline (API v2).
 //!
 //! Each replication protocol is implemented as a *deterministic message-driven state
-//! machine*: it consumes client submissions, peer messages and periodic ticks, and emits
-//! [`Action`]s (messages to send) plus executed commands. The same state machine is
-//! driven, unchanged, by the discrete-event simulator (`tempo-sim`) and by the threaded
-//! cluster runtime (`tempo-runtime`) — mirroring the simulator/cluster/cloud modes of the
-//! paper's evaluation framework (§6.1).
+//! machine*: it consumes client submissions, peer messages and timer firings, and emits
+//! typed [`Action`]s — messages to send, executed commands to deliver, and timers to
+//! schedule. The same state machine is driven, unchanged, by the discrete-event simulator
+//! (`tempo-sim`), the threaded cluster runtime (`tempo-runtime`) and the synchronous test
+//! harness ([`crate::harness::LocalCluster`]) — mirroring the simulator/cluster/cloud
+//! modes of the paper's evaluation framework (§6.1). All three are thin schedulers over
+//! the shared [`crate::driver::Driver`] dispatch core.
+//!
+//! Following the paper's ordering/execution split (Algorithm 2), a protocol is two
+//! cooperating stages:
+//!
+//! * the **ordering stage** implements [`Protocol`] — it decides *when* a command may
+//!   execute (timestamp stability for Tempo, dependency graphs for Atlas/EPaxos/Janus*,
+//!   log order for FPaxos, timestamp order for Caesar);
+//! * the **execution stage** implements [`Executor`] — it owns the replicated key-value
+//!   store and applies committed commands in the order the protocol decided.
+//!
+//! Executed commands are *pushed* to the embedding runtime through
+//! [`Action::Deliver`]; there is no polling. Periodic work is *pulled into the protocol*:
+//! each protocol schedules its own timers with [`Action::Schedule`] and reacts to them in
+//! [`Protocol::timer`] — there is no global tick.
 
 use crate::command::{Command, CommandResult};
 use crate::config::Config;
@@ -23,16 +39,43 @@ pub trait WireSize {
     }
 }
 
+/// Identifier of a protocol-owned timer.
+///
+/// Timer identities are defined by each protocol (e.g. Tempo's periodic promise
+/// broadcast and its liveness scan); the runtime treats them as opaque. Timers are
+/// one-shot: a protocol that wants periodic behaviour re-schedules the timer from its
+/// [`Protocol::timer`] handler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId(pub u64);
+
+impl fmt::Display for TimerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "timer#{}", self.0)
+    }
+}
+
 /// An action requested by a protocol state machine.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Action<M> {
     /// Send `msg` to every process in `to` (self-addressed messages are delivered
-    /// immediately by the runtime, as assumed in Algorithm 1).
+    /// immediately by the protocol itself, as assumed in Algorithm 1, so `to` only ever
+    /// contains remote processes by the time an action reaches the runtime).
     Send {
         /// Destination processes.
         to: Vec<ProcessId>,
         /// The message.
         msg: M,
+    },
+    /// A command executed at this process, pushed to the embedding runtime in execution
+    /// order (replaces the v1 `drain_executed` polling method).
+    Deliver(Executed),
+    /// Request a one-shot timer firing `after_us` microseconds from now; the runtime
+    /// calls [`Protocol::timer`] with the same identifier once the delay elapses.
+    Schedule {
+        /// Protocol-defined timer identity passed back on firing.
+        timer: TimerId,
+        /// Delay until the firing, in microseconds (clamped to at least 1).
+        after_us: u64,
     },
 }
 
@@ -45,6 +88,11 @@ impl<M> Action<M> {
     /// Convenience constructor for a send to a single process.
     pub fn send_one(to: ProcessId, msg: M) -> Self {
         Action::Send { to: vec![to], msg }
+    }
+
+    /// Convenience constructor for a timer request.
+    pub fn schedule(timer: TimerId, after_us: u64) -> Self {
+        Action::Schedule { timer, after_us }
     }
 }
 
@@ -70,7 +118,10 @@ pub struct ProtocolMetrics {
     pub executed: u64,
     /// Recoveries started by this process.
     pub recoveries: u64,
-    /// Point-to-point messages produced by this process.
+    /// Point-to-point messages produced by this process, counted per destination
+    /// delivery: a `Send` to `k` remote peers counts as `k` messages, so simulator
+    /// CPU-model accounting and the throughput-bench counters agree across protocols.
+    /// Maintained uniformly by the [`crate::driver::Driver`]; protocols leave it at 0.
     pub messages_sent: u64,
 }
 
@@ -180,10 +231,45 @@ impl View {
     }
 }
 
+/// The execution stage of a protocol: applies committed commands to the replicated
+/// key-value store in the order decided by the ordering stage (the paper's
+/// ordering/execution split, Algorithm 2).
+///
+/// Each protocol crate implements this trait for its own execution discipline —
+/// timestamp stability (`TempoExecutor`), dependency graphs (`GraphExecutor`), log slots
+/// (`SlotExecutor`) — which makes the stage independently testable: an executor can be
+/// driven with hand-crafted [`Executor::Info`] events without running the commit
+/// protocol at all.
+pub trait Executor {
+    /// Ordering metadata handed from the ordering stage to the executor (committed
+    /// commands plus whatever the discipline needs: timestamps, dependencies, slots,
+    /// stability watermarks).
+    type Info: fmt::Debug;
+
+    /// Creates the executor for `process`, replicating `shard`.
+    fn new(process: ProcessId, shard: ShardId, config: Config) -> Self;
+
+    /// Feeds one ordering event and returns the commands that became executable, in
+    /// execution order.
+    fn handle(&mut self, info: Self::Info) -> Vec<Executed>;
+
+    /// Number of commands executed so far.
+    fn executed(&self) -> u64;
+}
+
 /// A replication protocol instance running at one process (replica of one shard).
+///
+/// The trait covers the *ordering* stage only — [`submit`](Protocol::submit),
+/// [`handle`](Protocol::handle) and [`timer`](Protocol::timer) — and communicates with
+/// the outside world exclusively through the returned [`Action`]s. Execution is
+/// delegated to the associated [`Executor`], whose output the protocol forwards as
+/// [`Action::Deliver`].
 pub trait Protocol: Sized {
     /// The wire messages exchanged between processes.
     type Message: Clone + fmt::Debug + WireSize;
+
+    /// The execution stage used by this protocol.
+    type Executor: Executor;
 
     /// Human-readable protocol name (used in reports: "Tempo", "Atlas", ...).
     const NAME: &'static str;
@@ -198,26 +284,31 @@ pub trait Protocol: Sized {
     fn shard(&self) -> ShardId;
 
     /// Provides the static deployment view; called once before any command is submitted.
-    fn discover(&mut self, view: View);
+    /// The returned actions are where a protocol schedules its initial timers.
+    fn discover(&mut self, view: View) -> Vec<Action<Self::Message>>;
 
     /// Submits a client command at this process (which must replicate one of the shards
     /// the command accesses). Returns the actions to perform.
     fn submit(&mut self, cmd: Command, now_us: u64) -> Vec<Action<Self::Message>>;
 
     /// Handles a message from `from`. Returns the actions to perform.
-    fn handle(&mut self, from: ProcessId, msg: Self::Message, now_us: u64)
-        -> Vec<Action<Self::Message>>;
+    fn handle(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Message,
+        now_us: u64,
+    ) -> Vec<Action<Self::Message>>;
 
-    /// Periodic housekeeping (promise broadcast, executor checks, recovery timeouts).
-    /// Runtimes call this at a fixed interval (default 5 ms, matching the paper's socket
-    /// flush / periodic handlers).
-    fn tick(&mut self, now_us: u64) -> Vec<Action<Self::Message>>;
+    /// Handles the firing of a timer previously requested with [`Action::Schedule`].
+    /// Protocols with periodic behaviour (promise broadcast, liveness scans, recovery
+    /// timeouts) re-schedule the timer here.
+    fn timer(&mut self, timer: TimerId, now_us: u64) -> Vec<Action<Self::Message>>;
 
-    /// Drains the commands executed at this process since the last call, in execution
-    /// order.
-    fn drain_executed(&mut self) -> Vec<Executed>;
+    /// Read access to the execution stage (diagnostics and tests).
+    fn executor(&self) -> &Self::Executor;
 
-    /// Protocol counters.
+    /// Protocol counters. `messages_sent` is maintained by the [`crate::driver::Driver`]
+    /// (one count per destination process), not by the protocol itself.
     fn metrics(&self) -> ProtocolMetrics;
 }
 
@@ -279,6 +370,15 @@ mod tests {
                 assert_eq!(to, vec![3]);
                 assert_eq!(msg, 42);
             }
+            other => panic!("expected a send action, got {other:?}"),
         }
+        let s: Action<u32> = Action::schedule(TimerId(7), 5_000);
+        assert_eq!(
+            s,
+            Action::Schedule {
+                timer: TimerId(7),
+                after_us: 5_000
+            }
+        );
     }
 }

@@ -37,10 +37,7 @@ impl Rng {
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         let [s0, s1, s2, s3] = self.state;
-        let result = s0
-            .wrapping_add(s3)
-            .rotate_left(23)
-            .wrapping_add(s0);
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
         let t = s1 << 17;
         let mut s2n = s2 ^ s0;
         let mut s3n = s3 ^ s1;
@@ -157,9 +154,7 @@ impl Zipf {
             let u = self.h_x1 + rng.next_f64() * (self.h_n - self.h_x1);
             let x = Self::h_integral_inverse(u, self.theta);
             let k = x.round().clamp(1.0, self.n as f64);
-            if k - x <= self.s
-                || u >= Self::h_integral(k + 0.5, self.theta) - k.powf(-self.theta)
-            {
+            if k - x <= self.s || u >= Self::h_integral(k + 0.5, self.theta) - k.powf(-self.theta) {
                 return k as u64 - 1;
             }
         }

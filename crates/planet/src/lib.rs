@@ -86,10 +86,10 @@ impl Planet {
         for row in &ping_ms {
             assert_eq!(row.len(), n, "ping matrix must be square");
         }
-        for i in 0..n {
-            for j in 0..n {
+        for (i, row) in ping_ms.iter().enumerate() {
+            for (j, ping) in row.iter().enumerate() {
                 assert!(
-                    (ping_ms[i][j] - ping_ms[j][i]).abs() < 1e-9,
+                    (ping - ping_ms[j][i]).abs() < 1e-9,
                     "ping matrix must be symmetric"
                 );
             }

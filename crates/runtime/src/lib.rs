@@ -2,28 +2,32 @@
 //!
 //! This is the "cluster mode" of the evaluation framework (§6.1) scaled down to a single
 //! machine: every protocol process runs on its own OS thread, messages travel over
-//! crossbeam channels, and — when a [`Planet`] is supplied — a dedicated network thread
-//! delays each message by the one-way latency between the sender's and receiver's
+//! `std::sync::mpsc` channels, and — when a [`Planet`] is supplied — a dedicated network
+//! thread delays each message by the one-way latency between the sender's and receiver's
 //! regions, emulating a wide-area deployment.
 //!
 //! The runtime drives exactly the same [`Protocol`] state machines as the discrete-event
-//! simulator (`tempo-sim`); it exists so that examples and integration tests exercise the
-//! protocols under real concurrency.
+//! simulator (`tempo-sim`): each process thread is a thin scheduler over the kernel's
+//! generic [`Driver`] — it owns transport (channels) and time (the monotonic clock and
+//! `recv_timeout` deadlines derived from [`Driver::next_timer_due`]), while all
+//! submit/handle/timer dispatch lives in the shared driver core. Executed commands are
+//! pushed to the completion channel straight from the driver's output; there is no
+//! polling. The crate is std-only (no external channel or locking dependencies).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tempo_kernel::command::Command;
 use tempo_kernel::config::Config;
+use tempo_kernel::driver::{Driver, Output};
 use tempo_kernel::id::{ProcessId, Rifl, ShardId, SiteId};
 use tempo_kernel::membership::Membership;
-use tempo_kernel::protocol::{Action, Protocol, ProtocolMetrics};
+use tempo_kernel::protocol::{Protocol, ProtocolMetrics, View};
 use tempo_planet::Planet;
 
 enum Envelope<M> {
@@ -56,7 +60,7 @@ impl<M> Ord for Delayed<M> {
     }
 }
 
-/// A completion notice: `rifl` executed at `process`.
+/// A completion notice: `rifl` executed at a replica of `shard` at `site`.
 #[derive(Debug, Clone, Copy)]
 struct Completion {
     rifl: Rifl,
@@ -69,7 +73,8 @@ pub struct ThreadedCluster<P: Protocol> {
     config: Config,
     membership: Membership,
     inboxes: BTreeMap<ProcessId, Sender<Envelope<P::Message>>>,
-    completions: Receiver<Completion>,
+    /// The completion stream; guarded so that several client threads can wait on it.
+    completions: Mutex<Receiver<Completion>>,
     /// Completions observed so far but not yet claimed by a waiter.
     seen: Mutex<BTreeMap<(Rifl, SiteId), BTreeSet<ShardId>>>,
     handles: Vec<JoinHandle<ProtocolMetrics>>,
@@ -87,24 +92,22 @@ where
     pub fn start(config: Config, planet: Option<Planet>) -> Arc<Self> {
         let membership = Membership::from_config(&config);
         let start = Instant::now();
-        let tick_interval = Duration::from_millis(5);
 
         let mut inboxes = BTreeMap::new();
         let mut receivers = BTreeMap::new();
         for id in membership.all_processes() {
-            let (tx, rx) = unbounded::<Envelope<P::Message>>();
+            let (tx, rx) = channel::<Envelope<P::Message>>();
             inboxes.insert(id, tx);
             receivers.insert(id, rx);
         }
-        let (completion_tx, completion_rx) = unbounded::<Completion>();
+        let (completion_tx, completion_rx) = channel::<Completion>();
 
         // Optional network thread injecting wide-area delays.
-        let (network_tx, network_handle) = if let Some(planet) = planet.clone() {
-            let (tx, rx) = unbounded::<Option<Delayed<P::Message>>>();
+        let (network_tx, network_handle) = if planet.is_some() {
+            let (tx, rx) = channel::<Option<Delayed<P::Message>>>();
             let inboxes_for_net: BTreeMap<ProcessId, Sender<Envelope<P::Message>>> =
                 inboxes.clone();
             let handle = std::thread::spawn(move || {
-                let _ = planet;
                 let mut heap: BinaryHeap<Delayed<P::Message>> = BinaryHeap::new();
                 loop {
                     let timeout = heap
@@ -114,8 +117,8 @@ where
                     match rx.recv_timeout(timeout) {
                         Ok(Some(delayed)) => heap.push(delayed),
                         Ok(None) => break,
-                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
-                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => break,
                     }
                     while let Some(head) = heap.peek() {
                         if head.due > Instant::now() {
@@ -149,72 +152,83 @@ where
             let handle = std::thread::Builder::new()
                 .name(format!("process-{id}"))
                 .spawn(move || {
-                    let mut protocol = P::new(id, shard, config);
-                    match &planet_for_thread {
-                        Some(planet) => protocol.discover(planet.view_for(config, id)),
-                        None => protocol
-                            .discover(tempo_kernel::protocol::View::trivial(config, id)),
-                    }
-                    let mut next_tick = Instant::now() + tick_interval;
-                    loop {
-                        let now_us = start.elapsed().as_micros() as u64;
-                        let timeout = next_tick.saturating_duration_since(Instant::now());
-                        let actions = match rx.recv_timeout(timeout) {
-                            Ok(Envelope::Message { from, msg }) => protocol.handle(from, msg, now_us),
-                            Ok(Envelope::Submit { cmd }) => protocol.submit(cmd, now_us),
-                            Ok(Envelope::Stop) => break,
-                            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                                next_tick = Instant::now() + tick_interval;
-                                protocol.tick(now_us)
-                            }
-                            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
-                        };
-                        // Route outgoing messages.
-                        for action in actions {
-                            match action {
-                                Action::Send { to, msg } => {
-                                    for target in to {
-                                        if target == id {
-                                            continue;
-                                        }
-                                        match (&network_tx, &planet_for_thread) {
-                                            (Some(net), Some(planet)) => {
-                                                let delay = planet.one_way_us(
-                                                    site,
-                                                    membership_for_thread.site_of(target),
-                                                );
-                                                let _ = net.send(Some(Delayed {
-                                                    due: Instant::now()
-                                                        + Duration::from_micros(delay),
-                                                    to: target,
-                                                    from: id,
-                                                    msg: msg.clone(),
-                                                }));
-                                            }
-                                            _ => {
-                                                if let Some(inbox) = inboxes_for_thread.get(&target)
-                                                {
-                                                    let _ = inbox.send(Envelope::Message {
-                                                        from: id,
-                                                        msg: msg.clone(),
-                                                    });
-                                                }
-                                            }
+                    let mut driver = Driver::<P>::new(id, shard, config);
+                    // Routes one driver step: transport sends, publish completions.
+                    let route = |output: Output<P::Message>| {
+                        for send in output.sends {
+                            for target in send.to {
+                                debug_assert_ne!(target, id);
+                                match (&network_tx, &planet_for_thread) {
+                                    (Some(net), Some(planet)) => {
+                                        let delay = planet.one_way_us(
+                                            site,
+                                            membership_for_thread.site_of(target),
+                                        );
+                                        let _ = net.send(Some(Delayed {
+                                            due: Instant::now() + Duration::from_micros(delay),
+                                            to: target,
+                                            from: id,
+                                            msg: send.msg.clone(),
+                                        }));
+                                    }
+                                    _ => {
+                                        if let Some(inbox) = inboxes_for_thread.get(&target) {
+                                            let _ = inbox.send(Envelope::Message {
+                                                from: id,
+                                                msg: send.msg.clone(),
+                                            });
                                         }
                                     }
                                 }
                             }
                         }
-                        // Report executions.
-                        for executed in protocol.drain_executed() {
+                        for executed in output.executed {
                             let _ = completion_tx.send(Completion {
                                 rifl: executed.rifl,
                                 shard,
                                 site,
                             });
                         }
+                    };
+                    let view = match &planet_for_thread {
+                        Some(planet) => planet.view_for(config, id),
+                        None => View::trivial(config, id),
+                    };
+                    let now_us = start.elapsed().as_micros() as u64;
+                    route(driver.start(view, now_us));
+                    loop {
+                        let now_us = start.elapsed().as_micros() as u64;
+                        // Fire overdue timers before waiting for the next message:
+                        // `recv_timeout(0)` favours queued messages, so a busy inbox
+                        // must not starve the protocol's periodic events.
+                        if driver.next_timer_due().is_some_and(|due| due <= now_us) {
+                            route(driver.fire_due(now_us));
+                            continue;
+                        }
+                        // Sleep until the next protocol timer is due (or a fallback for
+                        // protocols without timers, so `Stop` is still honoured).
+                        let timeout = match driver.next_timer_due() {
+                            Some(due) => Duration::from_micros(due.saturating_sub(now_us)),
+                            None => Duration::from_millis(50),
+                        };
+                        match rx.recv_timeout(timeout) {
+                            Ok(Envelope::Message { from, msg }) => {
+                                let now_us = start.elapsed().as_micros() as u64;
+                                route(driver.handle(from, msg, now_us));
+                            }
+                            Ok(Envelope::Submit { cmd }) => {
+                                let now_us = start.elapsed().as_micros() as u64;
+                                route(driver.submit(cmd, now_us));
+                            }
+                            Ok(Envelope::Stop) => break,
+                            Err(RecvTimeoutError::Timeout) => {
+                                let now_us = start.elapsed().as_micros() as u64;
+                                route(driver.fire_due(now_us));
+                            }
+                            Err(RecvTimeoutError::Disconnected) => break,
+                        }
                     }
-                    protocol.metrics()
+                    driver.metrics()
                 })
                 .expect("spawn process thread");
             handles.push(handle);
@@ -224,7 +238,7 @@ where
             config,
             membership,
             inboxes,
-            completions: completion_rx,
+            completions: Mutex::new(completion_rx),
             seen: Mutex::new(BTreeMap::new()),
             handles,
             network: network_handle,
@@ -251,7 +265,7 @@ where
         loop {
             // Check completions already recorded by other waiters.
             {
-                let mut seen = self.seen.lock();
+                let mut seen = self.seen.lock().expect("seen lock");
                 if let Some(shards) = seen.get(&(rifl, site)) {
                     if needed.is_subset(shards) {
                         seen.remove(&(rifl, site));
@@ -263,15 +277,21 @@ where
             if remaining.is_zero() {
                 return None;
             }
-            match self.completions.recv_timeout(remaining.min(Duration::from_millis(10))) {
+            // Wait on the completion stream in short slices so that the receiver lock
+            // rotates between concurrent waiters.
+            let received = {
+                let completions = self.completions.lock().expect("completions lock");
+                completions.recv_timeout(remaining.min(Duration::from_millis(10)))
+            };
+            match received {
                 Ok(completion) => {
-                    let mut seen = self.seen.lock();
+                    let mut seen = self.seen.lock().expect("seen lock");
                     seen.entry((completion.rifl, completion.site))
                         .or_default()
                         .insert(completion.shard);
                 }
-                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
-                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return None,
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return None,
             }
         }
     }
@@ -372,5 +392,20 @@ mod tests {
         let latency = cluster.submit_sync(2, cmd(1, 1, 0), Duration::from_secs(5));
         assert!(latency.is_some());
         cluster.shutdown();
+    }
+
+    #[test]
+    fn messages_sent_counts_survive_shutdown() {
+        let cluster = ThreadedCluster::<Tempo>::start(Config::full(3, 1), None);
+        let _ = cluster
+            .submit_sync(0, cmd(1, 1, 0), Duration::from_secs(5))
+            .expect("command must complete");
+        let metrics = cluster.shutdown();
+        let sent: u64 = metrics.iter().map(|m| m.messages_sent).sum();
+        // One commit round involves at least a propose + acks + commits.
+        assert!(
+            sent >= 4,
+            "expected per-destination message counts, got {sent}"
+        );
     }
 }

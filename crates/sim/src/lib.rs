@@ -11,6 +11,12 @@
 //! (site, shard) pair; messages are delivered after the one-way latency of the
 //! [`Planet`](tempo_planet::Planet); executed commands complete the issuing client's
 //! request once every accessed shard has executed the command at the client's site.
+//!
+//! The simulator is a thin scheduler over the kernel's generic
+//! [`Driver`](tempo_kernel::driver::Driver): it owns transport (the latency-modelled
+//! event queue) and time, while all submit/handle/timer dispatch — including the
+//! protocol-owned periodic timers that replaced the v1 global tick — lives in the shared
+//! driver core.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,10 +29,11 @@ use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use tempo_kernel::command::Command;
 use tempo_kernel::config::Config;
+use tempo_kernel::driver::{Driver, Output};
 use tempo_kernel::id::{ClientId, ProcessId, Rifl, ShardId, SiteId};
 use tempo_kernel::membership::Membership;
 use tempo_kernel::metrics::Histogram;
-use tempo_kernel::protocol::{Action, Protocol, ProtocolMetrics, WireSize};
+use tempo_kernel::protocol::{Protocol, ProtocolMetrics, WireSize};
 use tempo_planet::Planet;
 use tempo_workload::Workload;
 
@@ -67,15 +74,16 @@ impl CpuModel {
 }
 
 /// Simulation options.
+///
+/// There is no tick interval here: periodic behaviour belongs to the protocols, which
+/// schedule their own timers (e.g. Tempo's 5 ms promise broadcast, configurable via
+/// `TempoOptions::promise_interval_us`).
 #[derive(Debug, Clone, Copy)]
 pub struct SimOpts {
     /// Closed-loop clients per site.
     pub clients_per_site: usize,
     /// Commands issued by each client.
     pub commands_per_client: usize,
-    /// Interval of the periodic protocol tick (promise broadcast etc.), in microseconds.
-    /// The paper flushes sockets every 5 ms.
-    pub tick_interval_us: u64,
     /// Optional CPU cost model; `None` reproduces the paper's idealized simulator mode.
     pub cpu: Option<CpuModel>,
     /// Seed for workload randomness.
@@ -89,7 +97,6 @@ impl Default for SimOpts {
         Self {
             clients_per_site: 16,
             commands_per_client: 20,
-            tick_interval_us: 5_000,
             cpu: None,
             seed: 1,
             max_sim_time_us: 600_000_000,
@@ -103,7 +110,8 @@ enum EventKind<M> {
         to: ProcessId,
         msg: M,
     },
-    Tick {
+    /// Wake a process because one of its protocol-scheduled timers may be due.
+    TimerWake {
         process: ProcessId,
     },
     ClientSubmit {
@@ -150,12 +158,14 @@ pub struct Simulation<P: Protocol, W: Workload> {
     membership: Membership,
     planet: Planet,
     opts: SimOpts,
-    processes: BTreeMap<ProcessId, P>,
+    drivers: BTreeMap<ProcessId, Driver<P>>,
     workload: W,
     clients: BTreeMap<ClientId, ClientState>,
     queue: BinaryHeap<Event<P::Message>>,
     next_seq: u64,
     busy_until: BTreeMap<ProcessId, u64>,
+    /// The earliest registered timer wake-up per process (to avoid duplicate events).
+    timer_wakes: BTreeMap<ProcessId, u64>,
     now: u64,
     completed_total: u64,
     first_submit: u64,
@@ -177,12 +187,10 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
             "planet must have one region per site"
         );
         let membership = Membership::from_config(&config);
-        let mut processes = BTreeMap::new();
+        let mut drivers = BTreeMap::new();
         for id in membership.all_processes() {
             let shard = membership.shard_of(id);
-            let mut p = P::new(id, shard, config);
-            p.discover(planet.view_for(config, id));
-            processes.insert(id, p);
+            drivers.insert(id, Driver::<P>::new(id, shard, config));
         }
         let mut clients = BTreeMap::new();
         let mut client_id: ClientId = 0;
@@ -212,12 +220,13 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
             membership,
             planet,
             opts,
-            processes,
+            drivers,
             workload,
             clients,
             queue: BinaryHeap::new(),
             next_seq: 0,
             busy_until: BTreeMap::new(),
+            timer_wakes: BTreeMap::new(),
             now: 0,
             completed_total: 0,
             first_submit: u64::MAX,
@@ -256,52 +265,67 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
         }
     }
 
-    fn route(&mut self, from: ProcessId, at: u64, actions: Vec<Action<P::Message>>) {
+    /// Acts on one driver step: transports sends with the planet's latency (and the CPU
+    /// model's send cost), completes client requests from executed commands, and
+    /// registers a timer wake-up if the step scheduled one.
+    fn absorb(&mut self, from: ProcessId, at: u64, output: Output<P::Message>) {
         let from_site = self.membership.site_of(from);
         let mut send_cost = 0u64;
-        for action in actions {
-            match action {
-                Action::Send { to, msg } => {
-                    for target in to {
-                        if target == from {
-                            // Protocols handle self-addressed messages internally.
-                            continue;
-                        }
-                        // Sending costs CPU/outgoing bandwidth at the sender.
-                        if let Some(cpu) = self.opts.cpu {
-                            send_cost += cpu.message_cost_us(msg.wire_size());
-                        }
-                        let latency =
-                            self.planet.one_way_us(from_site, self.membership.site_of(target));
-                        self.push(
-                            at + send_cost + latency,
-                            EventKind::Deliver {
-                                from,
-                                to: target,
-                                msg: msg.clone(),
-                            },
-                        );
-                    }
+        for send in output.sends {
+            for target in send.to {
+                debug_assert_ne!(target, from, "protocols deliver self-sends internally");
+                // Sending costs CPU/outgoing bandwidth at the sender.
+                if let Some(cpu) = self.opts.cpu {
+                    send_cost += cpu.message_cost_us(send.msg.wire_size());
                 }
+                let latency = self
+                    .planet
+                    .one_way_us(from_site, self.membership.site_of(target));
+                self.push(
+                    at + send_cost + latency,
+                    EventKind::Deliver {
+                        from,
+                        to: target,
+                        msg: send.msg.clone(),
+                    },
+                );
             }
         }
         if send_cost > 0 {
             let busy = self.busy_until.entry(from).or_insert(0);
             *busy = (*busy).max(at) + send_cost;
         }
+        self.complete_clients(from, at, output.executed);
+        self.register_timer_wake(from, at);
     }
 
-    fn collect_executions(&mut self, process: ProcessId, at: u64) {
-        let site = self.membership.site_of(process);
-        let shard = self.membership.shard_of(process);
-        let executed = self
-            .processes
-            .get_mut(&process)
-            .expect("process exists")
-            .drain_executed();
+    /// Pushes a `TimerWake` event for the process's earliest pending timer, unless an
+    /// earlier (still useful) wake-up is already registered.
+    fn register_timer_wake(&mut self, process: ProcessId, at: u64) {
+        let Some(due) = self.drivers[&process].next_timer_due() else {
+            return;
+        };
+        let due = due.max(at);
+        match self.timer_wakes.get(&process) {
+            Some(registered) if *registered <= due => {}
+            _ => {
+                self.timer_wakes.insert(process, due);
+                self.push(due, EventKind::TimerWake { process });
+            }
+        }
+    }
+
+    fn complete_clients(
+        &mut self,
+        process: ProcessId,
+        at: u64,
+        executed: Vec<tempo_kernel::protocol::Executed>,
+    ) {
         if executed.is_empty() {
             return;
         }
+        let site = self.membership.site_of(process);
+        let shard = self.membership.shard_of(process);
         self.charge_executions(process, executed.len());
         for exec in executed {
             let client_id = exec.rifl.client;
@@ -344,13 +368,12 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
         }
         self.first_submit = self.first_submit.min(at);
         let start = self.charge_cpu(target, at, cmd.wire_size());
-        let actions = self
-            .processes
+        let output = self
+            .drivers
             .get_mut(&target)
             .expect("target exists")
             .submit(cmd, start);
-        self.route(target, start, actions);
-        self.collect_executions(target, start);
+        self.absorb(target, start, output);
     }
 
     fn total_commands(&self) -> u64 {
@@ -359,15 +382,21 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
 
     /// Runs the simulation to completion and produces the report.
     pub fn run(mut self) -> RunReport {
+        // Start every driver: protocols learn their view and schedule their own timers.
+        let process_ids: Vec<ProcessId> = self.drivers.keys().copied().collect();
+        for p in process_ids {
+            let view = self.planet.view_for(self.config, p);
+            let output = self
+                .drivers
+                .get_mut(&p)
+                .expect("process exists")
+                .start(view, 0);
+            self.absorb(p, 0, output);
+        }
         // Kick off every client, slightly staggered for determinism without full symmetry.
         let client_ids: Vec<ClientId> = self.clients.keys().copied().collect();
         for (i, client) in client_ids.into_iter().enumerate() {
             self.push(i as u64 % 997, EventKind::ClientSubmit { client });
-        }
-        // Periodic ticks.
-        let process_ids: Vec<ProcessId> = self.processes.keys().copied().collect();
-        for p in &process_ids {
-            self.push(self.opts.tick_interval_us, EventKind::Tick { process: *p });
         }
 
         let target = self.total_commands();
@@ -384,26 +413,25 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
             match event.kind {
                 EventKind::Deliver { from, to, msg } => {
                     let start = self.charge_cpu(to, event.time, msg.wire_size());
-                    let actions = self
-                        .processes
+                    let output = self
+                        .drivers
                         .get_mut(&to)
                         .expect("process exists")
                         .handle(from, msg, start);
-                    self.route(to, start, actions);
-                    self.collect_executions(to, start);
+                    self.absorb(to, start, output);
                 }
-                EventKind::Tick { process } => {
-                    let actions = self
-                        .processes
+                EventKind::TimerWake { process } => {
+                    // Drop the registration and fire whatever is due; `absorb`
+                    // re-registers the next wake-up.
+                    if self.timer_wakes.get(&process) == Some(&event.time) {
+                        self.timer_wakes.remove(&process);
+                    }
+                    let output = self
+                        .drivers
                         .get_mut(&process)
                         .expect("process exists")
-                        .tick(event.time);
-                    self.route(process, event.time, actions);
-                    self.collect_executions(process, event.time);
-                    self.push(
-                        event.time + self.opts.tick_interval_us,
-                        EventKind::Tick { process },
-                    );
+                        .fire_due(event.time);
+                    self.absorb(process, event.time, output);
                 }
                 EventKind::ClientSubmit { client } => {
                     self.submit_for_client(client, event.time);
@@ -415,7 +443,7 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
         }
 
         let mut metrics = ProtocolMetrics::default();
-        for p in self.processes.values() {
+        for p in self.drivers.values() {
             let m = p.metrics();
             metrics.fast_paths += m.fast_paths;
             metrics.slow_paths += m.slow_paths;
@@ -424,7 +452,9 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
             metrics.recoveries += m.recoveries;
             metrics.messages_sent += m.messages_sent;
         }
-        let duration = self.last_completion.saturating_sub(self.first_submit.min(self.last_completion));
+        let duration = self
+            .last_completion
+            .saturating_sub(self.first_submit.min(self.last_completion));
         let sites = self
             .per_site
             .into_iter()
@@ -484,7 +514,10 @@ mod tests {
         );
         assert!(!report.stalled, "simulation stalled");
         assert_eq!(report.completed, 5 * 4 * 5);
-        assert!(report.mean_latency_ms() > 50.0, "wide-area latency expected");
+        assert!(
+            report.mean_latency_ms() > 50.0,
+            "wide-area latency expected"
+        );
         assert!(report.throughput_kops() > 0.0);
     }
 
@@ -560,7 +593,12 @@ mod tests {
             commands_per_client: 5,
             ..SimOpts::default()
         };
-        let ideal = run::<Tempo, _>(config, planet.clone(), base, ConflictWorkload::new(0.0, 4096, 3));
+        let ideal = run::<Tempo, _>(
+            config,
+            planet.clone(),
+            base,
+            ConflictWorkload::new(0.0, 4096, 3),
+        );
         let with_cpu = run::<Tempo, _>(
             config,
             planet,

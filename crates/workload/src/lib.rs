@@ -209,7 +209,13 @@ impl Workload for AllConflicts {
     fn next_command(&mut self, client: ClientId) -> Command {
         let seq = self.sequences.entry(client).or_insert(0);
         *seq += 1;
-        Command::single(Rifl::new(client, *seq), 0, 0, KVOp::Add(1), self.payload_size)
+        Command::single(
+            Rifl::new(client, *seq),
+            0,
+            0,
+            KVOp::Add(1),
+            self.payload_size,
+        )
     }
 }
 
@@ -277,7 +283,9 @@ mod tests {
     fn ycsbt_write_ratio_controls_read_only_commands() {
         let count_writes = |ratio: f64| {
             let mut w = YcsbT::new(2, 100_000, 0.5, ratio, 11);
-            (0..2000).filter(|i| !w.next_command(i % 4).is_read_only()).count()
+            (0..2000)
+                .filter(|i| !w.next_command(i % 4).is_read_only())
+                .count()
         };
         assert_eq!(count_writes(0.0), 0);
         let five = count_writes(0.05);

@@ -20,7 +20,9 @@ fn main() {
     };
     let _ = cluster.process_mut(1).handle(1, bump, 0);
 
-    println!("replica 0 submits a command, reaches its fast quorum, then crashes before committing");
+    println!(
+        "replica 0 submits a command, reaches its fast quorum, then crashes before committing"
+    );
     cluster.submit_no_deliver(0, Command::single(Rifl::new(1, 1), 0, 0, KVOp::Put(42), 0));
     cluster.step(); // MPropose reaches replica 1
     cluster.step(); // MPayload reaches replica 2

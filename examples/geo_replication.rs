@@ -20,9 +20,19 @@ fn main() {
     let planet = Planet::ec2();
 
     println!("running Tempo f=1 over Ireland / N. California / Singapore / Canada / São Paulo...");
-    let tempo = run::<Tempo, _>(config, planet.clone(), opts, ConflictWorkload::new(0.02, 100, 1));
+    let tempo = run::<Tempo, _>(
+        config,
+        planet.clone(),
+        opts,
+        ConflictWorkload::new(0.02, 100, 1),
+    );
     println!("running FPaxos f=1 with the leader in Ireland...");
-    let fpaxos = run::<FPaxos, _>(config, planet.clone(), opts, ConflictWorkload::new(0.02, 100, 1));
+    let fpaxos = run::<FPaxos, _>(
+        config,
+        planet.clone(),
+        opts,
+        ConflictWorkload::new(0.02, 100, 1),
+    );
 
     println!("\nper-site mean latency (ms):");
     println!("{:<16} {:>10} {:>10}", "site", "Tempo", "FPaxos");

@@ -20,7 +20,10 @@ fn main() {
     };
 
     println!("YCSB+T, two keys per transaction, zipf 0.7, 50% writes, 3 sites per shard\n");
-    println!("{:<8} {:>16} {:>16}", "shards", "Tempo (kops/s)", "Janus* (kops/s)");
+    println!(
+        "{:<8} {:>16} {:>16}",
+        "shards", "Tempo (kops/s)", "Janus* (kops/s)"
+    );
     for shards in [2usize, 4, 6] {
         let config = Config::new(3, 1, shards);
         let tempo = run::<Tempo, _>(

@@ -32,9 +32,15 @@ fn main() {
     }
     for client in clients {
         let (site, latencies) = client.join().expect("client thread");
-        let mean_ms: f64 =
-            latencies.iter().map(|l| l.as_secs_f64() * 1000.0).sum::<f64>() / latencies.len() as f64;
-        println!("client at site {site}: mean latency {mean_ms:.0} ms over {} commands", latencies.len());
+        let mean_ms: f64 = latencies
+            .iter()
+            .map(|l| l.as_secs_f64() * 1000.0)
+            .sum::<f64>()
+            / latencies.len() as f64;
+        println!(
+            "client at site {site}: mean latency {mean_ms:.0} ms over {} commands",
+            latencies.len()
+        );
     }
 
     let metrics = cluster.shutdown();

@@ -4,13 +4,45 @@
 //! the integration tests under `tests/` can refer to everything through one dependency.
 //! The actual functionality lives in the member crates:
 //!
-//! * [`kernel`] — PSMR substrate (commands, configuration, protocol trait, KV store),
+//! * [`kernel`] — PSMR substrate: the Protocol API v2 ([`kernel::Protocol`] +
+//!   [`kernel::Executor`] + typed [`kernel::Action`]s) and the generic
+//!   [`kernel::Driver`] dispatch core shared by every runtime,
 //! * [`planet`] — EC2 regions and the Table 2 latency matrix,
 //! * [`tempo`] — the Tempo protocol (the paper's contribution),
 //! * [`atlas`], [`fpaxos`], [`caesar`], [`janus`] — the baselines of §6,
 //! * [`sim`] — the discrete-event simulator,
 //! * [`runtime`] — the threaded cluster runtime,
 //! * [`workload`] — microbenchmark, YCSB+T and batching workloads.
+//!
+//! # Quick start (API v2)
+//!
+//! Protocols are deterministic state machines producing typed actions — `Send` messages,
+//! `Deliver` executed commands (push-based completions), and `Schedule` for their own
+//! periodic timers. The same state machine runs unchanged under the synchronous test
+//! harness, the discrete-event simulator and the threaded runtime, because all three
+//! schedule over the kernel's generic `Driver`:
+//!
+//! ```
+//! use tempo::kernel::harness::LocalCluster;
+//! use tempo::kernel::{Command, Config, KVOp, Rifl};
+//! use tempo::tempo::Tempo;
+//!
+//! // Five replicas of one shard, tolerating one failure (fast quorums of 3).
+//! let config = Config::full(5, 1);
+//! let mut cluster = LocalCluster::<Tempo>::new(config);
+//!
+//! // Submit a command; completions are pushed by the protocol (no polling API).
+//! cluster.submit(0, Command::single(Rifl::new(1, 1), 0, 42, KVOp::Put(7), 0));
+//! let executed = cluster.executed(0);
+//! assert_eq!(executed.len(), 1);
+//!
+//! // Protocol-owned timers (promise broadcast, liveness) fire as time advances.
+//! cluster.tick_all(5_000);
+//! ```
+//!
+//! To drive a protocol from your own scheduler, wrap it in a
+//! [`Driver`](kernel::Driver) directly — see the `tempo-kernel` crate docs and
+//! `DESIGN.md` ("Protocol API v2") for the full `Action`/`Driver`/timer contract.
 
 #![forbid(unsafe_code)]
 

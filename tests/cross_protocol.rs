@@ -42,7 +42,11 @@ fn every_full_replication_protocol_completes_the_microbenchmark() {
     ] {
         assert!(!report.stalled, "{} stalled", report.protocol);
         assert_eq!(report.completed, expected, "{} incomplete", report.protocol);
-        assert!(report.mean_latency_ms() > 30.0, "{} latency unrealistically low", report.protocol);
+        assert!(
+            report.mean_latency_ms() > 30.0,
+            "{} latency unrealistically low",
+            report.protocol
+        );
     }
 }
 
@@ -53,11 +57,21 @@ fn partial_replication_protocols_complete_ycsbt() {
     for (name, report) in [
         (
             "Tempo",
-            run::<Tempo, _>(config, planet.clone(), opts(), YcsbT::new(4, 10_000, 0.7, 0.5, 3)),
+            run::<Tempo, _>(
+                config,
+                planet.clone(),
+                opts(),
+                YcsbT::new(4, 10_000, 0.7, 0.5, 3),
+            ),
         ),
         (
             "Janus*",
-            run::<Janus, _>(config, planet.clone(), opts(), YcsbT::new(4, 10_000, 0.7, 0.5, 3)),
+            run::<Janus, _>(
+                config,
+                planet.clone(),
+                opts(),
+                YcsbT::new(4, 10_000, 0.7, 0.5, 3),
+            ),
         ),
     ] {
         assert!(!report.stalled, "{name} stalled");

@@ -1,7 +1,10 @@
-//! Property-based tests (proptest) on the core data structures and protocol invariants.
+//! Randomized property tests on the core data structures and protocol invariants.
+//!
+//! The workspace is dependency free, so instead of an external property-testing crate
+//! these tests draw their cases from the deterministic PRNG in `tempo_kernel::rand`:
+//! each property is checked over many seeded random instances, and a failure message
+//! always carries the seed so the case can be replayed.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
 use tempo_atlas::DependencyGraph;
 use tempo_core::{PromiseTracker, Tempo};
@@ -32,24 +35,37 @@ fn naive_stable(n: usize, promises: &[(u64, u64)]) -> u64 {
     prefixes[n / 2]
 }
 
-proptest! {
-    #[test]
-    fn stability_matches_naive_reference(
-        promises in vec((0u64..5, 1u64..30), 0..120)
-    ) {
+fn random_promises(rng: &mut Rng, max_len: u64) -> Vec<(u64, u64)> {
+    let len = rng.gen_range(max_len);
+    (0..len)
+        .map(|_| (rng.gen_range(5), 1 + rng.gen_range(29)))
+        .collect()
+}
+
+#[test]
+fn stability_matches_naive_reference() {
+    for seed in 0..200u64 {
+        let mut rng = Rng::new(seed);
+        let promises = random_promises(&mut rng, 120);
         let processes: Vec<u64> = (0..5).collect();
         let mut tracker = PromiseTracker::new(&processes, 2);
         for (p, ts) in &promises {
             tracker.add_single(*p, *ts);
         }
-        prop_assert_eq!(tracker.stable_timestamp(), naive_stable(5, &promises));
+        assert_eq!(
+            tracker.stable_timestamp(),
+            naive_stable(5, &promises),
+            "seed {seed}: tracker disagrees with the naive reference"
+        );
     }
+}
 
-    #[test]
-    fn stability_is_monotone_under_new_promises(
-        first in vec((0u64..5, 1u64..30), 0..60),
-        second in vec((0u64..5, 1u64..30), 0..60)
-    ) {
+#[test]
+fn stability_is_monotone_under_new_promises() {
+    for seed in 0..200u64 {
+        let mut rng = Rng::new(seed);
+        let first = random_promises(&mut rng, 60);
+        let second = random_promises(&mut rng, 60);
         let processes: Vec<u64> = (0..5).collect();
         let mut tracker = PromiseTracker::new(&processes, 2);
         for (p, ts) in &first {
@@ -59,18 +75,26 @@ proptest! {
         for (p, ts) in &second {
             tracker.add_single(*p, *ts);
         }
-        prop_assert!(tracker.stable_timestamp() >= before);
+        assert!(
+            tracker.stable_timestamp() >= before,
+            "seed {seed}: stability went backwards"
+        );
     }
+}
 
-    #[test]
-    fn dependency_graph_executes_everything_exactly_once(
-        edges in vec((0u64..20, 0u64..20), 0..80)
-    ) {
-        // Build an arbitrary dependency graph over 20 commands (cycles allowed) and commit
-        // all of them; the executor must execute each exactly once, respecting
+#[test]
+fn dependency_graph_executes_everything_exactly_once() {
+    for seed in 0..100u64 {
+        let mut rng = Rng::new(seed);
+        // Build an arbitrary dependency graph over 20 commands (cycles allowed) and
+        // commit all of them; the executor must execute each exactly once, respecting
         // committed-before-executed.
-        let mut deps: BTreeMap<u64, BTreeSet<Dot>> = (0..20u64).map(|i| (i, BTreeSet::new())).collect();
-        for (a, b) in edges {
+        let mut deps: BTreeMap<u64, BTreeSet<Dot>> =
+            (0..20u64).map(|i| (i, BTreeSet::new())).collect();
+        let edges = rng.gen_range(80);
+        for _ in 0..edges {
+            let a = rng.gen_range(20);
+            let b = rng.gen_range(20);
             if a != b {
                 deps.get_mut(&a).unwrap().insert(Dot::new(1, b + 1));
             }
@@ -82,19 +106,27 @@ proptest! {
             executed.extend(graph.try_execute());
         }
         executed.extend(graph.try_execute());
-        prop_assert_eq!(executed.len(), 20, "every command executes once all are committed");
+        assert_eq!(
+            executed.len(),
+            20,
+            "seed {seed}: every command executes once all are committed"
+        );
         let unique: BTreeSet<Dot> = executed.iter().copied().collect();
-        prop_assert_eq!(unique.len(), 20, "no duplicates");
-        prop_assert_eq!(graph.pending(), 0);
+        assert_eq!(unique.len(), 20, "seed {seed}: no duplicates");
+        assert_eq!(graph.pending(), 0, "seed {seed}");
     }
+}
 
-    #[test]
-    fn kvstore_is_deterministic(ops in vec((0u64..10, 0u64..1000), 1..100)) {
-        let commands: Vec<Command> = ops
-            .iter()
-            .enumerate()
-            .map(|(i, (key, value))| {
-                Command::single(Rifl::new(1, i as u64 + 1), 0, *key, KVOp::Add(*value), 0)
+#[test]
+fn kvstore_is_deterministic() {
+    for seed in 0..50u64 {
+        let mut rng = Rng::new(seed);
+        let len = 1 + rng.gen_range(99);
+        let commands: Vec<Command> = (0..len)
+            .map(|i| {
+                let key = rng.gen_range(10);
+                let value = rng.gen_range(1000);
+                Command::single(Rifl::new(1, i + 1), 0, key, KVOp::Add(value), 0)
             })
             .collect();
         let mut a = KVStore::new();
@@ -105,47 +137,54 @@ proptest! {
         for c in &commands {
             b.execute(0, c);
         }
-        prop_assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.digest(), b.digest(), "seed {seed}: stores diverged");
     }
+}
 
-    #[test]
-    fn zipf_samples_stay_in_range(n in 1u64..1_000_000, theta in 0.0f64..0.99, seed in 0u64..1000) {
+#[test]
+fn zipf_samples_stay_in_range() {
+    for seed in 0..100u64 {
+        let mut rng = Rng::new(seed);
+        let n = 1 + rng.gen_range(1_000_000);
+        let theta = rng.next_f64() * 0.99;
         let zipf = Zipf::new(n, theta);
-        let mut rng = Rng::new(seed);
         for _ in 0..100 {
-            prop_assert!(zipf.sample(&mut rng) < n);
-        }
-    }
-
-    #[test]
-    fn rng_range_is_always_below_bound(bound in 1u64..u64::MAX, seed in 0u64..1000) {
-        let mut rng = Rng::new(seed);
-        for _ in 0..50 {
-            prop_assert!(rng.gen_range(bound) < bound);
+            assert!(
+                zipf.sample(&mut rng) < n,
+                "seed {seed}: sample out of range"
+            );
         }
     }
 }
 
-proptest! {
-    // Heavier protocol-level property: fewer cases, still randomized.
-    #![proptest_config(ProptestConfig::with_cases(16))]
+#[test]
+fn rng_range_is_always_below_bound() {
+    for seed in 0..200u64 {
+        let mut rng = Rng::new(seed);
+        let bound = 1 + rng.next_u64() % (u64::MAX - 1);
+        for _ in 0..50 {
+            assert!(rng.gen_range(bound) < bound, "seed {seed}");
+        }
+    }
+}
 
-    #[test]
-    fn tempo_executes_all_commands_in_the_same_order_everywhere(
-        schedule in vec((0u64..5, 0u64..3, any::<bool>()), 5..40),
-        seed in 0u64..500
-    ) {
-        // `schedule` entries: (submitting process, key, deliver-some-messages?).
+/// Heavier protocol-level property: randomized schedules of submissions and partial
+/// deliveries must leave every replica with the same execution order.
+#[test]
+fn tempo_executes_all_commands_in_the_same_order_everywhere() {
+    for seed in 0..16u64 {
+        let mut rng = Rng::new(seed);
         let config = Config::full(5, 1);
         let mut cluster = LocalCluster::<Tempo>::new(config);
-        let mut rng = Rng::new(seed);
+        let total = 5 + rng.gen_range(35);
         let mut seq = [0u64; 5];
-        for (process, key, deliver) in &schedule {
-            let p = *process as ProcessId;
+        for _ in 0..total {
+            let p = rng.gen_range(5) as ProcessId;
+            let key = rng.gen_range(3);
             seq[p as usize] += 1;
-            let cmd = Command::single(Rifl::new(p, seq[p as usize]), 0, *key, KVOp::Add(1), 0);
+            let cmd = Command::single(Rifl::new(p, seq[p as usize]), 0, key, KVOp::Add(1), 0);
             cluster.submit_no_deliver(p, cmd);
-            if *deliver {
+            if rng.gen_bool(0.5) {
                 for _ in 0..(rng.gen_range(6) + 1) {
                     cluster.step();
                 }
@@ -155,12 +194,18 @@ proptest! {
         for _ in 0..5 {
             cluster.tick_all(5_000);
         }
-        let total = schedule.len();
         let reference: Vec<Rifl> = cluster.executed(0).into_iter().map(|e| e.rifl).collect();
-        prop_assert_eq!(reference.len(), total);
+        assert_eq!(
+            reference.len() as u64,
+            total,
+            "seed {seed}: missing executions"
+        );
         for p in 1..5u64 {
             let order: Vec<Rifl> = cluster.executed(p).into_iter().map(|e| e.rifl).collect();
-            prop_assert_eq!(&order, &reference, "divergent execution order at process {}", p);
+            assert_eq!(
+                order, reference,
+                "seed {seed}: divergent execution order at process {p}"
+            );
         }
     }
 }
