@@ -6,11 +6,13 @@
 //! and 1.8-3.4x Atlas — and is insensitive to the conflict rate.
 //!
 //! Scaled-down harness: the CPU cost model of `tempo-sim` stands in for the real
-//! hardware; the client sweep is 4..128 clients per site. Absolute ops/s are not
-//! comparable with the paper — the shape (who saturates first, sensitivity to conflicts)
-//! is.
+//! hardware; the client sweep is 16..256 clients per site (16..64 in
+//! `TEMPO_BENCH_SHORT` mode). Absolute ops/s are not comparable with the paper — the
+//! shape (who saturates first, sensitivity to conflicts) is. Results are also recorded
+//! in `BENCH_fig7.json` at the workspace root.
 
 use tempo_atlas::Atlas;
+use tempo_bench::json::{self, Record};
 use tempo_bench::{full_replication, header};
 use tempo_core::Tempo;
 use tempo_fpaxos::FPaxos;
@@ -29,12 +31,20 @@ fn scaled_cpu() -> CpuModel {
     }
 }
 
+fn client_sweep() -> &'static [usize] {
+    if tempo_bench::short_mode() {
+        &[16, 64]
+    } else {
+        &[16, 64, 128, 256]
+    }
+}
+
 fn sweep<P: tempo_kernel::protocol::Protocol>(label: &str, conflict: f64) -> f64 {
     let cpu = Some(scaled_cpu());
     let mut max_tput = 0.0f64;
     print!("{label:<14}");
-    for clients in [16usize, 64, 128, 256] {
-        let report = full_replication::<P>(1, clients, conflict, PAYLOAD, cpu);
+    for clients in client_sweep() {
+        let report = full_replication::<P>(1, *clients, conflict, PAYLOAD, cpu);
         let tput = report.throughput_kops();
         max_tput = max_tput.max(tput);
         print!(
@@ -51,8 +61,9 @@ fn sweep<P: tempo_kernel::protocol::Protocol>(label: &str, conflict: f64) -> f64
 fn main() {
     header(
         "Figure 7: throughput vs latency under increasing load",
-        "Figure 7, §6.3  (paper: up to 20480 clients/site on a real cluster; here: CPU model, 4-128 clients/site)",
+        "Figure 7, §6.3  (paper: up to 20480 clients/site on a real cluster; here: CPU model, 16-256 clients/site)",
     );
+    let mut records = Vec::new();
     for conflict in [0.02f64, 0.10] {
         println!("\n--- conflict rate {:.0}% ---", conflict * 100.0);
         println!(
@@ -71,7 +82,19 @@ fn main() {
             tempo >= fpaxos * 0.95,
             "Tempo should out-scale the leader-based protocol at saturation"
         );
+        let pct = (conflict * 100.0) as u64;
+        records.push(Record::new(
+            format!("fig7/max_throughput_conflict_{pct}pct"),
+            &[
+                ("tempo_kops", tempo),
+                ("atlas_kops", atlas),
+                ("fpaxos_kops", fpaxos),
+                ("tempo_over_fpaxos", tempo / fpaxos.max(0.001)),
+                ("tempo_over_atlas", tempo / atlas.max(0.001)),
+            ],
+        ));
     }
     println!("\nTempo's maximum throughput should be (nearly) identical across conflict rates,");
     println!("while Atlas degrades with contention (§6.3 'Increasing load and contention').");
+    json::write("fig7", &records);
 }

@@ -1,23 +1,32 @@
 //! Micro-benchmarks for the protocol-critical data structures: the timestamping clock,
-//! promise tracking / stability detection, the dependency-graph executor and a full
-//! Tempo commit round on a local cluster.
+//! promise tracking / stability detection (incremental vs. the seed's collect-and-sort
+//! baseline), the dependency-graph executor and a full Tempo commit round on a local
+//! cluster.
 //!
 //! The workspace is dependency free, so this is a plain timing harness (median of
 //! several repetitions) rather than a criterion target. Run with
-//! `cargo bench -p tempo-bench --bench micro`.
+//! `cargo bench -p tempo-bench --bench micro`; set `TEMPO_BENCH_SHORT=1` for the CI
+//! smoke mode. Results are also recorded in `BENCH_micro.json` at the workspace root.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::hint::black_box;
 use std::time::Instant;
 use tempo_atlas::DependencyGraph;
+use tempo_bench::json::{self, Record};
 use tempo_core::clock::Clock;
 use tempo_core::{PromiseRange, PromiseTracker, Tempo};
 use tempo_kernel::harness::LocalCluster;
-use tempo_kernel::id::{Dot, Rifl};
+use tempo_kernel::id::{Dot, ProcessId, Rifl};
 use tempo_kernel::{Command, Config, KVOp};
 
-/// Runs `iterations` repetitions of `f` and reports the median wall-clock time.
-fn bench<R>(name: &str, iterations: usize, mut f: impl FnMut() -> R) {
+/// Runs `iterations` repetitions of `f`, prints the median wall-clock time and returns
+/// it in microseconds.
+fn bench<R>(name: &str, iterations: usize, mut f: impl FnMut() -> R) -> f64 {
+    let iterations = if tempo_bench::short_mode() {
+        (iterations / 10).max(3)
+    } else {
+        iterations
+    };
     // One warm-up round.
     black_box(f());
     let mut samples: Vec<u128> = (0..iterations)
@@ -28,12 +37,13 @@ fn bench<R>(name: &str, iterations: usize, mut f: impl FnMut() -> R) {
         })
         .collect();
     samples.sort_unstable();
-    let median = samples[samples.len() / 2];
-    println!("{name:<45} median {:>10.1} µs", median as f64 / 1000.0);
+    let median_us = samples[samples.len() / 2] as f64 / 1000.0;
+    println!("{name:<45} median {median_us:>10.1} µs");
+    median_us
 }
 
-fn bench_clock() {
-    bench("clock/proposal_and_bump_1000", 50, || {
+fn bench_clock(records: &mut Vec<Record>) {
+    let median = bench("clock/proposal_and_bump_1000", 50, || {
         let mut clock = Clock::new();
         for i in 0..1000u64 {
             let t = clock.proposal(Dot::new(1, i), i / 2);
@@ -41,23 +51,112 @@ fn bench_clock() {
         }
         clock.value()
     });
+    records.push(Record::new(
+        "clock/proposal_and_bump_1000",
+        &[("median_us", median)],
+    ));
 }
 
-fn bench_stability() {
-    bench("promises/stability_detection_r5_1000", 50, || {
+/// The seed's stability detection, kept as the baseline the incremental `PromiseTracker`
+/// is measured against: per-process promises in a `BTreeSet` inserted timestamp by
+/// timestamp, and a collect-and-sort of all watermarks on every `stable_timestamp` query.
+struct NaiveTracker {
+    by_process: BTreeMap<ProcessId, (u64, BTreeSet<u64>)>,
+    stability_index: usize,
+}
+
+impl NaiveTracker {
+    fn new(processes: &[ProcessId], stability_index: usize) -> Self {
+        Self {
+            by_process: processes
+                .iter()
+                .map(|p| (*p, (0, BTreeSet::new())))
+                .collect(),
+            stability_index,
+        }
+    }
+
+    fn add(&mut self, process: ProcessId, range: PromiseRange) {
+        let (contiguous, sparse) = self.by_process.get_mut(&process).expect("known process");
+        if range.end <= *contiguous {
+            return;
+        }
+        if range.start <= *contiguous + 1 {
+            *contiguous = (*contiguous).max(range.end);
+        } else {
+            for ts in range.start..=range.end {
+                sparse.insert(ts);
+            }
+        }
+        while sparse.remove(&(*contiguous + 1)) {
+            *contiguous += 1;
+        }
+        *sparse = sparse.split_off(&(*contiguous + 1));
+    }
+
+    fn stable_timestamp(&self) -> u64 {
+        let mut watermarks: Vec<u64> = self.by_process.values().map(|(c, _)| *c).collect();
+        watermarks.sort_unstable();
+        watermarks[self.stability_index]
+    }
+}
+
+fn bench_stability(records: &mut Vec<Record>) {
+    // The hot-path shape of `sync_stability`: every promise arrival queries the
+    // watermark. r = 5 processes, 1000 sustained timestamps, one query per update.
+    let incremental = bench("promises/stability_detection_r5_1000", 50, || {
         let mut tracker = PromiseTracker::new(&[0, 1, 2, 3, 4], 2);
         for ts in 1..=1000u64 {
             for p in 0..5u64 {
                 tracker.add(p, PromiseRange::single(ts));
+                black_box(tracker.stable_timestamp());
             }
-            black_box(tracker.stable_timestamp());
         }
         tracker.stable_timestamp()
     });
+    let naive = bench("promises/stability_detection_r5_1000_naive", 50, || {
+        let mut tracker = NaiveTracker::new(&[0, 1, 2, 3, 4], 2);
+        for ts in 1..=1000u64 {
+            for p in 0..5u64 {
+                tracker.add(p, PromiseRange::single(ts));
+                black_box(tracker.stable_timestamp());
+            }
+        }
+        tracker.stable_timestamp()
+    });
+    let speedup = naive / incremental.max(1e-9);
+    println!("{:<45} {speedup:>16.1}x", "promises/speedup_vs_naive");
+    records.push(Record::new(
+        "promises/stability_detection_r5_1000",
+        &[
+            ("median_us", incremental),
+            ("naive_median_us", naive),
+            ("speedup_vs_naive", speedup),
+        ],
+    ));
 }
 
-fn bench_depgraph() {
-    bench("depgraph/chain_of_500", 50, || {
+fn bench_sparse_ranges(records: &mut Vec<Record>) {
+    // The coalesced-range representation: 1000 detached ranges of 1M timestamps each
+    // (the pattern of a lagging replica catching up) — the seed's per-timestamp
+    // BTreeSet insertion could not finish this workload at all.
+    let median = bench("promises/detached_megarange_1000", 50, || {
+        let mut tracker = PromiseTracker::new(&[0, 1, 2], 1);
+        for i in 0..1000u64 {
+            // Leave a one-timestamp gap so nothing merges into the prefix.
+            let start = 2 + i * 1_000_001;
+            tracker.add(0, PromiseRange::new(start, start + 999_999));
+        }
+        tracker.highest_contiguous_promise(0)
+    });
+    records.push(Record::new(
+        "promises/detached_megarange_1000",
+        &[("median_us", median)],
+    ));
+}
+
+fn bench_depgraph(records: &mut Vec<Record>) {
+    let median = bench("depgraph/chain_of_500", 50, || {
         let mut graph = DependencyGraph::new();
         for n in (2..=500u64).rev() {
             graph.add(Dot::new(1, n), BTreeSet::from([Dot::new(1, n - 1)]));
@@ -65,10 +164,14 @@ fn bench_depgraph() {
         graph.add(Dot::new(1, 1), BTreeSet::new());
         graph.try_execute().len()
     });
+    records.push(Record::new(
+        "depgraph/chain_of_500",
+        &[("median_us", median)],
+    ));
 }
 
-fn bench_commit_path() {
-    bench("tempo/commit_and_execute_100_commands_r5", 20, || {
+fn bench_commit_path(records: &mut Vec<Record>) {
+    let median = bench("tempo/commit_and_execute_100_commands_r5", 20, || {
         let mut cluster = LocalCluster::<Tempo>::new(Config::full(5, 1));
         for seq in 1..=100u64 {
             let cmd = Command::single(Rifl::new(1, seq), 0, seq % 4, KVOp::Put(seq), 0);
@@ -76,12 +179,42 @@ fn bench_commit_path() {
         }
         cluster.executed(0).len()
     });
+    records.push(Record::new(
+        "tempo/commit_and_execute_100_commands_r5",
+        &[("median_us", median)],
+    ));
+}
+
+fn bench_sustained_load(records: &mut Vec<Record>) {
+    // Long-run behaviour of the full hot path (commit + incremental stability + cursor
+    // executor + GC): cost per command must not grow with run length.
+    let commands = if tempo_bench::short_mode() { 300 } else { 1500 };
+    let name = "tempo/sustained_load_r3";
+    let median = bench(name, 10, || {
+        let mut cluster = LocalCluster::<Tempo>::new(Config::full(3, 1));
+        for seq in 1..=commands {
+            let cmd = Command::single(Rifl::new(1, seq), 0, seq % 16, KVOp::Put(seq), 0);
+            cluster.submit((seq % 3) as ProcessId, cmd);
+            if seq % 50 == 0 {
+                cluster.tick_all(5_000);
+            }
+        }
+        cluster.executed(0).len()
+    });
+    records.push(Record::new(
+        name,
+        &[("median_us", median), ("commands", commands as f64)],
+    ));
 }
 
 fn main() {
     println!("micro-benchmarks (median wall-clock per repetition)");
-    bench_clock();
-    bench_stability();
-    bench_depgraph();
-    bench_commit_path();
+    let mut records = Vec::new();
+    bench_clock(&mut records);
+    bench_stability(&mut records);
+    bench_sparse_ranges(&mut records);
+    bench_depgraph(&mut records);
+    bench_commit_path(&mut records);
+    bench_sustained_load(&mut records);
+    json::write("micro", &records);
 }

@@ -1,0 +1,119 @@
+//! Machine-readable benchmark output.
+//!
+//! Every bench harness prints human-readable text; the ones tracked over time
+//! additionally record their measurements as `BENCH_<name>.json` at the workspace root
+//! through this module, so the perf trajectory of the repo is diffable across PRs. The
+//! workspace is dependency free, so this is a small hand-rolled serializer for the flat
+//! shape we need: a bench name, a mode tag, and a list of records with numeric fields.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One benchmark record: a stable name plus numeric fields (`("median_us", 12.3)`, ...).
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Stable record identifier, e.g. `promises/stability_detection_r5_1000`.
+    pub name: String,
+    /// Numeric fields of the record, in output order.
+    pub fields: Vec<(String, f64)>,
+}
+
+impl Record {
+    /// Creates a record from a name and its numeric fields.
+    pub fn new(name: impl Into<String>, fields: &[(&str, f64)]) -> Self {
+        Self {
+            name: name.into(),
+            fields: fields.iter().map(|(k, v)| ((*k).to_string(), *v)).collect(),
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn format_number(v: f64) -> String {
+    if !v.is_finite() {
+        "null".to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Serializes the records to the JSON document recorded in `BENCH_*.json`.
+pub fn render(bench: &str, mode: &str, records: &[Record]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"{}\",", escape(bench));
+    let _ = writeln!(out, "  \"mode\": \"{}\",", escape(mode));
+    let _ = writeln!(out, "  \"results\": [");
+    for (i, record) in records.iter().enumerate() {
+        let mut line = format!("    {{\"name\": \"{}\"", escape(&record.name));
+        for (key, value) in &record.fields {
+            let _ = write!(line, ", \"{}\": {}", escape(key), format_number(*value));
+        }
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        let _ = writeln!(out, "{line}}}{comma}");
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// The workspace root (two levels above the `tempo-bench` manifest).
+pub fn workspace_root() -> PathBuf {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    root.canonicalize().unwrap_or(root)
+}
+
+/// Writes `BENCH_<bench>.json` at the workspace root and reports the path on stdout.
+/// `mode` is `"short"` under [`crate::short_mode`], `"full"` otherwise.
+pub fn write(bench: &str, records: &[Record]) {
+    let mode = if crate::short_mode() { "short" } else { "full" };
+    let path = workspace_root().join(format!("BENCH_{bench}.json"));
+    match std::fs::write(&path, render(bench, mode, records)) {
+        Ok(()) => println!(
+            "\nrecorded {} result(s) in {}",
+            records.len(),
+            path.display()
+        ),
+        Err(err) => eprintln!("warning: could not write {}: {err}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_flat_json() {
+        let records = vec![
+            Record::new("a/b", &[("median_us", 1.5), ("speedup", 12.0)]),
+            Record::new("c", &[("kops", 3.25)]),
+        ];
+        let doc = render("micro", "full", &records);
+        assert!(doc.contains("\"bench\": \"micro\""));
+        assert!(doc.contains("{\"name\": \"a/b\", \"median_us\": 1.5000, \"speedup\": 12},"));
+        assert!(doc.contains("{\"name\": \"c\", \"kops\": 3.2500}"));
+        // Balanced braces / brackets.
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    #[test]
+    fn escapes_strings_and_non_finite_numbers() {
+        let records = vec![Record::new("we\"ird\\", &[("x", f64::NAN)])];
+        let doc = render("b", "short", &records);
+        assert!(doc.contains("we\\\"ird\\\\"));
+        assert!(doc.contains("\"x\": null"));
+    }
+}

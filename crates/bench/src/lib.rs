@@ -10,6 +10,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+
 use tempo_kernel::config::Config;
 use tempo_kernel::protocol::Protocol;
 use tempo_planet::Planet;
@@ -18,6 +20,13 @@ use tempo_workload::{BatchedConflict, ConflictWorkload, Workload, YcsbT};
 
 /// Number of commands each simulated client issues in the scaled-down harnesses.
 pub const COMMANDS_PER_CLIENT: usize = 20;
+
+/// Whether the benches run in short (CI smoke) mode: fewer repetitions and smaller
+/// sweeps, controlled by the `TEMPO_BENCH_SHORT` environment variable. Short mode keeps
+/// the recorded `BENCH_*.json` shape identical so the perf trajectory stays comparable.
+pub fn short_mode() -> bool {
+    std::env::var_os("TEMPO_BENCH_SHORT").is_some_and(|v| !v.is_empty() && v != "0")
+}
 
 /// Prints a harness header with the experiment name and the paper reference.
 pub fn header(title: &str, paper: &str) {

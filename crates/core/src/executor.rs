@@ -9,11 +9,19 @@
 //! for multi-shard commands, once the colocated replica of every other accessed shard has
 //! announced stability.
 //!
+//! Both passes over the committed queue are cursor-based so that steady-state cost per
+//! event does not scale with queue depth: the *announcement* pass resumes from the last
+//! entry it visited (each entry is announced exactly once; see
+//! [`TempoExecutor::announce_visits`]), and the *execution* pass pops entries from the
+//! queue front. Re-walking the whole stable prefix on every event — O(n²) aggregate over
+//! a run — was the seed behaviour this replaces.
+//!
 //! Because the executor never looks at protocol state, it can be unit-tested by feeding
 //! hand-crafted event sequences (see the tests below), exactly the ordering/execution
 //! split the paper describes.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Bound;
 use tempo_kernel::command::Command;
 use tempo_kernel::config::Config;
 use tempo_kernel::id::{Dot, ProcessId, ShardId};
@@ -74,6 +82,14 @@ pub struct TempoExecutor {
     /// broadcast; drained by the ordering stage via [`Self::take_newly_stable`].
     newly_stable: Vec<Dot>,
     announced: BTreeSet<Dot>,
+    /// The last queue entry visited by the announcement pass: every entry at or below it
+    /// has already been announced, so the pass resumes strictly after the cursor instead
+    /// of re-walking the stable prefix on every event. Reset (rare) if an entry is ever
+    /// inserted at or below it.
+    announce_cursor: Option<(u64, Dot)>,
+    /// Total queue entries visited by the announcement pass (diagnostics: with the
+    /// cursor, this tracks the number of committed commands, not events × queue depth).
+    announce_visits: u64,
     /// Dots executed and not yet claimed via [`Self::take_executed_dots`].
     executed_dots: Vec<Dot>,
     kv: KVStore,
@@ -102,28 +118,47 @@ impl TempoExecutor {
         self.queue.len()
     }
 
+    /// Total queue entries visited by the announcement pass so far (diagnostics; see the
+    /// single-visit test below).
+    pub fn announce_visits(&self) -> u64 {
+        self.announce_visits
+    }
+
     /// Read access to the replicated store (tests and diagnostics).
     pub fn store(&self) -> &KVStore {
         &self.kv
     }
 
+    /// Drops the bookkeeping of a garbage-collected (everywhere-executed) dot. The only
+    /// state that can outlive execution is an `early_stables` entry left by an `MStable`
+    /// that arrived after the command executed here.
+    pub fn gc(&mut self, dot: Dot) {
+        self.early_stables.remove(&dot);
+    }
+
     fn run(&mut self, out: &mut Vec<Executed>) {
-        // First pass: flag stability of multi-shard commands as soon as they are locally
-        // stable, without waiting for earlier commands to execute (the `MStable`
-        // announcement of Algorithm 3).
-        for (ts, dot) in self.queue.iter() {
-            if *ts > self.stable {
+        // Announcement pass: flag stability of multi-shard commands as soon as they are
+        // locally stable, without waiting for earlier commands to execute (the `MStable`
+        // announcement of Algorithm 3). Resumes after the cursor: each entry is visited
+        // once over its whole queue lifetime.
+        let lower = match self.announce_cursor {
+            Some(cursor) => Bound::Excluded(cursor),
+            None => Bound::Unbounded,
+        };
+        for &(ts, dot) in self.queue.range((lower, Bound::Unbounded)) {
+            if ts > self.stable {
                 break;
             }
-            let pending = self.pending.get(dot).expect("queued commands are pending");
-            if pending.multi_shard && !self.announced.contains(dot) {
-                self.announced.insert(*dot);
-                self.newly_stable.push(*dot);
+            self.announce_visits += 1;
+            let pending = self.pending.get(&dot).expect("queued commands are pending");
+            if pending.multi_shard && self.announced.insert(dot) {
+                self.newly_stable.push(dot);
             }
+            self.announce_cursor = Some((ts, dot));
         }
-        // Second pass: execute the stable prefix in `⟨ts, id⟩` order; a multi-shard
+        // Execution pass: execute the stable prefix in `⟨ts, id⟩` order; a multi-shard
         // command blocks the prefix until every sibling shard announced stability.
-        while let Some(&(ts, dot)) = self.queue.iter().next() {
+        while let Some(&(ts, dot)) = self.queue.first() {
             if ts > self.stable {
                 break;
             }
@@ -135,6 +170,7 @@ impl TempoExecutor {
             if !ready {
                 break;
             }
+            self.queue.pop_first();
             let pending = self.pending.remove(&dot).expect("checked above");
             let result = self.kv.execute(self.shard, &pending.cmd);
             out.push(Executed {
@@ -144,7 +180,7 @@ impl TempoExecutor {
             self.executed_count += 1;
             self.executed_dots.push(dot);
             self.announced.remove(&dot);
-            self.queue.remove(&(ts, dot));
+            self.early_stables.remove(&dot);
         }
     }
 }
@@ -161,6 +197,8 @@ impl Executor for TempoExecutor {
             early_stables: BTreeMap::new(),
             newly_stable: Vec::new(),
             announced: BTreeSet::new(),
+            announce_cursor: None,
+            announce_visits: 0,
             executed_dots: Vec::new(),
             kv: KVStore::new(),
             executed_count: 0,
@@ -195,6 +233,16 @@ impl Executor for TempoExecutor {
                     },
                 );
                 self.queue.insert((ts, dot));
+                // Stability (Theorem 1) implies every command with a lower ⟨ts, id⟩ is
+                // already known, so new entries land above the cursor; reset it in the
+                // defensive case so the announcement pass re-covers the entry (the
+                // `announced` set keeps re-visits idempotent).
+                if self
+                    .announce_cursor
+                    .is_some_and(|cursor| (ts, dot) < cursor)
+                {
+                    self.announce_cursor = None;
+                }
                 self.run(&mut out);
             }
             ExecutionInfo::Stable { ts } => {
@@ -345,5 +393,85 @@ mod tests {
             from: 3,
         });
         assert_eq!(executed.len(), 2, "unblocking the head releases the prefix");
+    }
+
+    #[test]
+    fn announcement_pass_visits_each_entry_once() {
+        // Interleave Committed / Stable / ShardStable events over a queue whose head is
+        // blocked: the seed implementation re-walked the whole stable prefix on every
+        // event (O(n²) visits); the cursor must visit each entry exactly once.
+        let mut ex = executor();
+        let n = 50u64;
+        for seq in 1..=n {
+            assert!(ex
+                .handle(ExecutionInfo::Committed {
+                    dot: Dot::new(1, seq),
+                    ts: seq,
+                    cmd: multi_cmd(seq),
+                    waits: vec![3],
+                })
+                .is_empty());
+            // Every Stable advance re-runs both passes while all previous entries are
+            // still queued (their sibling MStable has not arrived).
+            assert!(ex.handle(ExecutionInfo::Stable { ts: seq }).is_empty());
+        }
+        assert_eq!(ex.queued() as u64, n);
+        // Each of the n entries was announced exactly once despite 2n run() invocations
+        // over an ever-growing stable prefix.
+        assert_eq!(ex.announce_visits(), n);
+        assert_eq!(ex.take_newly_stable().len() as u64, n);
+        // Sibling announcements release the prefix in order; no further announcement
+        // visits happen (ShardStable events add no queue entries).
+        for seq in 1..=n {
+            let executed = ex.handle(ExecutionInfo::ShardStable {
+                dot: Dot::new(1, seq),
+                from: 3,
+            });
+            assert_eq!(executed.len(), 1);
+        }
+        assert_eq!(ex.announce_visits(), n);
+        assert_eq!(ex.executed(), n);
+        assert_eq!(ex.queued(), 0);
+    }
+
+    #[test]
+    fn late_entry_below_cursor_is_still_announced() {
+        // Defensive path: a commit with a timestamp at or below an already-announced
+        // entry must still be announced (cursor reset), and announced entries must not
+        // be announced twice.
+        let mut ex = executor();
+        let _ = ex.handle(ExecutionInfo::Committed {
+            dot: Dot::new(2, 1),
+            ts: 10,
+            cmd: multi_cmd(1),
+            waits: vec![3],
+        });
+        let _ = ex.handle(ExecutionInfo::Stable { ts: 10 });
+        assert_eq!(ex.take_newly_stable(), vec![Dot::new(2, 1)]);
+        // A late commit below the cursor.
+        let _ = ex.handle(ExecutionInfo::Committed {
+            dot: Dot::new(1, 1),
+            ts: 5,
+            cmd: multi_cmd(2),
+            waits: vec![3],
+        });
+        assert_eq!(ex.take_newly_stable(), vec![Dot::new(1, 1)]);
+        // The re-scan did not re-announce the first entry.
+        let _ = ex.handle(ExecutionInfo::Stable { ts: 11 });
+        assert!(ex.take_newly_stable().is_empty());
+    }
+
+    #[test]
+    fn gc_clears_leftover_early_stables() {
+        let mut ex = executor();
+        // An MStable that arrives for a command this process already executed (or never
+        // commits) would otherwise be buffered forever.
+        let _ = ex.handle(ExecutionInfo::ShardStable {
+            dot: Dot::new(1, 1),
+            from: 3,
+        });
+        assert_eq!(ex.early_stables.len(), 1);
+        ex.gc(Dot::new(1, 1));
+        assert!(ex.early_stables.is_empty());
     }
 }

@@ -97,6 +97,10 @@ pub struct CommandInfo {
     // ---- liveness ----
     /// Time (µs) at which this process first learned about the command.
     pub since_us: u64,
+    /// Time (µs) of the last liveness probe (`MCommitRequest` + payload resend) for this
+    /// command; 0 = never probed. Probes are rate limited to once per
+    /// `commit_request_timeout_us` instead of once per liveness tick.
+    pub last_probe_us: u64,
 }
 
 impl CommandInfo {
@@ -119,6 +123,7 @@ impl CommandInfo {
             shard_commits: BTreeMap::new(),
             buffered_attached: Vec::new(),
             since_us: now_us,
+            last_probe_us: 0,
         }
     }
 

@@ -35,6 +35,7 @@
 //!   Theorem 1),
 //! * [`messages`] — the wire protocol,
 //! * [`info`] — per-command state (Figure 1 phases, Table 3 variables),
+//! * [`gc`] — committed-command garbage collection via executed watermarks,
 //! * [`protocol`] — the [`Tempo`] *ordering* state machine: commit, multi-partition and
 //!   recovery protocols, plus the protocol-owned timers (promise broadcast, liveness
 //!   scan),
@@ -46,12 +47,14 @@
 
 pub mod clock;
 pub mod executor;
+pub mod gc;
 pub mod info;
 pub mod messages;
 pub mod promises;
 pub mod protocol;
 
 pub use executor::{ExecutionInfo, TempoExecutor};
+pub use gc::GcTracker;
 pub use info::Phase;
 pub use messages::{Message, PromiseBundle, Quorums, RecPhase};
 pub use promises::{PromiseRange, PromiseTracker};

@@ -7,10 +7,14 @@
 //! command must get a timestamp above `s` (Theorem 1).
 //!
 //! Promises arrive mostly as contiguous ranges, so per process we keep the highest
-//! contiguous prefix plus a sparse set of out-of-order promises, giving O(1) amortized
-//! insertion and O(1) `highest_contiguous_promise` queries.
+//! contiguous prefix plus coalesced out-of-order ranges, giving O(1) amortized insertion
+//! and O(1) `highest_contiguous_promise` queries. Stability detection is *incremental*:
+//! the sorted array of per-process watermarks is maintained in place as promises arrive
+//! (a watermark only ever moves up, so re-positioning it is O(1) typical, O(r) worst
+//! case) and [`PromiseTracker::stable_timestamp`] returns a cached value — the paper's
+//! "cheap background activity" (§3.2) instead of an allocate-and-sort per query.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use tempo_kernel::id::ProcessId;
 
 /// An inclusive range of promised timestamps `[start, end]` from a single process.
@@ -28,6 +32,7 @@ impl PromiseRange {
     /// # Panics
     ///
     /// Panics if `start > end` or `start == 0` (timestamps start at 1).
+    #[inline]
     pub fn new(start: u64, end: u64) -> Self {
         assert!(start >= 1, "timestamps start at 1");
         assert!(start <= end, "invalid promise range [{start}, {end}]");
@@ -35,6 +40,7 @@ impl PromiseRange {
     }
 
     /// A range holding a single timestamp.
+    #[inline]
     pub fn single(ts: u64) -> Self {
         Self::new(ts, ts)
     }
@@ -50,41 +56,112 @@ impl PromiseRange {
     }
 }
 
-/// The promises received from a single process: a contiguous prefix `[1, contiguous]`
-/// plus sparse out-of-order promises above the prefix.
+/// A set of `u64` sequence values stored as a contiguous prefix `[1, contiguous]` plus
+/// coalesced out-of-order ranges above it (`start -> end`, inclusive, non-overlapping,
+/// non-adjacent).
+///
+/// This is the shape of both promise sets (this module) and executed-dot sets
+/// ([`crate::gc`]): values arrive mostly in order, with occasional detached ranges that
+/// are later absorbed into the prefix. Inserting a range is O(log k) in the number of
+/// detached ranges — independent of the range's width, so one large detached range (e.g.
+/// a lagging replica catching up past a recovery) costs a single map entry rather than
+/// millions of point insertions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct SeqSet {
+    contiguous: u64,
+    sparse: BTreeMap<u64, u64>,
+}
+
+impl SeqSet {
+    /// The highest `c` such that every value in `[1, c]` is present.
+    #[inline]
+    pub(crate) fn contiguous(&self) -> u64 {
+        self.contiguous
+    }
+
+    /// Whether `value` is present.
+    #[inline]
+    pub(crate) fn contains(&self, value: u64) -> bool {
+        value <= self.contiguous
+            || self
+                .sparse
+                .range(..=value)
+                .next_back()
+                .is_some_and(|(_, end)| value <= *end)
+    }
+
+    /// Inserts a single value.
+    #[inline]
+    pub(crate) fn insert(&mut self, value: u64) {
+        self.insert_range(value, value);
+    }
+
+    /// Inserts the inclusive range `[start, end]`, coalescing with the prefix and any
+    /// overlapping or adjacent detached ranges.
+    #[inline]
+    pub(crate) fn insert_range(&mut self, start: u64, end: u64) {
+        debug_assert!(start >= 1 && start <= end);
+        if end <= self.contiguous {
+            return;
+        }
+        // Hot path: in-order arrival with no detached ranges to absorb.
+        if self.sparse.is_empty() && start <= self.contiguous + 1 {
+            self.contiguous = end;
+            return;
+        }
+        if start <= self.contiguous + 1 {
+            // Extends the prefix directly; absorb detached ranges that now continue it.
+            self.contiguous = end;
+            while let Some((&s, &e)) = self.sparse.first_key_value() {
+                if s > self.contiguous + 1 {
+                    break;
+                }
+                self.sparse.pop_first();
+                self.contiguous = self.contiguous.max(e);
+            }
+            return;
+        }
+        let mut start = start;
+        let mut end = end;
+        // Fold an overlapping or adjacent predecessor range into the window.
+        if let Some((&s, &e)) = self.sparse.range(..=start).next_back() {
+            if e + 1 >= start {
+                if e >= end {
+                    return; // Fully covered already.
+                }
+                start = s;
+            }
+        }
+        // Absorb every range the (possibly widened) window overlaps or abuts.
+        while let Some((&s, &e)) = self.sparse.range(start..).next() {
+            if s > end + 1 {
+                break;
+            }
+            self.sparse.remove(&s);
+            end = end.max(e);
+        }
+        self.sparse.insert(start, end);
+    }
+}
+
+/// The promises received from a single process: a contiguous prefix plus coalesced
+/// out-of-order promise ranges above it.
 #[derive(Debug, Clone, Default)]
 struct ProcessPromises {
-    contiguous: u64,
-    sparse: BTreeSet<u64>,
+    set: SeqSet,
 }
 
 impl ProcessPromises {
     fn add(&mut self, range: PromiseRange) {
-        if range.end <= self.contiguous {
-            return;
-        }
-        if range.start <= self.contiguous + 1 {
-            // Extends the prefix directly.
-            self.contiguous = self.contiguous.max(range.end);
-        } else {
-            for ts in range.start..=range.end {
-                self.sparse.insert(ts);
-            }
-        }
-        // Absorb any sparse promises that now continue the prefix.
-        while self.sparse.remove(&(self.contiguous + 1)) {
-            self.contiguous += 1;
-        }
-        // Drop sparse entries now covered by the prefix.
-        self.sparse = self.sparse.split_off(&(self.contiguous + 1));
+        self.set.insert_range(range.start, range.end);
     }
 
     fn highest_contiguous(&self) -> u64 {
-        self.contiguous
+        self.set.contiguous()
     }
 
     fn contains(&self, ts: u64) -> bool {
-        ts <= self.contiguous || self.sparse.contains(&ts)
+        self.set.contains(ts)
     }
 }
 
@@ -92,74 +169,131 @@ impl ProcessPromises {
 /// with majority-based stability detection.
 #[derive(Debug, Clone)]
 pub struct PromiseTracker {
-    by_process: BTreeMap<ProcessId, ProcessPromises>,
+    /// Per-process promises, ordered by process identifier. Shard members have
+    /// consecutive identifiers, so the common lookup is a direct index (`process -
+    /// first`); a binary search covers any non-contiguous membership.
+    by_process: Vec<(ProcessId, ProcessPromises)>,
     /// `⌊n/2⌋`: index into the sorted watermark array yielding the majority-stable value.
     stability_index: usize,
+    /// The per-process `highest_contiguous` watermarks, kept sorted ascending and updated
+    /// in place as promises arrive (process identities are irrelevant for Theorem 1, only
+    /// the multiset of watermarks matters).
+    sorted_watermarks: Vec<u64>,
+    /// `owner[i]`: index into `by_process` of the process owning `sorted_watermarks[i]`.
+    owner: Vec<usize>,
+    /// `slot[j]`: index into `sorted_watermarks` holding process `j`'s watermark — the
+    /// inverse of `owner`, so re-positioning a raised watermark needs no search at all.
+    slot: Vec<usize>,
+    /// Cached `sorted_watermarks[stability_index]`.
+    stable: u64,
 }
 
 impl PromiseTracker {
     /// Creates a tracker for the given shard members.
     pub fn new(shard_processes: &[ProcessId], stability_index: usize) -> Self {
-        assert!(
-            stability_index < shard_processes.len(),
-            "stability index out of range"
-        );
-        let by_process = shard_processes
+        let mut by_process: Vec<(ProcessId, ProcessPromises)> = shard_processes
             .iter()
             .map(|p| (*p, ProcessPromises::default()))
             .collect();
+        by_process.sort_by_key(|(p, _)| *p);
+        by_process.dedup_by_key(|(p, _)| *p);
+        let r = by_process.len();
+        // Validated against the deduplicated membership: a duplicate in the input must
+        // not leave the index out of bounds of the watermark array.
+        assert!(stability_index < r, "stability index out of range");
         Self {
             by_process,
             stability_index,
+            sorted_watermarks: vec![0; r],
+            owner: (0..r).collect(),
+            slot: (0..r).collect(),
+            stable: 0,
         }
+    }
+
+    /// Index of `process` in `by_process`: direct offset for the contiguous-identifier
+    /// layout of a shard, binary search otherwise.
+    #[inline]
+    fn index_of(&self, process: ProcessId) -> Option<usize> {
+        let first = self.by_process.first()?.0;
+        let idx = process.checked_sub(first)? as usize;
+        if idx < self.by_process.len() && self.by_process[idx].0 == process {
+            return Some(idx);
+        }
+        self.by_process
+            .binary_search_by_key(&process, |(p, _)| *p)
+            .ok()
     }
 
     /// Adds a promise range issued by `process`. Ranges from unknown processes (other
     /// shards) are ignored: stability is a per-shard notion.
+    #[inline]
     pub fn add(&mut self, process: ProcessId, range: PromiseRange) {
-        if let Some(promises) = self.by_process.get_mut(&process) {
-            promises.add(range);
+        let Some(index) = self.index_of(process) else {
+            return;
+        };
+        let promises = &mut self.by_process[index].1;
+        let before = promises.highest_contiguous();
+        promises.add(range);
+        let after = promises.highest_contiguous();
+        if after > before {
+            self.raise_watermark(index, after);
         }
     }
 
     /// Adds a single-timestamp promise issued by `process`.
+    #[inline]
     pub fn add_single(&mut self, process: ProcessId, ts: u64) {
         self.add(process, PromiseRange::single(ts));
+    }
+
+    /// Re-positions the watermark of the process at `process_index` after it rose to
+    /// `new`. Watermarks only ever move up, so this shifts the intervening entries down
+    /// by one slot: O(1) when the order is unchanged, O(r) worst case (r = shard size).
+    #[inline]
+    fn raise_watermark(&mut self, process_index: usize, new: u64) {
+        let mut i = self.slot[process_index];
+        debug_assert_eq!(self.owner[i], process_index);
+        debug_assert!(self.sorted_watermarks[i] < new);
+        while i + 1 < self.sorted_watermarks.len() && self.sorted_watermarks[i + 1] < new {
+            self.sorted_watermarks[i] = self.sorted_watermarks[i + 1];
+            self.owner[i] = self.owner[i + 1];
+            self.slot[self.owner[i]] = i;
+            i += 1;
+        }
+        self.sorted_watermarks[i] = new;
+        self.owner[i] = process_index;
+        self.slot[process_index] = i;
+        self.stable = self.sorted_watermarks[self.stability_index];
     }
 
     /// The highest contiguous promise received from `process`
     /// (Algorithm 2, `highest_contiguous_promise`).
     pub fn highest_contiguous_promise(&self, process: ProcessId) -> u64 {
-        self.by_process
-            .get(&process)
-            .map(ProcessPromises::highest_contiguous)
+        self.index_of(process)
+            .map(|i| self.by_process[i].1.highest_contiguous())
             .unwrap_or(0)
     }
 
     /// Whether the given promise is known.
     pub fn contains(&self, process: ProcessId, ts: u64) -> bool {
-        self.by_process
-            .get(&process)
-            .map(|p| p.contains(ts))
+        self.index_of(process)
+            .map(|i| self.by_process[i].1.contains(ts))
             .unwrap_or(false)
     }
 
-    /// The highest stable timestamp (Theorem 1): sort the per-process highest contiguous
-    /// promises and take the entry at index `⌊n/2⌋`; a majority of processes have promised
-    /// everything up to (and including) that value.
+    /// The highest stable timestamp (Theorem 1): the entry at index `⌊n/2⌋` of the sorted
+    /// per-process highest contiguous promises; a majority of processes have promised
+    /// everything up to (and including) that value. O(1): the sorted array is maintained
+    /// incrementally by [`Self::add`].
+    #[inline]
     pub fn stable_timestamp(&self) -> u64 {
-        let mut watermarks: Vec<u64> = self
-            .by_process
-            .values()
-            .map(ProcessPromises::highest_contiguous)
-            .collect();
-        watermarks.sort_unstable();
-        watermarks[self.stability_index]
+        self.stable
     }
 
     /// The processes tracked (the shard membership).
     pub fn processes(&self) -> impl Iterator<Item = ProcessId> + '_ {
-        self.by_process.keys().copied()
+        self.by_process.iter().map(|(p, _)| *p)
     }
 }
 
@@ -271,5 +405,70 @@ mod tests {
     #[should_panic(expected = "invalid promise range")]
     fn inverted_range_panics() {
         let _ = PromiseRange::new(5, 2);
+    }
+
+    #[test]
+    fn huge_detached_range_is_one_map_entry() {
+        // Regression for the sparse-promise blowup: a single detached range of a billion
+        // timestamps (a lagging replica catching up past a recovery) must cost O(1), not
+        // one BTreeSet entry per timestamp.
+        let mut tracker = tracker_r3();
+        tracker.add(0, PromiseRange::new(1_000_000_000, 2_000_000_000));
+        assert!(tracker.contains(0, 1_500_000_000));
+        assert!(!tracker.contains(0, 999_999_999));
+        assert_eq!(tracker.highest_contiguous_promise(0), 0);
+        // Filling the gap absorbs the whole range into the prefix.
+        tracker.add(0, PromiseRange::new(1, 999_999_999));
+        assert_eq!(tracker.highest_contiguous_promise(0), 2_000_000_000);
+    }
+
+    #[test]
+    fn seq_set_coalesces_overlapping_and_adjacent_ranges() {
+        let mut set = SeqSet::default();
+        set.insert_range(10, 20);
+        set.insert_range(30, 40);
+        assert_eq!(set.sparse.len(), 2);
+        // Adjacent on the left, overlapping on the right: all three merge.
+        set.insert_range(21, 35);
+        assert_eq!(set.sparse.len(), 1);
+        assert_eq!(set.sparse.get(&10), Some(&40));
+        // Fully covered insert is a no-op.
+        set.insert_range(12, 18);
+        assert_eq!(set.sparse.get(&10), Some(&40));
+        assert!(set.contains(40) && !set.contains(41) && !set.contains(9));
+        // Closing the prefix gap absorbs everything.
+        set.insert_range(1, 9);
+        assert_eq!(set.contiguous(), 40);
+        assert!(set.sparse.is_empty());
+    }
+
+    #[test]
+    fn incremental_watermarks_match_collect_and_sort() {
+        // The incremental sorted-watermark maintenance must agree with the naive
+        // collect-and-sort of the seed implementation after every single update.
+        let mut tracker = PromiseTracker::new(&[0, 1, 2, 3, 4], 2);
+        let updates = [
+            (0u64, 1u64, 5u64),
+            (3, 1, 2),
+            (1, 1, 9),
+            (0, 6, 6),
+            (4, 1, 1),
+            (2, 1, 7),
+            (3, 3, 12),
+            (4, 2, 20),
+            (2, 8, 8),
+            (0, 7, 30),
+        ];
+        for (p, start, end) in updates {
+            tracker.add(p, PromiseRange::new(start, end));
+            let mut naive: Vec<u64> = tracker
+                .by_process
+                .iter()
+                .map(|(_, promises)| promises.highest_contiguous())
+                .collect();
+            naive.sort_unstable();
+            assert_eq!(tracker.sorted_watermarks, naive);
+            assert_eq!(tracker.stable_timestamp(), naive[2]);
+        }
     }
 }

@@ -15,10 +15,12 @@
 
 use crate::clock::Clock;
 use crate::executor::{ExecutionInfo, TempoExecutor};
+use crate::gc::GcTracker;
 use crate::info::{CommandInfo, Phase};
 use crate::messages::{Message, PromiseBundle, Quorums, RecPhase};
 use crate::promises::{PromiseRange, PromiseTracker};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 use tempo_kernel::command::Command;
 use tempo_kernel::config::Config;
 use tempo_kernel::id::{Dot, DotGen, ProcessId, ShardId};
@@ -83,8 +85,9 @@ pub struct Tempo {
     options: TempoOptions,
     view: View,
     membership: Membership,
-    /// Processes of this shard, in identifier order (defines ballot ranks).
-    shard_peers: Vec<ProcessId>,
+    /// Processes of this shard, in identifier order (defines ballot ranks). Shared so
+    /// that shard-wide sends cost a reference bump, not a `Vec` clone per call.
+    shard_peers: Arc<[ProcessId]>,
     /// This process's rank within the shard, in `1..=n`.
     rank: u64,
     dot_gen: DotGen,
@@ -95,6 +98,11 @@ pub struct Tempo {
     pending: BTreeSet<Dot>,
     /// The execution stage: stability-ordered execution (Algorithm 2/3).
     executor: TempoExecutor,
+    /// Committed-command GC: executed watermarks of this process and its shard peers.
+    gc: GcTracker,
+    /// The last stability watermark fed to the executor; feeds are skipped (and the
+    /// executor left untouched) while the watermark has not advanced.
+    last_stable_fed: u64,
     metrics: ProtocolMetrics,
     /// Processes suspected to have failed (used to pick the recovery leader).
     suspected: BTreeSet<ProcessId>,
@@ -110,13 +118,14 @@ impl Tempo {
     ) -> Self {
         let membership = Membership::from_config(&config);
         debug_assert_eq!(membership.shard_of(process), shard);
-        let shard_peers = membership.processes_of_shard(shard);
+        let shard_peers: Arc<[ProcessId]> = membership.processes_of_shard(shard).into();
         let rank = shard_peers
             .iter()
             .position(|p| *p == process)
             .expect("process must belong to its shard") as u64
             + 1;
         let promises = PromiseTracker::new(&shard_peers, config.stability_index());
+        let gc = GcTracker::new(process, &shard_peers);
         let view = View::trivial(config, process);
         Self {
             process,
@@ -133,6 +142,8 @@ impl Tempo {
             info: BTreeMap::new(),
             pending: BTreeSet::new(),
             executor: TempoExecutor::new(process, shard, config),
+            gc,
+            last_stable_fed: 0,
             metrics: ProtocolMetrics::default(),
             suspected: BTreeSet::new(),
         }
@@ -156,6 +167,17 @@ impl Tempo {
     /// The phase of a command at this process, if known.
     pub fn phase_of(&self, dot: Dot) -> Option<Phase> {
         self.info.get(&dot).map(|i| i.phase)
+    }
+
+    /// Number of commands with live metadata at this process. Bounded in steady state:
+    /// the executed-watermark GC drops entries once every shard peer executed them.
+    pub fn info_len(&self) -> usize {
+        self.info.len()
+    }
+
+    /// Read access to the committed-command GC state (tests and diagnostics).
+    pub fn gc_tracker(&self) -> &GcTracker {
+        &self.gc
     }
 
     /// The committed (final) timestamp of a command at this process, if committed.
@@ -220,25 +242,40 @@ impl Tempo {
         }
     }
 
-    /// Sends `msg` to `targets`; self-addressed copies are handled immediately
+    /// Sends `msg` to `targets` (which must be duplicate-free — every caller builds its
+    /// target set from unique memberships); self-addressed copies are handled immediately
     /// (Algorithm 1 assumes immediate self-delivery) and any resulting actions are
-    /// appended to `out`.
+    /// appended to `out`. The message is *moved* into the action or the self-dispatch —
+    /// it is cloned only when it must go both ways.
     fn send(
         &mut self,
-        mut targets: Vec<ProcessId>,
+        targets: &[ProcessId],
         msg: Message,
         now_us: u64,
         out: &mut Vec<Action<Message>>,
     ) {
-        targets.sort_unstable();
-        targets.dedup();
+        debug_assert!(
+            targets
+                .iter()
+                .all(|t| targets.iter().filter(|u| *u == t).count() == 1),
+            "send targets must be duplicate-free"
+        );
         let to_self = targets.contains(&self.process);
-        let remote: Vec<ProcessId> = targets.into_iter().filter(|t| *t != self.process).collect();
+        let remote: Vec<ProcessId> = targets
+            .iter()
+            .copied()
+            .filter(|t| *t != self.process)
+            .collect();
         if !remote.is_empty() {
             // `messages_sent` is counted per destination by the kernel `Driver`.
-            out.push(Action::send(remote, msg.clone()));
-        }
-        if to_self {
+            if to_self {
+                out.push(Action::send(remote, msg.clone()));
+                let actions = self.dispatch(self.process, msg, now_us);
+                out.extend(actions);
+            } else {
+                out.push(Action::send(remote, msg));
+            }
+        } else if to_self {
             let actions = self.dispatch(self.process, msg, now_us);
             out.extend(actions);
         }
@@ -316,10 +353,10 @@ impl Tempo {
             quorums: quorums.clone(),
             ts: t,
         };
-        self.send(fast_quorum, propose, now_us, out);
+        self.send(&fast_quorum, propose, now_us, out);
         if !payload_targets.is_empty() {
             let payload = Message::MPayload { dot, cmd, quorums };
-            self.send(payload_targets, payload, now_us, out);
+            self.send(&payload_targets, payload, now_us, out);
         }
     }
 
@@ -378,7 +415,7 @@ impl Tempo {
             ts: proposal,
             detached: piggyback,
         };
-        self.send(vec![from], ack, now_us, out);
+        self.send(&[from], ack, now_us, out);
         // §4, "Faster stability": tell colocated sibling-shard processes to bump their
         // clocks to this proposal.
         if self.options.mbump && cmd.is_multi_shard() {
@@ -389,7 +426,7 @@ impl Tempo {
                 .collect();
             if !siblings.is_empty() {
                 let bump = Message::MBump { dot, ts: proposal };
-                self.send(siblings, bump, now_us, out);
+                self.send(&siblings, bump, now_us, out);
             }
         }
         // A commit may have been waiting for the payload (multi-shard or slow-path races).
@@ -474,7 +511,7 @@ impl Tempo {
                 promises,
             };
             let targets = self.all_replicas_of(&cmd);
-            self.send(targets, commit, now_us, out);
+            self.send(&targets, commit, now_us, out);
         } else {
             self.metrics.slow_paths += 1;
             {
@@ -488,7 +525,7 @@ impl Tempo {
                 ballot: my_ballot,
             };
             let targets = self.shard_peers.clone();
-            self.send(targets, consensus, now_us, out);
+            self.send(&targets, consensus, now_us, out);
         }
     }
 
@@ -599,7 +636,7 @@ impl Tempo {
                     dot,
                     ballot: info.bal,
                 };
-                self.send(vec![from], nack, now_us, out);
+                self.send(&[from], nack, now_us, out);
                 return;
             }
             info.ts = ts;
@@ -608,7 +645,7 @@ impl Tempo {
         }
         self.clock_bump(ts);
         let ack = Message::MConsensusAck { dot, ballot };
-        self.send(vec![from], ack, now_us, out);
+        self.send(&[from], ack, now_us, out);
     }
 
     fn handle_consensus_ack(
@@ -649,7 +686,7 @@ impl Tempo {
                     ts,
                     promises: PromiseBundle::default(),
                 };
-                self.send(targets, commit, now_us, out);
+                self.send(&targets, commit, now_us, out);
                 return;
             }
         };
@@ -673,7 +710,7 @@ impl Tempo {
             promises,
         };
         let targets = self.all_replicas_of(&cmd);
-        self.send(targets, commit, now_us, out);
+        self.send(&targets, commit, now_us, out);
     }
 
     // --------------------------------------------------------------- execution
@@ -705,18 +742,26 @@ impl Tempo {
         from: ProcessId,
         detached: Vec<PromiseRange>,
         attached: Vec<(Dot, u64)>,
+        executed: Vec<(ProcessId, u64)>,
         now_us: u64,
         out: &mut Vec<Action<Message>>,
     ) {
+        self.gc.update_peer(from, &executed);
+        self.gc_collect();
         for range in detached {
             self.promises.add(from, range);
         }
         for (dot, ts) in attached {
-            let committed = self
-                .info
-                .get(&dot)
-                .map(|i| i.phase.is_committed_or_executed())
-                .unwrap_or(false);
+            // A garbage-collected dot is committed (and executed) everywhere, so its
+            // attached promises go straight into the tracker (Algorithm 2, line 47) —
+            // buffering them would resurrect the dropped `CommandInfo` as a zombie, and
+            // discarding them would leave a permanent gap in `from`'s promise prefix.
+            let committed = self.gc.is_collected(dot)
+                || self
+                    .info
+                    .get(&dot)
+                    .map(|i| i.phase.is_committed_or_executed())
+                    .unwrap_or(false);
             if committed {
                 self.promises.add_single(from, ts);
             } else {
@@ -738,9 +783,16 @@ impl Tempo {
         self.exec_feed(ExecutionInfo::ShardStable { dot, from }, now_us, out);
     }
 
-    /// Pushes the current stability watermark (Theorem 1) into the execution stage.
+    /// Pushes the current stability watermark (Theorem 1) into the execution stage —
+    /// but only when it advanced since the last push. The watermark is a cached O(1)
+    /// read, so the steady-state cost of an `MPromises` (or promise-timer fire) that
+    /// taught us nothing new is a single comparison instead of a full executor pass.
     fn sync_stability(&mut self, now_us: u64, out: &mut Vec<Action<Message>>) {
         let stable = self.promises.stable_timestamp();
+        if stable <= self.last_stable_fed {
+            return;
+        }
+        self.last_stable_fed = stable;
         self.exec_feed(ExecutionInfo::Stable { ts: stable }, now_us, out);
     }
 
@@ -757,44 +809,74 @@ impl Tempo {
                 .and_then(|i| i.cmd.clone())
                 .expect("announced commands have a payload");
             let targets = self.all_replicas_of(&cmd);
-            self.send(targets, Message::MStable { dot }, now_us, out);
+            self.send(&targets, Message::MStable { dot }, now_us, out);
         }
-        for dot in self.executor.take_executed_dots() {
+        let executed_dots = self.executor.take_executed_dots();
+        let any_executed = !executed_dots.is_empty();
+        for dot in executed_dots {
             let info = self
                 .info
                 .get_mut(&dot)
                 .expect("executed commands have info");
             info.phase = Phase::Execute;
             // Shrink transient state; the payload is kept so that this process can keep
-            // answering MCommitRequest/MRec for the command (Appendix B liveness).
+            // answering MCommitRequest/MRec for the command (Appendix B liveness) —
+            // until the executed-watermark GC proves no such message can arrive anymore.
             info.proposal_detached.clear();
             info.proposals.clear();
             info.rec_acks.clear();
             info.buffered_attached.clear();
+            self.gc.record_executed(dot);
+        }
+        if any_executed {
+            self.gc_collect();
         }
         out.extend(executed.into_iter().map(Action::Deliver));
+    }
+
+    /// Drops the metadata of every dot that all shard peers (and this process) have
+    /// executed: its `CommandInfo` — payload included — and any leftover executor
+    /// bookkeeping. See [`crate::gc`] for the safety argument.
+    fn gc_collect(&mut self) {
+        for (origin, seqs) in self.gc.collect() {
+            for seq in seqs {
+                let dot = Dot::new(origin, seq);
+                if self.info.remove(&dot).is_some() {
+                    self.metrics.gc_collected += 1;
+                }
+                self.executor.gc(dot);
+            }
+        }
     }
 
     // --------------------------------------------------------------- liveness
 
     /// Re-sends payloads, requests commits and starts recovery for commands that have
     /// been pending for too long (Algorithm 6, lines 75-78 and 95-96). Driven by
-    /// [`TIMER_LIVENESS`].
+    /// [`TIMER_LIVENESS`]. Probes are rate limited per dot: a stale command is re-probed
+    /// at most once per `commit_request_timeout_us`, not on every liveness tick — a dot
+    /// past its timeout used to re-broadcast its full payload plus `MCommitRequest`
+    /// every 5 ms.
     fn liveness_scan(&mut self, now_us: u64, out: &mut Vec<Action<Message>>) {
-        let stale: Vec<Dot> = self
+        let timeout = self.options.commit_request_timeout_us;
+        // Stale dots (past the commit-request timeout) are considered on every scan:
+        // only the *probe* (MCommitRequest + payload resend) is rate limited, while the
+        // leader's recovery escalation keeps its per-tick latency — a successful
+        // takeover flips the ballot to this process's rank, so it does not re-trigger.
+        let stale: Vec<(Dot, bool)> = self
             .pending
             .iter()
             .copied()
-            .filter(|dot| {
-                self.info
-                    .get(dot)
-                    .map(|i| {
-                        now_us.saturating_sub(i.since_us) >= self.options.commit_request_timeout_us
-                    })
-                    .unwrap_or(false)
+            .filter_map(|dot| {
+                let info = self.info.get(&dot)?;
+                if now_us.saturating_sub(info.since_us) < timeout {
+                    return None;
+                }
+                let probe = now_us.saturating_sub(info.last_probe_us) >= timeout;
+                Some((dot, probe))
             })
             .collect();
-        for dot in stale {
+        for (dot, probe) in stale {
             let (age, has_payload, ballot) = {
                 let info = &self.info[&dot];
                 (
@@ -803,27 +885,33 @@ impl Tempo {
                     info.bal,
                 )
             };
-            // Ask around for a commit outcome we might have missed.
-            let request = Message::MCommitRequest { dot };
-            let targets = self.shard_peers.clone();
-            self.send(targets, request, now_us, out);
-            // Re-send the payload so that every replica can take part in recovery
-            // (Algorithm 6, line 77).
-            if has_payload {
-                let (cmd, quorums) = {
-                    let info = &self.info[&dot];
-                    (
-                        info.cmd.clone().expect("payload present"),
-                        info.quorums.clone(),
-                    )
-                };
-                let payload = Message::MPayload {
-                    dot,
-                    cmd: cmd.clone(),
-                    quorums,
-                };
-                let targets = self.all_replicas_of(&cmd);
-                self.send(targets, payload, now_us, out);
+            if probe {
+                self.info
+                    .get_mut(&dot)
+                    .expect("stale dots have info")
+                    .last_probe_us = now_us;
+                // Ask around for a commit outcome we might have missed.
+                let request = Message::MCommitRequest { dot };
+                let targets = self.shard_peers.clone();
+                self.send(&targets, request, now_us, out);
+                // Re-send the payload so that every replica can take part in recovery
+                // (Algorithm 6, line 77).
+                if has_payload {
+                    let (cmd, quorums) = {
+                        let info = &self.info[&dot];
+                        (
+                            info.cmd.clone().expect("payload present"),
+                            info.quorums.clone(),
+                        )
+                    };
+                    let payload = Message::MPayload {
+                        dot,
+                        cmd: cmd.clone(),
+                        quorums,
+                    };
+                    let targets = self.all_replicas_of(&cmd);
+                    self.send(&targets, payload, now_us, out);
+                }
             }
             // If we are the shard leader and the command has been pending for long
             // enough, take over as its coordinator.
@@ -857,7 +945,7 @@ impl Tempo {
         self.metrics.recoveries += 1;
         let rec = Message::MRec { dot, ballot };
         let targets = self.shard_peers.clone();
-        self.send(targets, rec, now_us, out);
+        self.send(&targets, rec, now_us, out);
     }
 
     fn handle_rec(
@@ -882,7 +970,7 @@ impl Tempo {
                     cmd,
                     ts: info.final_ts,
                 };
-                self.send(vec![from], msg, now_us, out);
+                self.send(&[from], msg, now_us, out);
             }
             return;
         }
@@ -896,7 +984,7 @@ impl Tempo {
         };
         if let Some(bal) = nack {
             let msg = Message::MRecNAck { dot, ballot: bal };
-            self.send(vec![from], msg, now_us, out);
+            self.send(&[from], msg, now_us, out);
             return;
         }
         // Cannot participate without the payload (the phase would still be `start`).
@@ -942,7 +1030,7 @@ impl Tempo {
             abal,
             ballot,
         };
-        self.send(vec![from], ack, now_us, out);
+        self.send(&[from], ack, now_us, out);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1022,7 +1110,7 @@ impl Tempo {
             ballot,
         };
         let targets = self.shard_peers.clone();
-        self.send(targets, consensus, now_us, out);
+        self.send(&targets, consensus, now_us, out);
     }
 
     fn handle_rec_nack(
@@ -1071,7 +1159,7 @@ impl Tempo {
             })
         };
         if let Some(msg) = reply {
-            self.send(vec![from], msg, now_us, out);
+            self.send(&[from], msg, now_us, out);
         }
     }
 
@@ -1098,8 +1186,37 @@ impl Tempo {
 
     // --------------------------------------------------------------- dispatch
 
+    /// The dot a message is about, if any (`MPromises` is the only dot-free message).
+    fn message_dot(msg: &Message) -> Option<Dot> {
+        match msg {
+            Message::MSubmit { dot, .. }
+            | Message::MPropose { dot, .. }
+            | Message::MPayload { dot, .. }
+            | Message::MProposeAck { dot, .. }
+            | Message::MCommit { dot, .. }
+            | Message::MConsensus { dot, .. }
+            | Message::MConsensusAck { dot, .. }
+            | Message::MBump { dot, .. }
+            | Message::MStable { dot }
+            | Message::MRec { dot, .. }
+            | Message::MRecAck { dot, .. }
+            | Message::MRecNAck { dot, .. }
+            | Message::MCommitRequest { dot }
+            | Message::MCommitInfo { dot, .. } => Some(*dot),
+            Message::MPromises { .. } => None,
+        }
+    }
+
     fn dispatch(&mut self, from: ProcessId, msg: Message, now_us: u64) -> Vec<Action<Message>> {
         let mut out = Vec::new();
+        // A message about a garbage-collected dot is stale by construction (every shard
+        // peer has executed the command); dropping it also keeps the dot's metadata from
+        // being resurrected as a zombie `info` entry.
+        if let Some(dot) = Self::message_dot(&msg) {
+            if self.gc.is_collected(dot) {
+                return out;
+            }
+        }
         match msg {
             Message::MSubmit { dot, cmd, quorums } => {
                 self.handle_submit(dot, cmd, quorums, now_us, &mut out)
@@ -1132,9 +1249,11 @@ impl Tempo {
                 // Bumping the clock is always safe; it only makes future proposals larger.
                 self.clock_bump(ts);
             }
-            Message::MPromises { detached, attached } => {
-                self.handle_promises(from, detached, attached, now_us, &mut out)
-            }
+            Message::MPromises {
+                detached,
+                attached,
+                executed,
+            } => self.handle_promises(from, detached, attached, executed, now_us, &mut out),
             Message::MStable { dot } => self.handle_stable(from, dot, now_us, &mut out),
             Message::MRec { dot, ballot } => self.handle_rec(from, dot, ballot, now_us, &mut out),
             Message::MRecAck {
@@ -1207,7 +1326,7 @@ impl Protocol for Tempo {
         let targets = self.local_coordinators_of(&cmd);
         let msg = Message::MSubmit { dot, cmd, quorums };
         let mut out = Vec::new();
-        self.send(targets, msg, now_us, &mut out);
+        self.send(&targets, msg, now_us, &mut out);
         out
     }
 
@@ -1220,8 +1339,13 @@ impl Protocol for Tempo {
         match timer {
             TIMER_PROMISES => {
                 // Periodic MPromises broadcast (Algorithm 2, line 45). Local copies of
-                // these promises were already registered when they were generated.
-                if self.clock.has_pending_promises() {
+                // these promises were already registered when they were generated. The
+                // executed watermarks piggyback on it, so committed-command GC is free
+                // whenever promise traffic flows; once it stops, a frontier-only
+                // broadcast (accounted in `gc_messages`) ships the final window — GC
+                // liveness must not depend on continuous traffic.
+                let promises_pending = self.clock.has_pending_promises();
+                if promises_pending || self.gc.frontier_changed() {
                     let detached = self.clock.take_detached();
                     let attached = self.clock.take_attached();
                     let targets: Vec<ProcessId> = self
@@ -1231,8 +1355,17 @@ impl Protocol for Tempo {
                         .filter(|p| *p != self.process)
                         .collect();
                     if !targets.is_empty() {
-                        let msg = Message::MPromises { detached, attached };
-                        self.send(targets, msg, now_us, &mut out);
+                        let executed = self.gc.executed_frontier();
+                        self.gc.record_broadcast(&executed);
+                        if !promises_pending {
+                            self.metrics.gc_messages += targets.len() as u64;
+                        }
+                        let msg = Message::MPromises {
+                            detached,
+                            attached,
+                            executed,
+                        };
+                        self.send(&targets, msg, now_us, &mut out);
                     }
                 }
                 // Execution might have become possible thanks to locally generated

@@ -39,11 +39,14 @@ fn single_command_commits_and_executes_everywhere() {
     cluster.submit(0, key_cmd(1, 1, 42));
     cluster.tick_all(5_000);
     cluster.tick_all(5_000);
+    let dot = Dot::new(0, 1);
     for p in cluster.process_ids() {
-        assert_eq!(
-            cluster.process(p).phase_of(Dot::new(0, 1)),
-            Some(Phase::Execute),
-            "command not executed at {p}"
+        // Executed — or already executed-and-GC'd once every peer's watermark covered it.
+        let phase = cluster.process(p).phase_of(dot);
+        assert!(
+            phase == Some(Phase::Execute)
+                || (phase.is_none() && cluster.process(p).gc_tracker().is_collected(dot)),
+            "command not executed at {p} (phase {phase:?})"
         );
         let executed = cluster.executed(p);
         assert_eq!(executed.len(), 1);
@@ -195,10 +198,9 @@ fn concurrent_conflicting_commands_agree_on_timestamps_and_order() {
         cluster.submit_no_deliver(p, Command::single(rifl(p, 1), 0, 0, KVOp::Put(i as u64), 0));
     }
     cluster.run_to_quiescence();
-    for _ in 0..5 {
-        cluster.tick_all(5_000);
-    }
-    // Property 1: all processes agree on every command's timestamp.
+    // Property 1: all processes agree on every command's timestamp. Checked before the
+    // stability ticks: afterwards the executed-watermark GC may have dropped the
+    // metadata the query reads.
     for seq_source in cluster.process_ids() {
         let dot = Dot::new(seq_source, 1);
         let ts0 = cluster.process(0).committed_timestamp(dot);
@@ -206,6 +208,9 @@ fn concurrent_conflicting_commands_agree_on_timestamps_and_order() {
         for p in cluster.process_ids() {
             assert_eq!(cluster.process(p).committed_timestamp(dot), ts0);
         }
+    }
+    for _ in 0..5 {
+        cluster.tick_all(5_000);
     }
     // Ordering: all processes execute the same sequence and end with the same state.
     let orders: Vec<Vec<Rifl>> = cluster
@@ -298,15 +303,16 @@ fn multi_shard_command_executes_at_both_shards() {
         0,
     );
     cluster.submit(0, cmd);
-    for _ in 0..4 {
-        cluster.tick_all(5_000);
-    }
     let dot = Dot::new(0, 1);
-    // Committed with the same final timestamp at every replica of both shards.
+    // Committed with the same final timestamp at every replica of both shards (checked
+    // before the stability ticks, which may garbage collect the metadata).
     let ts = cluster.process(0).committed_timestamp(dot);
     assert!(ts.is_some());
     for p in cluster.process_ids() {
         assert_eq!(cluster.process(p).committed_timestamp(dot), ts, "at {p}");
+    }
+    for _ in 0..4 {
+        cluster.tick_all(5_000);
     }
     // Executed at the submitting site's processes of both shards.
     assert_eq!(cluster.executed(0).len(), 1, "shard 0 replica at site 0");
@@ -328,12 +334,13 @@ fn multi_shard_final_timestamp_is_max_of_shard_timestamps() {
     }
     let cmd = Command::new(rifl(1, 1), vec![(0, 1, KVOp::Get), (1, 2, KVOp::Get)], 0);
     cluster.submit(0, cmd);
-    for _ in 0..4 {
-        cluster.tick_all(5_000);
-    }
+    // Checked before the stability ticks: afterwards the GC may drop the metadata.
     let dot = Dot::new(0, 1);
     for p in cluster.process_ids() {
         assert_eq!(cluster.process(p).committed_timestamp(dot), Some(10));
+    }
+    for _ in 0..4 {
+        cluster.tick_all(5_000);
     }
 }
 
@@ -437,6 +444,76 @@ fn slow_path_consensus_tolerates_duplicate_acks() {
     let _ = cluster.process_mut(0).handle(1, replay, 0);
     assert_eq!(cluster.process(0).committed_timestamp(dot), Some(ts));
     assert_eq!(cluster.process(0).metrics().committed, 1);
+}
+
+#[test]
+fn gc_keeps_command_metadata_bounded_over_a_long_run() {
+    // The seed kept one `CommandInfo` per command ever issued: after 400 commands,
+    // `Tempo::info` held 400 entries at every replica, forever. With the
+    // executed-watermark GC, metadata is dropped once every shard peer has executed a
+    // command, so the live set only covers the in-flight window.
+    let config = Config::full(3, 1);
+    let mut cluster = LocalCluster::<Tempo>::new(config);
+    let total = 400u64;
+    for seq in 1..=total {
+        cluster.submit(((seq % 3) + 1) % 3, key_cmd(1, seq, seq % 11));
+        if seq % 20 == 0 {
+            // Periodic promise broadcasts carry the executed watermarks.
+            cluster.tick_all(5_000);
+        }
+    }
+    for _ in 0..3 {
+        cluster.tick_all(5_000);
+    }
+    for p in cluster.process_ids() {
+        let metrics = cluster.process(p).metrics();
+        assert_eq!(metrics.executed, total, "all commands executed at {p}");
+        // At quiescence the frontier-only broadcasts ship the final window, so *every*
+        // command's metadata has been reclaimed — not merely a bounded prefix.
+        assert_eq!(
+            metrics.gc_collected, total,
+            "GC must reclaim all {total} executed commands at {p}"
+        );
+        assert_eq!(
+            cluster.process(p).info_len(),
+            0,
+            "no live metadata must remain at {p} after {total} executed commands"
+        );
+    }
+    // GC must not disturb execution: all replicas executed the same order.
+    let reference: Vec<Rifl> = cluster.executed(0).into_iter().map(|e| e.rifl).collect();
+    assert_eq!(reference.len() as u64, total);
+    for p in [1u64, 2] {
+        let order: Vec<Rifl> = cluster.executed(p).into_iter().map(|e| e.rifl).collect();
+        assert_eq!(order, reference, "divergent execution at {p}");
+    }
+}
+
+#[test]
+fn stale_messages_for_collected_dots_are_dropped() {
+    let config = Config::full(3, 1);
+    let mut cluster = LocalCluster::<Tempo>::new(config);
+    cluster.submit(0, key_cmd(1, 1, 0));
+    cluster.submit(0, key_cmd(1, 2, 0));
+    for _ in 0..3 {
+        cluster.tick_all(5_000);
+    }
+    let dot = Dot::new(0, 1);
+    assert!(
+        cluster.process(0).gc_tracker().is_collected(dot),
+        "first command should be collected once every peer executed it"
+    );
+    assert!(cluster.process(0).phase_of(dot).is_none());
+    // A stale in-flight message about the collected dot must not resurrect metadata.
+    let before = cluster.process(0).info_len();
+    let _ = cluster
+        .process_mut(0)
+        .handle(1, Message::MCommitRequest { dot }, 0);
+    let _ = cluster
+        .process_mut(0)
+        .handle(1, Message::MRec { dot, ballot: 5 }, 0);
+    assert_eq!(cluster.process(0).info_len(), before);
+    assert!(cluster.process(0).phase_of(dot).is_none());
 }
 
 #[test]

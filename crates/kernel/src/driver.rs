@@ -107,18 +107,15 @@ impl<P: Protocol> Driver<P> {
 
     /// The absolute time (µs) at which the earliest pending timer is due, if any.
     pub fn next_timer_due(&self) -> Option<u64> {
-        self.timers.iter().next().map(|(due, _)| *due)
+        self.timers.first().map(|(due, _)| *due)
     }
 
     /// Fires every timer due at or before `now_us`. Timers re-scheduled by the protocol
     /// during the call land strictly after `now_us`, so the loop terminates.
     pub fn fire_due(&mut self, now_us: u64) -> Output<P::Message> {
         let mut output = Output::empty();
-        while let Some(&(due, timer)) = self.timers.iter().next() {
-            if due > now_us {
-                break;
-            }
-            self.timers.remove(&(due, timer));
+        while self.timers.first().is_some_and(|(due, _)| *due <= now_us) {
+            let (_, timer) = self.timers.pop_first().expect("checked non-empty");
             let actions = self.protocol.timer(timer, now_us);
             self.absorb_into(actions, now_us, &mut output);
         }

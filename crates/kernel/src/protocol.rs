@@ -118,6 +118,16 @@ pub struct ProtocolMetrics {
     pub executed: u64,
     /// Recoveries started by this process.
     pub recoveries: u64,
+    /// Committed commands whose metadata was garbage collected at this process after
+    /// every shard peer executed them (Tempo's executed-watermark GC; 0 for protocols
+    /// without command GC). Accounted separately from `committed`/`executed` so GC does
+    /// not perturb the cross-protocol comparison counters.
+    pub gc_collected: u64,
+    /// Point-to-point messages (counted per destination) that carried *only* GC
+    /// watermarks — frontier-only `MPromises` sent when execution advanced but no
+    /// promises were pending. A subset of `messages_sent`, kept separately so the
+    /// seed-comparable message count is `messages_sent - gc_messages`.
+    pub gc_messages: u64,
     /// Point-to-point messages produced by this process, counted per destination
     /// delivery: a `Send` to `k` remote peers counts as `k` messages, so simulator
     /// CPU-model accounting and the throughput-bench counters agree across protocols.

@@ -27,6 +27,7 @@ pub use report::{RunReport, SiteReport};
 
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::sync::Arc;
 use tempo_kernel::command::Command;
 use tempo_kernel::config::Config;
 use tempo_kernel::driver::{Driver, Output};
@@ -108,7 +109,9 @@ enum EventKind<M> {
     Deliver {
         from: ProcessId,
         to: ProcessId,
-        msg: M,
+        /// Shared across the destinations of one broadcast: an n-way fan-out enqueues n
+        /// reference bumps, not n deep copies of the message (command payload included).
+        msg: Arc<M>,
     },
     /// Wake a process because one of its protocol-scheduled timers may be due.
     TimerWake {
@@ -272,11 +275,14 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
         let from_site = self.membership.site_of(from);
         let mut send_cost = 0u64;
         for send in output.sends {
+            let wire_size = send.msg.wire_size();
+            // One allocation per broadcast; each destination holds a reference.
+            let msg = Arc::new(send.msg);
             for target in send.to {
                 debug_assert_ne!(target, from, "protocols deliver self-sends internally");
                 // Sending costs CPU/outgoing bandwidth at the sender.
                 if let Some(cpu) = self.opts.cpu {
-                    send_cost += cpu.message_cost_us(send.msg.wire_size());
+                    send_cost += cpu.message_cost_us(wire_size);
                 }
                 let latency = self
                     .planet
@@ -286,7 +292,7 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
                     EventKind::Deliver {
                         from,
                         to: target,
-                        msg: send.msg.clone(),
+                        msg: Arc::clone(&msg),
                     },
                 );
             }
@@ -413,6 +419,9 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
             match event.kind {
                 EventKind::Deliver { from, to, msg } => {
                     let start = self.charge_cpu(to, event.time, msg.wire_size());
+                    // The last destination of a broadcast unwraps the message without a
+                    // copy; earlier destinations (still sharing the allocation) clone.
+                    let msg = Arc::try_unwrap(msg).unwrap_or_else(|shared| (*shared).clone());
                     let output = self
                         .drivers
                         .get_mut(&to)
@@ -450,6 +459,8 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
             metrics.committed += m.committed;
             metrics.executed += m.executed;
             metrics.recoveries += m.recoveries;
+            metrics.gc_collected += m.gc_collected;
+            metrics.gc_messages += m.gc_messages;
             metrics.messages_sent += m.messages_sent;
         }
         let duration = self

@@ -7,7 +7,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use tempo_atlas::DependencyGraph;
-use tempo_core::{PromiseTracker, Tempo};
+use tempo_core::{PromiseRange, PromiseTracker, Tempo};
 use tempo_kernel::harness::LocalCluster;
 use tempo_kernel::id::{Dot, ProcessId, Rifl};
 use tempo_kernel::kvstore::KVStore;
@@ -57,6 +57,44 @@ fn stability_matches_naive_reference() {
             naive_stable(5, &promises),
             "seed {seed}: tracker disagrees with the naive reference"
         );
+    }
+}
+
+#[test]
+fn incremental_stability_matches_oracle_after_every_update() {
+    // `stable_timestamp()` is now a cached value maintained incrementally as promises
+    // arrive. Query it after *every* update of a random promise-range stream and compare
+    // against the naive collect-and-sort oracle of Theorem 1 (the seed implementation).
+    for seed in 0..150u64 {
+        let mut rng = Rng::new(seed);
+        let r = 3 + 2 * rng.gen_range(3) as usize; // r ∈ {3, 5, 7}
+        let processes: Vec<u64> = (0..r as u64).collect();
+        let mut tracker = PromiseTracker::new(&processes, r / 2);
+        let mut oracle: Vec<BTreeSet<u64>> = vec![BTreeSet::new(); r];
+        let updates = 1 + rng.gen_range(150);
+        for step in 0..updates {
+            let p = rng.gen_range(r as u64);
+            let start = 1 + rng.gen_range(60);
+            let end = start + rng.gen_range(8);
+            tracker.add(p, PromiseRange::new(start, end));
+            oracle[p as usize].extend(start..=end);
+            let mut prefixes: Vec<u64> = oracle
+                .iter()
+                .map(|set| {
+                    let mut prefix = 0;
+                    while set.contains(&(prefix + 1)) {
+                        prefix += 1;
+                    }
+                    prefix
+                })
+                .collect();
+            prefixes.sort_unstable();
+            assert_eq!(
+                tracker.stable_timestamp(),
+                prefixes[r / 2],
+                "seed {seed}, step {step}, r {r}: incremental tracker diverged from oracle"
+            );
+        }
     }
 }
 
