@@ -31,9 +31,11 @@ use tempo_kernel::protocol::{Executed, Executor};
 /// Ordering events handed from the Tempo ordering stage to the executor.
 #[derive(Debug, Clone)]
 pub enum ExecutionInfo {
-    /// A command committed with final timestamp `ts`. `waits` are the colocated
-    /// sibling-shard processes whose `MStable` announcements must arrive before the
-    /// command may execute locally (empty for single-shard commands).
+    /// A command committed with final timestamp `ts`. `waits` are the *other* accessed
+    /// shards whose `MStable` attestation must arrive before the command may execute
+    /// locally (empty for single-shard commands). Waits are keyed by shard — an
+    /// attestation from *any* replica of the shard clears it (stability is a
+    /// shard-global property), so a single crashed attestor cannot stall execution.
     Committed {
         /// Command identifier.
         dot: Dot,
@@ -41,28 +43,28 @@ pub enum ExecutionInfo {
         ts: u64,
         /// The command payload.
         cmd: Command,
-        /// Colocated processes of the *other* accessed shards (the set `I^i_c \ {i}`).
-        waits: Vec<ProcessId>,
+        /// The other accessed shards whose stability attestation is still required.
+        waits: Vec<ShardId>,
     },
     /// The local stability watermark advanced to `ts` (Theorem 1).
     Stable {
         /// The highest stable timestamp.
         ts: u64,
     },
-    /// Process `from` announced that `dot` is stable at its shard (`MStable`).
+    /// Some replica of `shard` announced that `dot` is stable there (`MStable`).
     ShardStable {
         /// Command identifier.
         dot: Dot,
-        /// The announcing process.
-        from: ProcessId,
+        /// The shard the announcement attests stability for.
+        shard: ShardId,
     },
 }
 
 #[derive(Debug)]
 struct PendingCommand {
     cmd: Command,
-    /// Sibling-shard processes whose `MStable` is still missing.
-    waits: BTreeSet<ProcessId>,
+    /// Sibling shards whose `MStable` attestation is still missing.
+    waits: BTreeSet<ShardId>,
     /// Whether the command is multi-shard (and thus needs an `MStable` announcement).
     multi_shard: bool,
 }
@@ -76,8 +78,8 @@ pub struct TempoExecutor {
     /// Committed-but-not-executed commands, ordered by `⟨final timestamp, id⟩`.
     queue: BTreeSet<(u64, Dot)>,
     pending: BTreeMap<Dot, PendingCommand>,
-    /// `MStable` announcements received before the command committed locally.
-    early_stables: BTreeMap<Dot, BTreeSet<ProcessId>>,
+    /// `MStable` attestations (by shard) received before the command committed locally.
+    early_stables: BTreeMap<Dot, BTreeSet<ShardId>>,
     /// Multi-shard dots that became locally stable and still need an `MStable`
     /// broadcast; drained by the ordering stage via [`Self::take_newly_stable`].
     newly_stable: Vec<Dot>,
@@ -217,10 +219,10 @@ impl Executor for TempoExecutor {
                 if self.pending.contains_key(&dot) {
                     return out;
                 }
-                let mut waits: BTreeSet<ProcessId> = waits.into_iter().collect();
+                let mut waits: BTreeSet<ShardId> = waits.into_iter().collect();
                 if let Some(early) = self.early_stables.remove(&dot) {
-                    for from in early {
-                        waits.remove(&from);
+                    for shard in early {
+                        waits.remove(&shard);
                     }
                 }
                 let multi_shard = cmd.is_multi_shard();
@@ -251,13 +253,13 @@ impl Executor for TempoExecutor {
                     self.run(&mut out);
                 }
             }
-            ExecutionInfo::ShardStable { dot, from } => {
+            ExecutionInfo::ShardStable { dot, shard } => {
                 match self.pending.get_mut(&dot) {
                     Some(pending) => {
-                        pending.waits.remove(&from);
+                        pending.waits.remove(&shard);
                     }
                     None => {
-                        self.early_stables.entry(dot).or_default().insert(from);
+                        self.early_stables.entry(dot).or_default().insert(shard);
                     }
                 }
                 self.run(&mut out);
@@ -336,7 +338,7 @@ mod tests {
                 dot: Dot::new(1, 1),
                 ts: 1,
                 cmd: multi_cmd(1),
-                waits: vec![3],
+                waits: vec![1],
             })
             .is_empty());
         // Locally stable: announced but blocked on the sibling shard.
@@ -345,7 +347,7 @@ mod tests {
         // The sibling announcement releases it.
         let executed = ex.handle(ExecutionInfo::ShardStable {
             dot: Dot::new(1, 1),
-            from: 3,
+            shard: 1,
         });
         assert_eq!(executed.len(), 1);
     }
@@ -357,7 +359,7 @@ mod tests {
         assert!(ex
             .handle(ExecutionInfo::ShardStable {
                 dot: Dot::new(1, 1),
-                from: 3,
+                shard: 1,
             })
             .is_empty());
         assert!(ex.handle(ExecutionInfo::Stable { ts: 10 }).is_empty());
@@ -365,7 +367,7 @@ mod tests {
             dot: Dot::new(1, 1),
             ts: 2,
             cmd: multi_cmd(1),
-            waits: vec![3],
+            waits: vec![1],
         });
         assert_eq!(executed.len(), 1, "buffered MStable must count");
     }
@@ -377,7 +379,7 @@ mod tests {
             dot: Dot::new(1, 1),
             ts: 1,
             cmd: multi_cmd(1),
-            waits: vec![3],
+            waits: vec![1],
         });
         let _ = ex.handle(ExecutionInfo::Committed {
             dot: Dot::new(2, 1),
@@ -390,7 +392,7 @@ mod tests {
         assert!(ex.handle(ExecutionInfo::Stable { ts: 5 }).is_empty());
         let executed = ex.handle(ExecutionInfo::ShardStable {
             dot: Dot::new(1, 1),
-            from: 3,
+            shard: 1,
         });
         assert_eq!(executed.len(), 2, "unblocking the head releases the prefix");
     }
@@ -408,7 +410,7 @@ mod tests {
                     dot: Dot::new(1, seq),
                     ts: seq,
                     cmd: multi_cmd(seq),
-                    waits: vec![3],
+                    waits: vec![1],
                 })
                 .is_empty());
             // Every Stable advance re-runs both passes while all previous entries are
@@ -425,7 +427,7 @@ mod tests {
         for seq in 1..=n {
             let executed = ex.handle(ExecutionInfo::ShardStable {
                 dot: Dot::new(1, seq),
-                from: 3,
+                shard: 1,
             });
             assert_eq!(executed.len(), 1);
         }
@@ -444,7 +446,7 @@ mod tests {
             dot: Dot::new(2, 1),
             ts: 10,
             cmd: multi_cmd(1),
-            waits: vec![3],
+            waits: vec![1],
         });
         let _ = ex.handle(ExecutionInfo::Stable { ts: 10 });
         assert_eq!(ex.take_newly_stable(), vec![Dot::new(2, 1)]);
@@ -453,7 +455,7 @@ mod tests {
             dot: Dot::new(1, 1),
             ts: 5,
             cmd: multi_cmd(2),
-            waits: vec![3],
+            waits: vec![1],
         });
         assert_eq!(ex.take_newly_stable(), vec![Dot::new(1, 1)]);
         // The re-scan did not re-announce the first entry.
@@ -468,7 +470,7 @@ mod tests {
         // commits) would otherwise be buffered forever.
         let _ = ex.handle(ExecutionInfo::ShardStable {
             dot: Dot::new(1, 1),
-            from: 3,
+            shard: 1,
         });
         assert_eq!(ex.early_stables.len(), 1);
         ex.gc(Dot::new(1, 1));

@@ -84,6 +84,9 @@ pub struct CommandInfo {
     pub rec_acks: BTreeMap<ProcessId, (u64, RecPhase, u64)>,
     /// Whether this process already acted on a full recovery quorum for the current ballot.
     pub rec_done: bool,
+    /// Whether this process started a recovery for the command (used to count
+    /// `recoveries_completed` when it eventually commits).
+    pub recovering: bool,
 
     // ---- commit collection (multi-shard) ----
     /// Per-shard committed timestamps received in `MCommit`.
@@ -101,6 +104,11 @@ pub struct CommandInfo {
     /// command; 0 = never probed. Probes are rate limited to once per
     /// `commit_request_timeout_us` instead of once per liveness tick.
     pub last_probe_us: u64,
+    /// Time (µs) this process last started a recovery for the command; 0 = never.
+    /// Recovery retries are paced to once per `recovery_timeout_us` — each retry bumps
+    /// the ballot and clears `rec_acks`, so retrying faster than an `MRec` round trip
+    /// would discard every in-flight reply.
+    pub last_recovery_us: u64,
 }
 
 impl CommandInfo {
@@ -120,10 +128,12 @@ impl CommandInfo {
             commit_sent: false,
             rec_acks: BTreeMap::new(),
             rec_done: false,
+            recovering: false,
             shard_commits: BTreeMap::new(),
             buffered_attached: Vec::new(),
             since_us: now_us,
             last_probe_us: 0,
+            last_recovery_us: 0,
         }
     }
 

@@ -96,6 +96,16 @@ impl SeqSet {
         self.insert_range(value, value);
     }
 
+    /// The highest value present (0 when empty), including detached ranges.
+    #[inline]
+    pub(crate) fn max_value(&self) -> u64 {
+        self.sparse
+            .last_key_value()
+            .map(|(_, end)| *end)
+            .unwrap_or(0)
+            .max(self.contiguous)
+    }
+
     /// Inserts the inclusive range `[start, end]`, coalescing with the prefix and any
     /// overlapping or adjacent detached ranges.
     #[inline]
@@ -294,6 +304,24 @@ impl PromiseTracker {
     /// The processes tracked (the shard membership).
     pub fn processes(&self) -> impl Iterator<Item = ProcessId> + '_ {
         self.by_process.iter().map(|(p, _)| *p)
+    }
+
+    /// The highest promise ever received from `process`, detached ranges included (0 if
+    /// none). A rejoining process uses this as a clock floor: it must never propose a
+    /// timestamp it already used in a previous incarnation.
+    pub fn highest_promise(&self, process: ProcessId) -> u64 {
+        self.index_of(process)
+            .map(|i| self.by_process[i].1.set.max_value())
+            .unwrap_or(0)
+    }
+
+    /// The contiguous promise prefix per tracked process, for seeding the tracker of a
+    /// rejoining shard peer (`MRejoinAck`).
+    pub fn prefixes(&self) -> Vec<(ProcessId, u64)> {
+        self.by_process
+            .iter()
+            .map(|(p, promises)| (*p, promises.highest_contiguous()))
+            .collect()
     }
 }
 

@@ -100,12 +100,38 @@ pub struct Tempo {
     executor: TempoExecutor,
     /// Committed-command GC: executed watermarks of this process and its shard peers.
     gc: GcTracker,
+    /// Timestamps this process attached to commands that are not yet executed at every
+    /// shard peer, as `(timestamp, dot)` (with the inverse map for pruning). The safe
+    /// promise frontier broadcast in `MPromises` stays below the smallest of them.
+    attached_pending: BTreeSet<(u64, Dot)>,
+    /// Inverse of `attached_pending`, for O(log n) pruning when a dot is collected.
+    attached_ts: BTreeMap<Dot, u64>,
+    /// The highest safe promise frontier already broadcast (to skip no-news sends).
+    last_frontier_sent: u64,
+    /// Commands committed but skipped by the execution stage because local stability
+    /// had already passed their timestamp (only possible at restarted incarnations;
+    /// see `commit_with`).
+    exec_skipped: u64,
+    /// Last time the execution stage made progress (for stall detection).
+    last_exec_progress_us: u64,
+    /// Last time this process asked peers to re-state their promises (rate limit).
+    last_repair_request_us: u64,
     /// The last stability watermark fed to the executor; feeds are skipped (and the
     /// executor left untouched) while the watermark has not advanced.
     last_stable_fed: u64,
     metrics: ProtocolMetrics,
-    /// Processes suspected to have failed (used to pick the recovery leader).
+    /// Processes suspected to have failed (used to pick the recovery leader and to avoid
+    /// dead processes when choosing fast quorums for new commands).
     suspected: BTreeSet<ProcessId>,
+    /// Whether this instance is a full participant. `false` only between a restart (see
+    /// [`Protocol::rejoin`]) and the completion of the `MRejoin` handshake: until then
+    /// the process makes no timestamp proposals, because its clock restarted at zero and
+    /// a proposal below a previous incarnation's promises would break Theorem 1.
+    joined: bool,
+    /// 1-based restart count of this process (0 = never restarted).
+    incarnation: u64,
+    /// Shard peers that answered the current `MRejoin` handshake.
+    rejoin_acks: BTreeSet<ProcessId>,
 }
 
 impl Tempo {
@@ -143,9 +169,18 @@ impl Tempo {
             pending: BTreeSet::new(),
             executor: TempoExecutor::new(process, shard, config),
             gc,
+            attached_pending: BTreeSet::new(),
+            attached_ts: BTreeMap::new(),
+            last_frontier_sent: 0,
+            exec_skipped: 0,
+            last_exec_progress_us: 0,
+            last_repair_request_us: 0,
             last_stable_fed: 0,
             metrics: ProtocolMetrics::default(),
             suspected: BTreeSet::new(),
+            joined: true,
+            incarnation: 0,
+            rejoin_acks: BTreeSet::new(),
         }
     }
 
@@ -193,9 +228,20 @@ impl Tempo {
 
     /// Marks a process as suspected of having failed; the lowest non-suspected process of
     /// the shard acts as the recovery leader (a stand-in for the Ω failure detector of
-    /// Appendix B).
+    /// Appendix B), and new commands pick fast quorums avoiding suspected processes.
     pub fn suspect(&mut self, process: ProcessId) {
         self.suspected.insert(process);
+    }
+
+    /// Withdraws a suspicion (the process restarted and is participating again).
+    pub fn unsuspect(&mut self, process: ProcessId) {
+        self.suspected.remove(&process);
+    }
+
+    /// Whether this instance is a full participant (always true unless it restarted and
+    /// its `MRejoin` handshake has not completed yet).
+    pub fn is_joined(&self) -> bool {
+        self.joined
     }
 
     /// Whether this process is the current recovery leader of its shard.
@@ -223,14 +269,6 @@ impl Tempo {
             // A dot first seen now; it is not yet pending (pending requires the payload).
             CommandInfo::new(now_us)
         })
-    }
-
-    fn rank_of_ballot(&self, ballot: u64) -> u64 {
-        if ballot == 0 {
-            0
-        } else {
-            (ballot - 1) % self.config.n() as u64 + 1
-        }
     }
 
     fn next_ballot(&self, current: u64) -> u64 {
@@ -307,12 +345,36 @@ impl Tempo {
             self.promises.add(self.process, range);
         }
         // The attached promise ⟨self, t⟩ only enters the tracker once the command commits
-        // locally (Algorithm 2, line 47).
+        // locally (Algorithm 2, line 47). It also pins the safe promise frontier below
+        // `t` until the command is executed at every shard peer.
+        if self.attached_ts.insert(dot, t).is_none() {
+            self.attached_pending.insert((t, dot));
+        }
         let process = self.process;
         self.info_mut(dot, now_us)
             .buffered_attached
             .push((process, t));
         (t, detached)
+    }
+
+    /// The safe promise frontier: every timestamp up to it is promised by this process,
+    /// and every attached one among them belongs to a command executed at every shard
+    /// peer. Broadcast in `MPromises` so that receivers can absorb the whole prefix —
+    /// promise dissemination stays correct even when individual deltas are lost.
+    ///
+    /// A restarted incarnation claims nothing (frontier 0, ever): it cannot enumerate
+    /// the previous incarnation's still-in-flight attached proposals, so any prefix
+    /// claim could cover a gated attachment and let a *healthy* replica's stability
+    /// pass a command that has not committed there (see DESIGN.md §5). Its prefix at
+    /// the peers simply stalls; stability proceeds through the other replicas.
+    fn promise_frontier(&self) -> u64 {
+        if self.incarnation > 0 {
+            return 0;
+        }
+        match self.attached_pending.first() {
+            Some((ts, _)) => self.clock.value().min(ts.saturating_sub(1)),
+            None => self.clock.value(),
+        }
     }
 
     fn all_replicas_of(&self, cmd: &Command) -> Vec<ProcessId> {
@@ -321,6 +383,50 @@ impl Tempo {
 
     fn local_coordinators_of(&self, cmd: &Command) -> Vec<ProcessId> {
         self.view.local_coordinators(cmd)
+    }
+
+    /// A fast quorum of `size` processes of `shard` made of the closest replicas that are
+    /// not suspected of having failed; suspected replicas fill remaining slots (in
+    /// distance order) only when too few are left — a quorum must always be formed, and
+    /// a wrong suspicion merely costs latency, never safety.
+    fn alive_fast_quorum(&self, shard: ShardId, size: usize) -> Vec<ProcessId> {
+        let closest = self.view.closest(shard);
+        let mut quorum: Vec<ProcessId> = closest
+            .iter()
+            .copied()
+            .filter(|p| !self.suspected.contains(p))
+            .take(size)
+            .collect();
+        if quorum.len() < size {
+            for p in closest {
+                if quorum.len() == size {
+                    break;
+                }
+                if !quorum.contains(p) {
+                    quorum.push(*p);
+                }
+            }
+        }
+        assert!(
+            quorum.len() == size,
+            "shard {shard} cannot form a fast quorum"
+        );
+        quorum
+    }
+
+    /// The per-shard coordinators for a submission (`I^i_c`), preferring non-suspected
+    /// replicas: the closest live replica of every accessed shard.
+    fn alive_coordinators(&self, cmd: &Command) -> Vec<ProcessId> {
+        cmd.shards()
+            .map(|shard| {
+                self.view
+                    .closest(shard)
+                    .iter()
+                    .copied()
+                    .find(|p| !self.suspected.contains(p))
+                    .unwrap_or_else(|| self.view.closest_process(shard))
+            })
+            .collect()
     }
 
     // ------------------------------------------------------------ commit path
@@ -400,8 +506,20 @@ impl Tempo {
                 return;
             }
             info.learn_payload(&cmd, &quorums);
-            info.phase = Phase::Propose;
         }
+        if !self.joined {
+            // A restarted process must not propose until the rejoin handshake recovered
+            // its clock floor: a proposal below a previous incarnation's promises would
+            // violate Theorem 1. Keep the payload so recovery can involve this process
+            // later; the coordinator's quorum stays incomplete and the command commits
+            // through the liveness/recovery path instead.
+            let info = self.info_mut(dot, now_us);
+            info.phase = Phase::Payload;
+            self.pending.insert(dot);
+            self.try_complete_commit(dot, now_us, out);
+            return;
+        }
+        self.info_mut(dot, now_us).phase = Phase::Propose;
         self.pending.insert(dot);
         let (proposal, detached) = self.clock_proposal(dot, ts, now_us);
         self.info_mut(dot, now_us).ts = proposal;
@@ -573,7 +691,7 @@ impl Tempo {
         now_us: u64,
         out: &mut Vec<Action<Message>>,
     ) {
-        let (buffered, cmd) = {
+        let (buffered, cmd, recovered) = {
             let info = self.info.get_mut(&dot).expect("info exists");
             if info.phase.is_committed_or_executed() {
                 return;
@@ -583,10 +701,16 @@ impl Tempo {
             (
                 std::mem::take(&mut info.buffered_attached),
                 info.cmd.clone().expect("committed commands have a payload"),
+                info.recovering,
             )
         };
         self.pending.remove(&dot);
         self.metrics.committed += 1;
+        if recovered {
+            // This process took over as the command's coordinator at some point and the
+            // command now has a timestamp: the recovery path ran to completion.
+            self.metrics.recoveries_completed += 1;
+        }
         // Attached promises for this command may now enter the tracker (line 47).
         for (process, ts) in buffered {
             self.promises.add_single(process, ts);
@@ -594,13 +718,41 @@ impl Tempo {
         // Generate detached promises up to the committed timestamp (line 25/59); this is
         // what lets stability reach `final_ts` even when it exceeds this shard's clocks.
         self.clock_bump(final_ts);
+        if final_ts <= self.last_stable_fed {
+            // The execution stage was already told stability passed `final_ts`, so this
+            // command can no longer be placed in ⟨ts, id⟩ order here. In the normal
+            // regime this cannot happen — the line-47 commit gate keeps the local
+            // stable watermark strictly below a command's timestamp until it commits
+            // locally — but a *restarted* incarnation's tracker is deliberately seeded
+            // past old commands (rejoin prefixes, safe frontiers, promise repairs), so
+            // late back-fills of pre-crash commands land below stability. Skip applying
+            // them: the store stays incomplete until state transfer exists (ROADMAP
+            // follow-on), which is safe for ordering — this incarnation's execution log
+            // is a consistent suffix — while recording them as executed keeps GC
+            // draining and the `MStable` attestation keeps sibling shards live.
+            self.exec_skipped += 1;
+            let info = self.info.get_mut(&dot).expect("info exists");
+            info.phase = Phase::Execute;
+            info.proposal_detached.clear();
+            info.proposals.clear();
+            info.rec_acks.clear();
+            self.gc.record_executed(dot);
+            self.gc_collect();
+            if cmd.is_multi_shard() {
+                let targets = self.all_replicas_of(&cmd);
+                self.send(&targets, Message::MStable { dot }, now_us, out);
+            }
+            self.sync_stability(now_us, out);
+            return;
+        }
         // Hand the command to the execution stage; a multi-shard command additionally
-        // waits for the `MStable` of the colocated replica of every other accessed shard.
-        let waits: Vec<ProcessId> = if cmd.is_multi_shard() {
-            self.local_coordinators_of(&cmd)
-                .into_iter()
-                .filter(|p| *p != self.process)
-                .collect()
+        // waits for an `MStable` attestation from every *other* accessed shard.
+        // Stability is a shard-global property and every replica of the command
+        // broadcasts `MStable` once it is locally stable, so the wait is keyed by shard
+        // and satisfied by whichever replica's attestation arrives first — a crashed
+        // attestor (even one that dies after this commit) cannot stall execution.
+        let waits: Vec<ShardId> = if cmd.is_multi_shard() {
+            cmd.shards().filter(|s| *s != self.shard).collect()
         } else {
             Vec::new()
         };
@@ -629,6 +781,11 @@ impl Tempo {
         out: &mut Vec<Action<Message>>,
     ) {
         // Algorithm 5, lines 30-34 (pre: bal[id] <= b).
+        if !self.joined {
+            // Consensus participation is suspended until the rejoin handshake completes:
+            // an amnesiac acceptor must not join new ballots with forgotten accept state.
+            return;
+        }
         {
             let info = self.info_mut(dot, now_us);
             if info.bal > ballot {
@@ -737,17 +894,25 @@ impl Tempo {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn handle_promises(
         &mut self,
         from: ProcessId,
         detached: Vec<PromiseRange>,
         attached: Vec<(Dot, u64)>,
         executed: Vec<(ProcessId, u64)>,
+        frontier: u64,
         now_us: u64,
         out: &mut Vec<Action<Message>>,
     ) {
         self.gc.update_peer(from, &executed);
         self.gc_collect();
+        // Absorb the sender's safe frontier wholesale: it heals any gap left by an
+        // earlier lost delta (every attached promise below it is committed — indeed
+        // executed — at this process, so the line-47 gate is already satisfied).
+        if frontier >= 1 {
+            self.promises.add(from, PromiseRange::new(1, frontier));
+        }
         for range in detached {
             self.promises.add(from, range);
         }
@@ -780,7 +945,9 @@ impl Tempo {
         now_us: u64,
         out: &mut Vec<Action<Message>>,
     ) {
-        self.exec_feed(ExecutionInfo::ShardStable { dot, from }, now_us, out);
+        // Any replica's attestation clears its shard's wait (see `commit_with`).
+        let shard = self.membership.shard_of(from);
+        self.exec_feed(ExecutionInfo::ShardStable { dot, shard }, now_us, out);
     }
 
     /// Pushes the current stability watermark (Theorem 1) into the execution stage —
@@ -813,6 +980,9 @@ impl Tempo {
         }
         let executed_dots = self.executor.take_executed_dots();
         let any_executed = !executed_dots.is_empty();
+        if any_executed {
+            self.last_exec_progress_us = now_us;
+        }
         for dot in executed_dots {
             let info = self
                 .info
@@ -844,6 +1014,11 @@ impl Tempo {
                 if self.info.remove(&dot).is_some() {
                     self.metrics.gc_collected += 1;
                 }
+                // The dot executed at every shard peer: its attached timestamp no
+                // longer pins the safe promise frontier.
+                if let Some(ts) = self.attached_ts.remove(&dot) {
+                    self.attached_pending.remove(&(ts, dot));
+                }
                 self.executor.gc(dot);
             }
         }
@@ -857,12 +1032,14 @@ impl Tempo {
     /// at most once per `commit_request_timeout_us`, not on every liveness tick — a dot
     /// past its timeout used to re-broadcast its full payload plus `MCommitRequest`
     /// every 5 ms.
+    ///
+    /// Recovery escalation shares the probe rate limit and *retries*: under message loss
+    /// an `MRec` round can vanish entirely, so a leader whose takeover made no progress
+    /// re-runs `start_recovery` (with a fresh, higher ballot) on the next probe. The
+    /// previous gate — "skip if the pending ballot is already ours" — deadlocked exactly
+    /// in that case, which the lossy conformance scenario flushed out.
     fn liveness_scan(&mut self, now_us: u64, out: &mut Vec<Action<Message>>) {
         let timeout = self.options.commit_request_timeout_us;
-        // Stale dots (past the commit-request timeout) are considered on every scan:
-        // only the *probe* (MCommitRequest + payload resend) is rate limited, while the
-        // leader's recovery escalation keeps its per-tick latency — a successful
-        // takeover flips the ballot to this process's rank, so it does not re-trigger.
         let stale: Vec<(Dot, bool)> = self
             .pending
             .iter()
@@ -877,13 +1054,9 @@ impl Tempo {
             })
             .collect();
         for (dot, probe) in stale {
-            let (age, has_payload, ballot) = {
+            let (age, has_payload) = {
                 let info = &self.info[&dot];
-                (
-                    now_us.saturating_sub(info.since_us),
-                    info.has_payload(),
-                    info.bal,
-                )
+                (now_us.saturating_sub(info.since_us), info.has_payload())
             };
             if probe {
                 self.info
@@ -914,15 +1087,120 @@ impl Tempo {
                 }
             }
             // If we are the shard leader and the command has been pending for long
-            // enough, take over as its coordinator.
-            if self.is_leader()
-                && has_payload
-                && age >= self.options.recovery_timeout_us
-                && (ballot == 0 || self.rank_of_ballot(ballot) != self.rank)
-            {
-                self.start_recovery(dot, now_us, out);
+            // enough, take over as its coordinator — and keep retrying until the
+            // command commits: under message loss an entire MRec round can vanish, and
+            // the old "skip if the pending ballot is already ours" gate deadlocked
+            // exactly then. Retries pace on the *recovery* timeout per dot (not the
+            // probe cadence): each retry clears `rec_acks` and bumps the ballot, so
+            // retrying faster than an MRec round trip would discard in-flight acks
+            // forever (a livelock instead of a deadlock).
+            if self.is_leader() && has_payload && age >= self.options.recovery_timeout_us {
+                let due = {
+                    let info = &self.info[&dot];
+                    now_us.saturating_sub(info.last_recovery_us) >= self.options.recovery_timeout_us
+                };
+                if due {
+                    self.start_recovery(dot, now_us, out);
+                }
             }
         }
+        self.repair_scan(now_us, out);
+    }
+
+    /// Detects a stalled execution stage — committed commands exist but no execution
+    /// happened for a full commit-request timeout — and asks the shard peers to
+    /// re-state their promises (`MPromiseRequest`, rate limited). Commit-side liveness
+    /// is covered by the probes above; this covers the *stability* side: an `MPromises`
+    /// delta lost to the network leaves a permanent gap in this process's view of a
+    /// peer's promise prefix, freezing the stable watermark below every later
+    /// timestamp. The lossy-link nemesis schedule found replicas frozen this way.
+    fn repair_scan(&mut self, now_us: u64, out: &mut Vec<Action<Message>>) {
+        let timeout = self.options.commit_request_timeout_us;
+        let unexecuted = self.metrics.committed > self.executor.executed() + self.exec_skipped;
+        if !unexecuted
+            || now_us.saturating_sub(self.last_exec_progress_us) < timeout
+            || now_us.saturating_sub(self.last_repair_request_us) < timeout
+        {
+            return;
+        }
+        self.last_repair_request_us = now_us;
+        let targets: Vec<ProcessId> = self
+            .shard_peers
+            .iter()
+            .copied()
+            .filter(|p| *p != self.process)
+            .collect();
+        if !targets.is_empty() {
+            self.send(&targets, Message::MPromiseRequest, now_us, out);
+        }
+    }
+
+    fn handle_promise_request(
+        &mut self,
+        from: ProcessId,
+        now_us: u64,
+        out: &mut Vec<Action<Message>>,
+    ) {
+        if !self.joined || self.incarnation > 0 {
+            // A restarted incarnation cannot enumerate its previous life's in-flight
+            // attached proposals, so it must not claim `[1, clock]` — see
+            // `promise_frontier` and DESIGN.md §5. The requester's repair comes from
+            // the other peers.
+            return;
+        }
+        let repair = Message::MPromiseRepair {
+            clock: self.clock.value(),
+            pending: self.attached_pending.iter().copied().collect(),
+        };
+        self.send(&[from], repair, now_us, out);
+    }
+
+    /// Absorbs a peer's complete promise state: everything in `[1, clock]` except the
+    /// listed pending attachments, which stay behind the commit gate (Algorithm 2,
+    /// line 47) exactly like attached promises arriving in `MPromises`. For an
+    /// attachment whose command this process does not even know committed, the dot id
+    /// in the repair is itself the cure: ask the sender for the outcome
+    /// (`MCommitRequest`) — the command may have committed at a quorum that excludes
+    /// this process, with both its payload and its commit lost to the network, in which
+    /// case nobody would ever retransmit it (the coordinator only re-sends payloads of
+    /// commands still pending *there*).
+    fn handle_promise_repair(
+        &mut self,
+        from: ProcessId,
+        clock: u64,
+        pending: Vec<(u64, Dot)>,
+        now_us: u64,
+        out: &mut Vec<Action<Message>>,
+    ) {
+        let mut next = 1u64;
+        for (ts, dot) in pending {
+            if ts > clock {
+                break; // Pending proposals above the clock cannot exist.
+            }
+            if ts > next {
+                self.promises.add(from, PromiseRange::new(next, ts - 1));
+            }
+            let committed = self.gc.is_collected(dot)
+                || self
+                    .info
+                    .get(&dot)
+                    .map(|i| i.phase.is_committed_or_executed())
+                    .unwrap_or(false);
+            if committed {
+                self.promises.add_single(from, ts);
+            } else {
+                let info = self.info_mut(dot, now_us);
+                if !info.buffered_attached.contains(&(from, ts)) {
+                    info.buffered_attached.push((from, ts));
+                }
+                self.send(&[from], Message::MCommitRequest { dot }, now_us, out);
+            }
+            next = next.max(ts + 1);
+        }
+        if next <= clock {
+            self.promises.add(from, PromiseRange::new(next, clock));
+        }
+        self.sync_stability(now_us, out);
     }
 
     // --------------------------------------------------------------- recovery
@@ -939,10 +1217,12 @@ impl Tempo {
             let current = info.bal;
             info.rec_acks.clear();
             info.rec_done = false;
+            info.recovering = true;
+            info.last_recovery_us = now_us;
             current
         };
         let ballot = self.next_ballot(ballot);
-        self.metrics.recoveries += 1;
+        self.metrics.recoveries_started += 1;
         let rec = Message::MRec { dot, ballot };
         let targets = self.shard_peers.clone();
         self.send(&targets, rec, now_us, out);
@@ -961,6 +1241,11 @@ impl Tempo {
             let info = self.info_mut(dot, now_us);
             info.phase.is_committed_or_executed()
         };
+        if !self.joined && !committed {
+            // A rejoining process may still share a commit it knows about, but must not
+            // make recovery proposals (its clock floor is not yet re-established).
+            return;
+        }
         if committed {
             // Liveness: share the outcome with the would-be coordinator.
             let info = self.info.get(&dot).expect("info exists");
@@ -1184,9 +1469,79 @@ impl Tempo {
         self.commit_with(dot, ts, now_us, out);
     }
 
+    // ---------------------------------------------------------------- rejoin
+
+    /// Broadcasts `MRejoin` to the shard peers (initially from [`Protocol::rejoin`],
+    /// re-sent from the liveness timer while the handshake is incomplete so that message
+    /// loss cannot leave the process unjoined forever).
+    fn send_rejoin(&mut self, now_us: u64, out: &mut Vec<Action<Message>>) {
+        let targets: Vec<ProcessId> = self
+            .shard_peers
+            .iter()
+            .copied()
+            .filter(|p| *p != self.process)
+            .collect();
+        if !targets.is_empty() {
+            self.send(&targets, Message::MRejoin, now_us, out);
+        }
+    }
+
+    fn handle_rejoin(&mut self, from: ProcessId, now_us: u64, out: &mut Vec<Action<Message>>) {
+        if !self.joined {
+            // A process that is itself mid-rejoin has nothing trustworthy to report.
+            return;
+        }
+        let ack = Message::MRejoinAck {
+            clock: self.clock.value(),
+            your_highest: self.promises.highest_promise(from),
+            prefixes: self.promises.prefixes(),
+        };
+        self.send(&[from], ack, now_us, out);
+    }
+
+    fn handle_rejoin_ack(
+        &mut self,
+        from: ProcessId,
+        clock: u64,
+        your_highest: u64,
+        prefixes: Vec<(ProcessId, u64)>,
+        now_us: u64,
+        out: &mut Vec<Action<Message>>,
+    ) {
+        if self.joined || !self.rejoin_acks.insert(from) {
+            return;
+        }
+        // Clock floor: never propose at or below (a) any timestamp a previous incarnation
+        // of this process used (as recorded by the peer) or (b) the peer's own clock. Over
+        // a recovery quorum of replies, (b) guarantees new proposals land above any
+        // stability watermark derivable when the handshake completes — see DESIGN.md §5.
+        self.clock_bump(clock.max(your_highest));
+        // Seed the promise tracker with the peers' contiguous prefixes so stability
+        // detection works again at this process (a prefix report is a promise witness).
+        for (process, prefix) in prefixes {
+            if prefix >= 1 {
+                self.promises.add(process, PromiseRange::new(1, prefix));
+            }
+        }
+        // This process plus the repliers form a recovery quorum: safe to participate.
+        if self.rejoin_acks.len() + 1 >= self.config.recovery_quorum_size() {
+            // Discard every promise buffered during the handshake (the floor bumps
+            // above, plus any pre-join clock movement): broadcasting them would claim
+            // the previous incarnation's range, which may contain attached proposals
+            // still gated at the peers (DESIGN.md §5). The ranges stay registered in
+            // the *local* tracker — this incarnation's own stability view — where the
+            // exec-floor skip in `commit_with` already accounts for them.
+            let _ = self.clock.take_detached();
+            let _ = self.clock.take_attached();
+            self.joined = true;
+            self.sync_stability(now_us, out);
+        }
+    }
+
     // --------------------------------------------------------------- dispatch
 
-    /// The dot a message is about, if any (`MPromises` is the only dot-free message).
+    /// The dot a message is about, if any (`MPromises` and the rejoin handshake are the
+    /// dot-free messages).
     fn message_dot(msg: &Message) -> Option<Dot> {
         match msg {
             Message::MSubmit { dot, .. }
@@ -1203,7 +1558,11 @@ impl Tempo {
             | Message::MRecNAck { dot, .. }
             | Message::MCommitRequest { dot }
             | Message::MCommitInfo { dot, .. } => Some(*dot),
-            Message::MPromises { .. } => None,
+            Message::MPromises { .. }
+            | Message::MPromiseRequest
+            | Message::MPromiseRepair { .. }
+            | Message::MRejoin
+            | Message::MRejoinAck { .. } => None,
         }
     }
 
@@ -1253,7 +1612,10 @@ impl Tempo {
                 detached,
                 attached,
                 executed,
-            } => self.handle_promises(from, detached, attached, executed, now_us, &mut out),
+                frontier,
+            } => self.handle_promises(
+                from, detached, attached, executed, frontier, now_us, &mut out,
+            ),
             Message::MStable { dot } => self.handle_stable(from, dot, now_us, &mut out),
             Message::MRec { dot, ballot } => self.handle_rec(from, dot, ballot, now_us, &mut out),
             Message::MRecAck {
@@ -1272,6 +1634,16 @@ impl Tempo {
             Message::MCommitInfo { dot, cmd, ts } => {
                 self.handle_commit_info(dot, cmd, ts, now_us, &mut out)
             }
+            Message::MPromiseRequest => self.handle_promise_request(from, now_us, &mut out),
+            Message::MPromiseRepair { clock, pending } => {
+                self.handle_promise_repair(from, clock, pending, now_us, &mut out)
+            }
+            Message::MRejoin => self.handle_rejoin(from, now_us, &mut out),
+            Message::MRejoinAck {
+                clock,
+                your_highest,
+                prefixes,
+            } => self.handle_rejoin_ack(from, clock, your_highest, prefixes, now_us, &mut out),
         }
         out
     }
@@ -1320,10 +1692,10 @@ impl Protocol for Tempo {
         for shard in cmd.shards() {
             quorums.insert(
                 shard,
-                self.view.fast_quorum(shard, self.config.fast_quorum_size()),
+                self.alive_fast_quorum(shard, self.config.fast_quorum_size()),
             );
         }
-        let targets = self.local_coordinators_of(&cmd);
+        let targets = self.alive_coordinators(&cmd);
         let msg = Message::MSubmit { dot, cmd, quorums };
         let mut out = Vec::new();
         self.send(&targets, msg, now_us, &mut out);
@@ -1332,6 +1704,27 @@ impl Protocol for Tempo {
 
     fn handle(&mut self, from: ProcessId, msg: Message, now_us: u64) -> Vec<Action<Message>> {
         self.dispatch(from, msg, now_us)
+    }
+
+    fn suspect(&mut self, process: ProcessId) {
+        Tempo::suspect(self, process);
+    }
+
+    fn unsuspect(&mut self, process: ProcessId) {
+        Tempo::unsuspect(self, process);
+    }
+
+    fn rejoin(&mut self, incarnation: u64, now_us: u64) -> Vec<Action<Message>> {
+        self.incarnation = incarnation;
+        // Reserve a disjoint band of the dot sequence space per incarnation: a restarted
+        // process must never reuse a dot of a previous life (the old dot may be executed
+        // — or garbage collected — everywhere already).
+        self.dot_gen.skip_to(incarnation << 48);
+        self.joined = false;
+        self.rejoin_acks.clear();
+        let mut out = Vec::new();
+        self.send_rejoin(now_us, &mut out);
+        out
     }
 
     fn timer(&mut self, timer: TimerId, now_us: u64) -> Vec<Action<Message>> {
@@ -1345,7 +1738,14 @@ impl Protocol for Tempo {
                 // broadcast (accounted in `gc_messages`) ships the final window — GC
                 // liveness must not depend on continuous traffic.
                 let promises_pending = self.clock.has_pending_promises();
-                if promises_pending || self.gc.frontier_changed() {
+                let frontier = self.promise_frontier();
+                // Mid-rejoin nothing may be broadcast: the buffers hold floor bumps
+                // over the previous incarnation's range (see `handle_rejoin_ack`).
+                if self.joined
+                    && (promises_pending
+                        || self.gc.frontier_changed()
+                        || frontier > self.last_frontier_sent)
+                {
                     let detached = self.clock.take_detached();
                     let attached = self.clock.take_attached();
                     let targets: Vec<ProcessId> = self
@@ -1357,6 +1757,7 @@ impl Protocol for Tempo {
                     if !targets.is_empty() {
                         let executed = self.gc.executed_frontier();
                         self.gc.record_broadcast(&executed);
+                        self.last_frontier_sent = frontier;
                         if !promises_pending {
                             self.metrics.gc_messages += targets.len() as u64;
                         }
@@ -1364,6 +1765,7 @@ impl Protocol for Tempo {
                             detached,
                             attached,
                             executed,
+                            frontier,
                         };
                         self.send(&targets, msg, now_us, &mut out);
                     }
@@ -1377,7 +1779,13 @@ impl Protocol for Tempo {
                 ));
             }
             TIMER_LIVENESS => {
-                self.liveness_scan(now_us, &mut out);
+                if self.joined {
+                    self.liveness_scan(now_us, &mut out);
+                } else {
+                    // Mid-rejoin: retry the handshake instead of probing pending dots
+                    // (an unanswered MRejoin must not strand the process forever).
+                    self.send_rejoin(now_us, &mut out);
+                }
                 out.push(Action::schedule(
                     TIMER_LIVENESS,
                     self.options.liveness_interval_us,

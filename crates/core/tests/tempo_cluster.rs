@@ -396,7 +396,8 @@ fn recovery_after_coordinator_crash_preserves_fast_path_timestamp() {
     cluster.tick_all(5_000);
     assert_eq!(cluster.executed(1).len(), 1);
     assert_eq!(cluster.executed(2).len(), 1);
-    assert!(cluster.process(1).metrics().recoveries >= 1);
+    assert!(cluster.process(1).metrics().recoveries_started >= 1);
+    assert!(cluster.process(1).metrics().recoveries_completed >= 1);
 }
 
 #[test]

@@ -1,0 +1,26 @@
+//! `tempo-fault` — deterministic fault injection and history checking.
+//!
+//! The paper's availability claims rest on its recovery protocol (Algorithm 4): a
+//! command whose coordinator crashes is still assigned a timestamp and executed by the
+//! surviving quorum. This crate provides the two halves needed to *test* that claim in
+//! simulation:
+//!
+//! * [`nemesis`] — a seeded schedule of fault events (crashes, restarts, partitions,
+//!   lossy links, delay spikes) plus the network-state bookkeeping the simulator
+//!   consults before delivering each message, and preset schedules for the canonical
+//!   adversities (coordinator crash mid-commit, rolling crashes up to `f`, split brain
+//!   and heal, lossy-link soak);
+//! * [`history`] — a concurrent history of client invocations/responses and per-replica
+//!   execution sequences, with a checker for per-key linearizability, cross-replica
+//!   agreement on the order of conflicting commands, and at-most-once execution.
+//!
+//! Everything is deterministic given a seed, so a failing schedule replays exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod history;
+pub mod nemesis;
+
+pub use history::{CheckSummary, History, Violation};
+pub use nemesis::{FaultEvent, FaultSummary, Nemesis, NemesisSchedule, RandomNemesisOpts};

@@ -1,0 +1,219 @@
+//! Chaos integration suite: nemesis schedules driven through `tempo-sim`, judged by the
+//! history checker.
+//!
+//! These are the tests the ROADMAP's "as many scenarios as you can imagine" axis hangs
+//! off: every preset of `tempo_fault::nemesis` runs against Tempo, plus a battery of
+//! seeded random schedules (f = 1 and f = 2). Each run must terminate (clients abort
+//! commands stranded by faults instead of hanging) and its recorded history must pass
+//! per-key linearizability, replica agreement and at-most-once execution.
+//!
+//! Workload choice matters: schedules with `Restart` events use the write-only
+//! `ConflictWorkload`, because a replica restarted without state transfer serves reads
+//! from an incomplete store (see DESIGN.md §5 — durable state is the ROADMAP follow-on);
+//! crash-free and crash-only schedules use `RwConflict`, whose `Get`/`Add` outputs give
+//! the linearizability checker observations to falsify.
+
+use tempo_core::Tempo;
+use tempo_fault::{History, NemesisSchedule, RandomNemesisOpts};
+use tempo_kernel::id::Rifl;
+use tempo_kernel::Config;
+use tempo_planet::Planet;
+use tempo_sim::{run, RunReport, SimOpts};
+use tempo_workload::{ConflictWorkload, RwConflict, Workload};
+
+fn chaos_opts(schedule: NemesisSchedule, seed: u64) -> SimOpts {
+    SimOpts {
+        clients_per_site: 2,
+        commands_per_client: 5,
+        seed,
+        nemesis: Some(schedule),
+        client_timeout_us: Some(15_000_000),
+        record_history: true,
+        ..SimOpts::default()
+    }
+}
+
+fn checked_run<W: Workload>(
+    config: Config,
+    schedule: NemesisSchedule,
+    seed: u64,
+    workload: W,
+) -> RunReport {
+    let report = run::<Tempo, _>(
+        config,
+        Planet::equidistant(config.n(), 50.0),
+        chaos_opts(schedule, seed),
+        workload,
+    );
+    assert!(
+        !report.stalled,
+        "seed {seed}: run stalled (summary: {})",
+        report.summary()
+    );
+    assert_eq!(
+        report.completed + report.aborted,
+        (config.n() * 2 * 5) as u64,
+        "seed {seed}: every command must be accounted for"
+    );
+    let history = report.history.as_ref().expect("history recorded");
+    if let Err(violation) = history.check() {
+        panic!(
+            "seed {seed}: history check failed: {violation}\n{}",
+            report.summary()
+        );
+    }
+    report
+}
+
+fn history(report: &RunReport) -> &History {
+    report.history.as_ref().expect("history recorded")
+}
+
+/// The acceptance scenario: a command is submitted at its coordinator, the coordinator
+/// crashes after proposing but before committing, and the surviving quorum still
+/// assigns it a timestamp and executes it via `MRec` (Algorithm 4).
+#[test]
+fn coordinator_crash_mid_commit_recovers_the_command() {
+    let config = Config::full(5, 1);
+    // Client 0 (site 0) submits its first command at t ≈ 0; process 0 coordinates it.
+    // MPropose reaches the remote fast-quorum members at 50 ms; the crash at 60 ms
+    // lands after the proposals were made but before any MProposeAck returns — the
+    // commit is the coordinator's to send, and it never will.
+    let schedule = NemesisSchedule::coordinator_crash(0, 60_000);
+    let report = checked_run(config, schedule, 7, RwConflict::new(0.2, 0.4, 16, 7));
+    assert!(
+        report.metrics.recoveries_started >= 1,
+        "a survivor must take over: {}",
+        report.summary()
+    );
+    assert!(
+        report.metrics.recoveries_completed >= 1,
+        "the recovery must complete: {}",
+        report.summary()
+    );
+    // The orphaned first command of the crashed coordinator is executed by every
+    // survivor (the crashed site's client 0 had submitted it as Rifl 0#1).
+    let orphan = Rifl::new(0, 1);
+    for survivor in 1..5u64 {
+        assert!(
+            history(&report).executed_by(survivor).contains(&orphan),
+            "survivor {survivor} must execute the recovered command"
+        );
+    }
+    assert_eq!(report.faults.crashes, 1);
+}
+
+/// Rolling crashes up to `f`: one site at a time crashes, loses its volatile state and
+/// rejoins. Write-only workload (a restarted replica has no state transfer; see the
+/// module docs).
+#[test]
+fn rolling_crashes_preset_stays_safe() {
+    for (f, seed) in [(1usize, 11u64), (2, 12)] {
+        let config = Config::full(5, f);
+        let schedule = NemesisSchedule::rolling_crashes(config, 200_000, 400_000);
+        let report = checked_run(config, schedule, seed, ConflictWorkload::new(0.1, 16, seed));
+        assert_eq!(report.faults.crashes as usize, f);
+        assert_eq!(report.faults.restarts as usize, f);
+        assert!(report.completed > 0);
+    }
+}
+
+/// Split brain and heal: the minority side's submissions stall during the partition and
+/// finish — or abort — after the heal; nothing the clients observed may contradict
+/// linearizability.
+#[test]
+fn split_brain_and_heal_stays_safe() {
+    let config = Config::full(5, 1);
+    let schedule = NemesisSchedule::split_brain_and_heal(config, 100_000, 1_500_000);
+    let report = checked_run(config, schedule, 13, RwConflict::new(0.3, 0.5, 16, 13));
+    assert_eq!(report.faults.partitions, 1);
+    assert_eq!(report.faults.heals, 1);
+    assert!(
+        report.faults.dropped_partition > 0,
+        "the partition must actually cut traffic: {}",
+        report.summary()
+    );
+    assert!(report.completed > 0);
+}
+
+/// Lossy-link soak: every link drops 10% of messages for two simulated seconds; the
+/// retransmission/recovery machinery must keep committing, and the observed outputs
+/// must stay linearizable.
+#[test]
+fn lossy_link_soak_stays_safe() {
+    let config = Config::full(5, 1);
+    let schedule = NemesisSchedule::lossy_link_soak(config, 0.1, 0, 2_000_000);
+    let report = checked_run(config, schedule, 17, RwConflict::new(0.3, 0.5, 16, 17));
+    assert!(
+        report.faults.dropped_link > 0,
+        "the soak must actually drop messages: {}",
+        report.summary()
+    );
+    assert!(report.completed > 0);
+}
+
+/// The satellite property test: seeded random nemesis schedules × `ConflictWorkload`
+/// for Tempo with f = 1 and f = 2 — every run must pass the checker. Together the two
+/// configurations cover at least 20 seeds (the CI acceptance bar).
+#[test]
+fn random_nemesis_schedules_pass_the_checker_f1() {
+    let config = Config::full(5, 1);
+    for seed in 0..14u64 {
+        // The horizon must fit inside the run (~375 ms fault-free, longer once faults
+        // hit): a first incident at ~25-31% of an 800 ms horizon always lands while
+        // clients are still issuing, and the assert below keeps the test honest — a
+        // schedule that never fires would make the whole battery vacuous.
+        let schedule = NemesisSchedule::random(&RandomNemesisOpts {
+            config,
+            horizon_us: 800_000,
+            incidents: 3,
+            seed,
+        });
+        let report = checked_run(config, schedule, seed, ConflictWorkload::new(0.1, 16, seed));
+        assert!(report.completed > 0, "seed {seed}: nothing completed");
+        assert!(
+            report.faults.events() > 0,
+            "seed {seed}: no fault ever fired — the run ended before the schedule"
+        );
+    }
+}
+
+#[test]
+fn random_nemesis_schedules_pass_the_checker_f2() {
+    let config = Config::full(5, 2);
+    for seed in 100..108u64 {
+        let schedule = NemesisSchedule::random(&RandomNemesisOpts {
+            config,
+            horizon_us: 800_000,
+            incidents: 3,
+            seed,
+        });
+        let report = checked_run(config, schedule, seed, ConflictWorkload::new(0.1, 16, seed));
+        assert!(report.completed > 0, "seed {seed}: nothing completed");
+        assert!(
+            report.faults.events() > 0,
+            "seed {seed}: no fault ever fired — the run ended before the schedule"
+        );
+    }
+}
+
+/// A restarted replica rejoins and serves *new* commands again: after the roll, clients
+/// of the restarted site keep completing commands watched at their colocated replica.
+#[test]
+fn restarted_replica_rejoins_and_serves_new_commands() {
+    let config = Config::full(3, 1);
+    let schedule = NemesisSchedule::new(vec![
+        (200_000, tempo_fault::FaultEvent::Crash(0)),
+        (600_000, tempo_fault::FaultEvent::Restart(0)),
+    ]);
+    let report = checked_run(config, schedule, 23, ConflictWorkload::new(0.1, 16, 23));
+    // Incarnation 1 specifically: the all-incarnations view would pass on pre-crash
+    // executions alone and say nothing about the rejoin.
+    let executed_by_new_incarnation: Vec<Rifl> = history(&report).executed_by_incarnation(0, 1);
+    assert!(
+        !executed_by_new_incarnation.is_empty(),
+        "the restarted replica must execute commands again: {}",
+        report.summary()
+    );
+    assert_eq!(report.faults.restarts, 1);
+}

@@ -93,6 +93,13 @@ impl<P: Protocol> Driver<P> {
         self.absorb(actions, now_us)
     }
 
+    /// Runs the protocol's rejoin hook for a process rebuilt after a crash (see
+    /// [`Protocol::rejoin`]) and absorbs the handshake actions it produces.
+    pub fn rejoin(&mut self, incarnation: u64, now_us: u64) -> Output<P::Message> {
+        let actions = self.protocol.rejoin(incarnation, now_us);
+        self.absorb(actions, now_us)
+    }
+
     /// Submits a client command.
     pub fn submit(&mut self, cmd: Command, now_us: u64) -> Output<P::Message> {
         let actions = self.protocol.submit(cmd, now_us);

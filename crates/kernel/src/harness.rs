@@ -12,6 +12,7 @@ use crate::config::Config;
 use crate::driver::{Driver, Output};
 use crate::id::ProcessId;
 use crate::protocol::{Executed, Protocol, View};
+use crate::rand::Rng;
 use std::collections::{BTreeMap, VecDeque};
 
 /// A message in flight between two processes.
@@ -33,6 +34,10 @@ pub struct LocalCluster<P: Protocol> {
     crashed: Vec<ProcessId>,
     /// Messages delivered so far (for assertions on message complexity).
     pub delivered: u64,
+    /// Messages dropped by the lossy-transport mode (see [`Self::set_message_loss`]).
+    pub dropped: u64,
+    /// When set, each in-flight message is independently dropped with this probability.
+    loss: Option<(f64, Rng)>,
     now_us: u64,
 }
 
@@ -62,6 +67,8 @@ impl<P: Protocol> LocalCluster<P> {
             completions: BTreeMap::new(),
             crashed: Vec::new(),
             delivered: 0,
+            dropped: 0,
+            loss: None,
             now_us: 0,
         };
         for id in membership.all_processes() {
@@ -101,6 +108,14 @@ impl<P: Protocol> LocalCluster<P> {
     /// All process identifiers.
     pub fn process_ids(&self) -> Vec<ProcessId> {
         self.drivers.keys().copied().collect()
+    }
+
+    /// Turns on lossy transport: from now on every in-flight message is independently
+    /// dropped with probability `p` (deterministically, from `seed`). Used by the
+    /// message-loss conformance scenario to exercise retransmission paths.
+    pub fn set_message_loss(&mut self, p: f64, seed: u64) {
+        assert!((0.0..=1.0).contains(&p), "drop probability out of range");
+        self.loss = Some((p, Rng::new(seed)));
     }
 
     /// Marks a process as crashed: it no longer receives nor sends messages.
@@ -159,6 +174,12 @@ impl<P: Protocol> LocalCluster<P> {
         while let Some(inflight) = self.queue.pop_front() {
             if self.crashed.contains(&inflight.to) || self.crashed.contains(&inflight.from) {
                 continue;
+            }
+            if let Some((p, rng)) = &mut self.loss {
+                if rng.gen_bool(*p) {
+                    self.dropped += 1;
+                    continue;
+                }
             }
             let now = self.now_us;
             let output = self

@@ -97,6 +97,14 @@ impl DotGen {
         Dot::new(self.source, self.next)
     }
 
+    /// Fast-forwards the generator so that every future dot has a sequence strictly
+    /// greater than `sequence`. Used by a process restarted with volatile state lost: its
+    /// new incarnation must never reuse a dot of a previous incarnation, so it jumps to
+    /// an incarnation-reserved band of the sequence space.
+    pub fn skip_to(&mut self, sequence: u64) {
+        self.next = self.next.max(sequence);
+    }
+
     /// Number of dots generated so far.
     pub fn generated(&self) -> u64 {
         self.next

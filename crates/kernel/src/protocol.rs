@@ -116,8 +116,12 @@ pub struct ProtocolMetrics {
     pub committed: u64,
     /// Commands executed at this process.
     pub executed: u64,
-    /// Recoveries started by this process.
-    pub recoveries: u64,
+    /// Recoveries started by this process (Algorithm 4 take-overs, counting ballot
+    /// retries).
+    pub recoveries_started: u64,
+    /// Commands that committed at this process after it started a recovery for them —
+    /// the count nemesis runs assert on to prove the recovery path actually fired.
+    pub recoveries_completed: u64,
     /// Committed commands whose metadata was garbage collected at this process after
     /// every shard peer executed them (Tempo's executed-watermark GC; 0 for protocols
     /// without command GC). Accounted separately from `committed`/`executed` so GC does
@@ -313,6 +317,25 @@ pub trait Protocol: Sized {
     /// Protocols with periodic behaviour (promise broadcast, liveness scans, recovery
     /// timeouts) re-schedule the timer here.
     fn timer(&mut self, timer: TimerId, now_us: u64) -> Vec<Action<Self::Message>>;
+
+    /// Informs the protocol that `process` is suspected to have failed — the embedding
+    /// runtime's stand-in for the Ω failure detector of the paper's Appendix B. Protocols
+    /// without failure handling ignore it (the default).
+    fn suspect(&mut self, _process: ProcessId) {}
+
+    /// Withdraws a suspicion raised with [`Protocol::suspect`] (e.g. the process
+    /// restarted and rejoined). Ignored by default.
+    fn unsuspect(&mut self, _process: ProcessId) {}
+
+    /// Called once on a protocol instance rebuilt after a crash (volatile state lost),
+    /// with the 1-based restart count of this process. Protocols that support rejoining
+    /// return the actions of their rejoin handshake (and must make their command
+    /// identifiers disjoint from earlier incarnations); the default — for protocols
+    /// without restart support — returns no actions, which leaves the restarted replica
+    /// as a best-effort participant.
+    fn rejoin(&mut self, _incarnation: u64, _now_us: u64) -> Vec<Action<Self::Message>> {
+        Vec::new()
+    }
 
     /// Read access to the execution stage (diagnostics and tests).
     fn executor(&self) -> &Self::Executor;

@@ -17,17 +17,32 @@
 //! event queue) and time, while all submit/handle/timer dispatch — including the
 //! protocol-owned periodic timers that replaced the v1 global tick — lives in the shared
 //! driver core.
+//!
+//! # The fault plane
+//!
+//! [`SimOpts::nemesis`] plugs a [`Nemesis`] schedule into the event loop: before every
+//! delivery the simulator consults the crash/partition/lossy-link state (messages from
+//! or to a crashed process — or from a *previous incarnation* of a restarted one — are
+//! lost, modelling TCP connections dying with their endpoint), crashed processes stop
+//! firing timers and are skipped by client failover, and a `Restart` rebuilds the
+//! process from `Protocol::new` (volatile state lost) and runs its rejoin hook. Every
+//! injected fault and every message it cost is tallied in the run report's
+//! [`FaultSummary`]. With [`SimOpts::record_history`] the run also produces a
+//! [`History`] of client invocations/responses and per-replica execution sequences for
+//! the `tempo-fault` safety checker; [`SimOpts::client_timeout_us`] lets closed-loop
+//! clients give up on commands stranded by a fault (counted per client as aborted).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod report;
 
-pub use report::{RunReport, SiteReport};
+pub use report::{ClientTally, RunReport, SiteReport};
 
 use std::cmp::Ordering;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::collections::{BTreeMap, BinaryHeap};
 use std::sync::Arc;
+use tempo_fault::{FaultEvent, History, Nemesis, NemesisSchedule};
 use tempo_kernel::command::Command;
 use tempo_kernel::config::Config;
 use tempo_kernel::driver::{Driver, Output};
@@ -79,7 +94,7 @@ impl CpuModel {
 /// There is no tick interval here: periodic behaviour belongs to the protocols, which
 /// schedule their own timers (e.g. Tempo's 5 ms promise broadcast, configurable via
 /// `TempoOptions::promise_interval_us`).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SimOpts {
     /// Closed-loop clients per site.
     pub clients_per_site: usize,
@@ -87,10 +102,18 @@ pub struct SimOpts {
     pub commands_per_client: usize,
     /// Optional CPU cost model; `None` reproduces the paper's idealized simulator mode.
     pub cpu: Option<CpuModel>,
-    /// Seed for workload randomness.
+    /// Seed for workload randomness (and, offset, for nemesis message-drop draws).
     pub seed: u64,
     /// Safety cap on simulated time; a run that exceeds it is reported as stalled.
     pub max_sim_time_us: u64,
+    /// Optional fault schedule injected while the run executes.
+    pub nemesis: Option<NemesisSchedule>,
+    /// When set, a client gives up on a command with no response after this long (the
+    /// command is tallied as aborted — it may still take effect) and issues its next
+    /// one. Without it a command stranded by a crash stalls its client forever.
+    pub client_timeout_us: Option<u64>,
+    /// Record the client/replica [`History`] for the `tempo-fault` checker.
+    pub record_history: bool,
 }
 
 impl Default for SimOpts {
@@ -101,6 +124,9 @@ impl Default for SimOpts {
             cpu: None,
             seed: 1,
             max_sim_time_us: 600_000_000,
+            nemesis: None,
+            client_timeout_us: None,
+            record_history: false,
         }
     }
 }
@@ -108,6 +134,12 @@ impl Default for SimOpts {
 enum EventKind<M> {
     Deliver {
         from: ProcessId,
+        /// The sender's incarnation when the message left: a restart in between kills
+        /// the connection, so the message is lost with it.
+        from_incarnation: u64,
+        /// The destination's incarnation at send time: a message addressed to an
+        /// incarnation that has since crashed (or been replaced) dies with it too.
+        to_incarnation: u64,
         to: ProcessId,
         /// Shared across the destinations of one broadcast: an n-way fan-out enqueues n
         /// reference bumps, not n deep copies of the message (command payload included).
@@ -120,6 +152,13 @@ enum EventKind<M> {
     ClientSubmit {
         client: ClientId,
     },
+    /// The client gives up on `rifl` unless it completed in the meantime.
+    ClientTimeout {
+        client: ClientId,
+        rifl: Rifl,
+    },
+    /// Apply the fault events due at this instant.
+    NemesisWake,
 }
 
 struct Event<M> {
@@ -150,9 +189,16 @@ struct ClientState {
     site: SiteId,
     issued: usize,
     completed: usize,
+    aborted: usize,
     submit_time: u64,
-    pending_shards: BTreeSet<ShardId>,
+    /// Per accessed shard, the replica whose execution completes that shard's part of
+    /// the current command: the closest *live* replica at submission time (the
+    /// colocated one in failure-free runs; a remote one after a local crash).
+    pending: BTreeMap<ShardId, ProcessId>,
     current: Option<Rifl>,
+    /// Shard-tagged outputs collected from the watched executions of the current
+    /// command (for the history's response record).
+    partial: Vec<(ShardId, tempo_kernel::command::Key, Option<u64>)>,
 }
 
 /// The discrete-event simulation of one protocol deployment.
@@ -170,7 +216,12 @@ pub struct Simulation<P: Protocol, W: Workload> {
     /// The earliest registered timer wake-up per process (to avoid duplicate events).
     timer_wakes: BTreeMap<ProcessId, u64>,
     now: u64,
+    nemesis: Option<Nemesis>,
+    /// Restart count per process (0 = the original incarnation).
+    incarnations: BTreeMap<ProcessId, u64>,
+    history: Option<History>,
     completed_total: u64,
+    aborted_total: u64,
     first_submit: u64,
     last_completion: u64,
     per_site: BTreeMap<SiteId, Histogram>,
@@ -205,9 +256,11 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
                         site,
                         issued: 0,
                         completed: 0,
+                        aborted: 0,
                         submit_time: 0,
-                        pending_shards: BTreeSet::new(),
+                        pending: BTreeMap::new(),
                         current: None,
+                        partial: Vec::new(),
                     },
                 );
                 client_id += 1;
@@ -218,6 +271,11 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
             .into_iter()
             .map(|s| (s, Histogram::new()))
             .collect();
+        let nemesis = opts
+            .nemesis
+            .clone()
+            .map(|schedule| Nemesis::new(schedule, opts.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        let history = opts.record_history.then(History::new);
         Self {
             config,
             membership,
@@ -231,7 +289,11 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
             busy_until: BTreeMap::new(),
             timer_wakes: BTreeMap::new(),
             now: 0,
+            nemesis,
+            incarnations: BTreeMap::new(),
+            history,
             completed_total: 0,
+            aborted_total: 0,
             first_submit: u64::MAX,
             last_completion: 0,
             per_site,
@@ -246,6 +308,14 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
             seq: self.next_seq,
             kind,
         });
+    }
+
+    fn is_down(&self, process: ProcessId) -> bool {
+        self.nemesis.as_ref().is_some_and(|n| n.is_down(process))
+    }
+
+    fn incarnation_of(&self, process: ProcessId) -> u64 {
+        self.incarnations.get(&process).copied().unwrap_or(0)
     }
 
     fn charge_cpu(&mut self, process: ProcessId, arrival: u64, wire_size: usize) -> u64 {
@@ -273,6 +343,7 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
     /// registers a timer wake-up if the step scheduled one.
     fn absorb(&mut self, from: ProcessId, at: u64, output: Output<P::Message>) {
         let from_site = self.membership.site_of(from);
+        let from_incarnation = self.incarnation_of(from);
         let mut send_cost = 0u64;
         for send in output.sends {
             let wire_size = send.msg.wire_size();
@@ -284,13 +355,21 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
                 if let Some(cpu) = self.opts.cpu {
                     send_cost += cpu.message_cost_us(wire_size);
                 }
-                let latency = self
+                let mut latency = self
                     .planet
                     .one_way_us(from_site, self.membership.site_of(target));
+                if let Some(nemesis) = &mut self.nemesis {
+                    // Delay spikes stretch the link at send time (like the
+                    // serialization delay they model); drops apply at delivery time.
+                    latency += nemesis.send_delay(from, target);
+                }
+                let to_incarnation = self.incarnation_of(target);
                 self.push(
                     at + send_cost + latency,
                     EventKind::Deliver {
                         from,
+                        from_incarnation,
+                        to_incarnation,
                         to: target,
                         msg: Arc::clone(&msg),
                     },
@@ -330,23 +409,33 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
         if executed.is_empty() {
             return;
         }
-        let site = self.membership.site_of(process);
         let shard = self.membership.shard_of(process);
+        if let Some(history) = &mut self.history {
+            let incarnation = self.incarnations.get(&process).copied().unwrap_or(0);
+            for exec in &executed {
+                history.record_execution(shard, process, incarnation, exec.rifl);
+            }
+        }
         self.charge_executions(process, executed.len());
         for exec in executed {
             let client_id = exec.rifl.client;
             let Some(client) = self.clients.get_mut(&client_id) else {
                 continue;
             };
-            if client.site != site || client.current != Some(exec.rifl) {
+            if client.current != Some(exec.rifl) || client.pending.get(&shard) != Some(&process) {
                 continue;
             }
-            client.pending_shards.remove(&shard);
-            if client.pending_shards.is_empty() {
+            let site = client.site;
+            client.pending.remove(&shard);
+            client
+                .partial
+                .extend(exec.result.outputs.iter().map(|(k, v)| (shard, *k, *v)));
+            if client.pending.is_empty() {
                 // The command completed: record the latency and issue the next command.
                 client.current = None;
                 client.completed += 1;
                 let latency = at.saturating_sub(client.submit_time);
+                let outputs = std::mem::take(&mut client.partial);
                 self.per_site
                     .get_mut(&site)
                     .expect("site histogram exists")
@@ -354,25 +443,72 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
                 self.overall.record(latency);
                 self.completed_total += 1;
                 self.last_completion = self.last_completion.max(at);
-                if client.issued < self.opts.commands_per_client {
+                if let Some(history) = &mut self.history {
+                    history.record_complete(exec.rifl, at, outputs);
+                }
+                let issued = self.clients[&client_id].issued;
+                if issued < self.opts.commands_per_client {
                     self.push(at, EventKind::ClientSubmit { client: client_id });
                 }
             }
         }
     }
 
+    /// The replica of `shard` the client at `site` submits to: the closest one that is
+    /// not crashed (the colocated replica in failure-free runs). `None` when the whole
+    /// shard is down.
+    fn submit_target(&self, shard: ShardId, site: SiteId) -> Option<ProcessId> {
+        self.membership
+            .processes_of_shard(shard)
+            .into_iter()
+            .filter(|p| !self.is_down(*p))
+            .min_by_key(|p| {
+                (
+                    self.planet.one_way_us(site, self.membership.site_of(*p)),
+                    *p,
+                )
+            })
+    }
+
     fn submit_for_client(&mut self, client_id: ClientId, at: u64) {
         let site = self.clients[&client_id].site;
         let cmd: Command = self.workload.next_command(client_id);
-        let target = self.membership.process(cmd.target_shard(), site);
+        let rifl = cmd.rifl;
+        self.first_submit = self.first_submit.min(at);
+        // Watch, per accessed shard, the closest live replica for the response; the
+        // submission target is the watched replica of the target shard.
+        let pending: Option<BTreeMap<ShardId, ProcessId>> = cmd
+            .shards()
+            .map(|shard| self.submit_target(shard, site).map(|p| (shard, p)))
+            .collect();
+        let target = pending
+            .as_ref()
+            .and_then(|p| p.get(&cmd.target_shard()).copied());
         {
             let client = self.clients.get_mut(&client_id).expect("client exists");
             client.issued += 1;
             client.submit_time = at;
-            client.current = Some(cmd.rifl);
-            client.pending_shards = cmd.shards().collect();
+            client.current = Some(rifl);
+            client.pending = pending.clone().unwrap_or_default();
+            client.partial.clear();
         }
-        self.first_submit = self.first_submit.min(at);
+        if let Some(history) = &mut self.history {
+            history.record_invoke(rifl, cmd.clone(), at);
+        }
+        let (Some(target), Some(_)) = (target, pending) else {
+            // Some accessed shard has every replica down: the command cannot complete.
+            self.abort_command(client_id, rifl, at);
+            return;
+        };
+        if let Some(timeout) = self.opts.client_timeout_us {
+            self.push(
+                at + timeout,
+                EventKind::ClientTimeout {
+                    client: client_id,
+                    rifl,
+                },
+            );
+        }
         let start = self.charge_cpu(target, at, cmd.wire_size());
         let output = self
             .drivers
@@ -382,12 +518,88 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
         self.absorb(target, start, output);
     }
 
+    /// Gives up on `rifl` for `client` (unless it completed since): tallies the abort
+    /// and issues the client's next command.
+    fn abort_command(&mut self, client_id: ClientId, rifl: Rifl, at: u64) {
+        let client = self.clients.get_mut(&client_id).expect("client exists");
+        if client.current != Some(rifl) {
+            return; // Completed in the meantime.
+        }
+        client.current = None;
+        client.aborted += 1;
+        client.partial.clear();
+        self.aborted_total += 1;
+        if let Some(history) = &mut self.history {
+            history.record_abort(rifl);
+        }
+        let issued = self.clients[&client_id].issued;
+        if issued < self.opts.commands_per_client {
+            self.push(at, EventKind::ClientSubmit { client: client_id });
+        }
+    }
+
+    /// Applies the fault events due now: crash/restart drive the process lifecycle
+    /// here, the network-level events were already absorbed into the nemesis state.
+    fn apply_faults(&mut self, at: u64) {
+        let Some(mut nemesis) = self.nemesis.take() else {
+            return;
+        };
+        let fired = nemesis.advance(at);
+        self.nemesis = Some(nemesis);
+        for event in fired {
+            match event {
+                FaultEvent::Crash(p) => {
+                    // Volatile state dies with the process; peers suspect it (a perfect
+                    // failure detector standing in for Ω, as in Appendix B).
+                    self.busy_until.remove(&p);
+                    self.timer_wakes.remove(&p);
+                    for (id, driver) in self.drivers.iter_mut() {
+                        if *id != p && !self.nemesis.as_ref().is_some_and(|n| n.is_down(*id)) {
+                            driver.protocol_mut().suspect(p);
+                        }
+                    }
+                }
+                FaultEvent::Restart(p) => {
+                    // Rebuild from scratch: a fresh incarnation that must rejoin.
+                    let incarnation = self.incarnations.entry(p).or_insert(0);
+                    *incarnation += 1;
+                    let incarnation = *incarnation;
+                    let shard = self.membership.shard_of(p);
+                    let mut driver = Driver::<P>::new(p, shard, self.config);
+                    let view = self.planet.view_for(self.config, p);
+                    let start = driver.start(view, at);
+                    let rejoin = driver.rejoin(incarnation, at);
+                    for q in self.membership.all_processes() {
+                        if q != p && self.is_down(q) {
+                            driver.protocol_mut().suspect(q);
+                        }
+                    }
+                    self.drivers.insert(p, driver);
+                    self.absorb(p, at, start);
+                    self.absorb(p, at, rejoin);
+                    for (id, driver) in self.drivers.iter_mut() {
+                        if *id != p {
+                            driver.protocol_mut().unsuspect(p);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
     fn total_commands(&self) -> u64 {
         (self.clients.len() * self.opts.commands_per_client) as u64
     }
 
     /// Runs the simulation to completion and produces the report.
     pub fn run(mut self) -> RunReport {
+        // Register one wake-up per distinct fault time so faults apply exactly then.
+        if let Some(schedule) = self.opts.nemesis.clone() {
+            for time in schedule.times() {
+                self.push(time, EventKind::NemesisWake);
+            }
+        }
         // Start every driver: protocols learn their view and schedule their own timers.
         let process_ids: Vec<ProcessId> = self.drivers.keys().copied().collect();
         for p in process_ids {
@@ -409,7 +621,7 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
         let mut stalled = false;
         while let Some(event) = self.queue.pop() {
             self.now = event.time;
-            if self.completed_total >= target {
+            if self.completed_total + self.aborted_total >= target {
                 break;
             }
             if self.now > self.opts.max_sim_time_us {
@@ -417,7 +629,36 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
                 break;
             }
             match event.kind {
-                EventKind::Deliver { from, to, msg } => {
+                EventKind::Deliver {
+                    from,
+                    from_incarnation,
+                    to_incarnation,
+                    to,
+                    msg,
+                } => {
+                    if let Some(nemesis) = &mut self.nemesis {
+                        // Connections die with their endpoint: a crashed (or since
+                        // restarted) sender loses its in-flight messages, a crashed
+                        // destination receives nothing, and a message addressed to a
+                        // since-replaced incarnation dies with the old connection.
+                        if nemesis.is_down(from)
+                            || nemesis.is_down(to)
+                            || self.incarnations.get(&from).copied().unwrap_or(0)
+                                != from_incarnation
+                            || self.incarnations.get(&to).copied().unwrap_or(0) != to_incarnation
+                        {
+                            self.nemesis.as_mut().expect("nemesis").note_crash_drop();
+                            continue;
+                        }
+                        if !self
+                            .nemesis
+                            .as_mut()
+                            .expect("nemesis")
+                            .allows_delivery(from, to)
+                        {
+                            continue;
+                        }
+                    }
                     let start = self.charge_cpu(to, event.time, msg.wire_size());
                     // The last destination of a broadcast unwraps the message without a
                     // copy; earlier destinations (still sharing the allocation) clone.
@@ -431,9 +672,12 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
                 }
                 EventKind::TimerWake { process } => {
                     // Drop the registration and fire whatever is due; `absorb`
-                    // re-registers the next wake-up.
+                    // re-registers the next wake-up. Crashed processes fire nothing.
                     if self.timer_wakes.get(&process) == Some(&event.time) {
                         self.timer_wakes.remove(&process);
+                    }
+                    if self.is_down(process) {
+                        continue;
                     }
                     let output = self
                         .drivers
@@ -445,9 +689,15 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
                 EventKind::ClientSubmit { client } => {
                     self.submit_for_client(client, event.time);
                 }
+                EventKind::ClientTimeout { client, rifl } => {
+                    self.abort_command(client, rifl, event.time);
+                }
+                EventKind::NemesisWake => {
+                    self.apply_faults(event.time);
+                }
             }
         }
-        if self.completed_total < target {
+        if self.completed_total + self.aborted_total < target {
             stalled = true;
         }
 
@@ -458,7 +708,8 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
             metrics.slow_paths += m.slow_paths;
             metrics.committed += m.committed;
             metrics.executed += m.executed;
-            metrics.recoveries += m.recoveries;
+            metrics.recoveries_started += m.recoveries_started;
+            metrics.recoveries_completed += m.recoveries_completed;
             metrics.gc_collected += m.gc_collected;
             metrics.gc_messages += m.gc_messages;
             metrics.messages_sent += m.messages_sent;
@@ -474,15 +725,32 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
                 (site, SiteReport { region, histogram })
             })
             .collect();
+        let per_client = self
+            .clients
+            .iter()
+            .map(|(id, c)| {
+                (
+                    *id,
+                    ClientTally {
+                        completed: c.completed as u64,
+                        aborted: c.aborted as u64,
+                    },
+                )
+            })
+            .collect();
         RunReport {
             protocol: P::NAME.to_string(),
             config: self.config,
             sites,
             overall: self.overall,
             completed: self.completed_total,
+            aborted: self.aborted_total,
+            per_client,
             ops_per_command: self.workload.ops_per_command(),
             duration_us: duration,
             metrics,
+            faults: self.nemesis.map(|n| n.summary()).unwrap_or_default(),
+            history: self.history,
             stalled,
         }
     }
@@ -607,7 +875,7 @@ mod tests {
         let ideal = run::<Tempo, _>(
             config,
             planet.clone(),
-            base,
+            base.clone(),
             ConflictWorkload::new(0.0, 4096, 3),
         );
         let with_cpu = run::<Tempo, _>(
@@ -659,5 +927,63 @@ mod tests {
         assert_eq!(a.completed, b.completed);
         assert_eq!(a.duration_us, b.duration_us);
         assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic_too() {
+        let config = Config::full(3, 1);
+        let go = || {
+            let schedule = NemesisSchedule::lossy_link_soak(config, 0.05, 0, 2_000_000);
+            run::<Tempo, _>(
+                config,
+                Planet::equidistant(3, 50.0),
+                SimOpts {
+                    clients_per_site: 2,
+                    commands_per_client: 4,
+                    nemesis: Some(schedule),
+                    client_timeout_us: Some(20_000_000),
+                    record_history: true,
+                    ..SimOpts::default()
+                },
+                ConflictWorkload::new(0.1, 10, 42),
+            )
+        };
+        let a = go();
+        let b = go();
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn crashed_minority_does_not_block_the_run() {
+        // One site of five crashes mid-run and never returns: the survivors keep
+        // committing (failover picks a live coordinator; suspected processes are
+        // avoided in fast quorums), and the fault shows up in the report.
+        let config = Config::full(5, 1);
+        let schedule = NemesisSchedule::coordinator_crash(0, 150_000);
+        let report = run::<Tempo, _>(
+            config,
+            Planet::equidistant(5, 50.0),
+            SimOpts {
+                clients_per_site: 2,
+                commands_per_client: 5,
+                nemesis: Some(schedule),
+                client_timeout_us: Some(30_000_000),
+                record_history: true,
+                ..SimOpts::default()
+            },
+            ConflictWorkload::new(0.05, 10, 9),
+        );
+        assert!(!report.stalled, "run must terminate despite the crash");
+        assert_eq!(report.faults.crashes, 1);
+        assert_eq!(
+            report.completed + report.aborted,
+            5 * 2 * 5,
+            "every command must be accounted for"
+        );
+        assert!(report.completed > 0);
+        let history = report.history.as_ref().expect("history recorded");
+        history.check().expect("chaos history must stay safe");
     }
 }

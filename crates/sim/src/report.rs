@@ -2,8 +2,9 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use tempo_fault::{FaultSummary, History};
 use tempo_kernel::config::Config;
-use tempo_kernel::id::SiteId;
+use tempo_kernel::id::{ClientId, SiteId};
 use tempo_kernel::metrics::{Histogram, Percentile, Throughput};
 use tempo_kernel::protocol::ProtocolMetrics;
 use tempo_planet::Region;
@@ -15,6 +16,15 @@ pub struct SiteReport {
     pub region: Region,
     /// Latencies observed by the clients of this site, in microseconds.
     pub histogram: Histogram,
+}
+
+/// Per-client command tally.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientTally {
+    /// Commands that completed with a response.
+    pub completed: u64,
+    /// Commands the client gave up on (`SimOpts::client_timeout_us`).
+    pub aborted: u64,
 }
 
 /// The outcome of one simulation run.
@@ -30,12 +40,20 @@ pub struct RunReport {
     pub overall: Histogram,
     /// Number of completed client commands.
     pub completed: u64,
+    /// Number of client commands aborted on timeout (they may still have taken effect).
+    pub aborted: u64,
+    /// Per-client completed/aborted tallies.
+    pub per_client: BTreeMap<ClientId, ClientTally>,
     /// Application operations per command (1, or the batch size when batching).
     pub ops_per_command: u64,
     /// Time between the first submission and the last completion, in microseconds.
     pub duration_us: u64,
     /// Aggregated protocol counters over all processes.
     pub metrics: ProtocolMetrics,
+    /// Injected faults and the messages they cost (all zero without a nemesis).
+    pub faults: FaultSummary,
+    /// The recorded client/replica history, when `SimOpts::record_history` was set.
+    pub history: Option<History>,
     /// Whether the run hit the simulated-time cap before every client finished.
     pub stalled: bool,
 }
@@ -76,16 +94,35 @@ impl RunReport {
 
     /// One-line summary used by the benchmark harnesses.
     pub fn summary(&self) -> String {
-        format!(
-            "{:<10} completed={:<7} mean={:.0}ms p99={:.0}ms tput={:.1}kops/s fast-path={:.0}%{}",
+        let mut line = format!(
+            "{:<10} completed={:<7} mean={:.0}ms p99={:.0}ms tput={:.1}kops/s fast-path={:.0}%",
             self.protocol,
             self.completed,
             self.overall.mean_ms(),
             self.overall.clone().percentile_ms(Percentile(99.0)),
             self.throughput_kops(),
             self.fast_path_ratio() * 100.0,
-            if self.stalled { " [STALLED]" } else { "" }
-        )
+        );
+        if self.aborted > 0 {
+            line.push_str(&format!(" aborted={}", self.aborted));
+        }
+        if self.metrics.recoveries_started > 0 {
+            line.push_str(&format!(
+                " recoveries={}/{}",
+                self.metrics.recoveries_completed, self.metrics.recoveries_started
+            ));
+        }
+        if self.faults.events() > 0 {
+            line.push_str(&format!(
+                " faults={} msgs-dropped={}",
+                self.faults.events(),
+                self.faults.dropped()
+            ));
+        }
+        if self.stalled {
+            line.push_str(" [STALLED]");
+        }
+        line
     }
 }
 
@@ -128,9 +165,13 @@ mod tests {
             sites,
             overall,
             completed: 3,
+            aborted: 0,
+            per_client: BTreeMap::new(),
             ops_per_command: 1,
             duration_us: 1_000_000,
             metrics: ProtocolMetrics::default(),
+            faults: FaultSummary::default(),
+            history: None,
             stalled: false,
         }
     }

@@ -186,6 +186,57 @@ impl Workload for BatchedConflict {
     }
 }
 
+/// A read/write variant of the conflict microbenchmark, built for history checking:
+/// commands on the hot key are a mix of `Add` (a read-modify-write whose output reveals
+/// its position in the linearization) and plain `Get` reads, so the `tempo-fault`
+/// checker has observations to falsify — a writes-only history is almost vacuously
+/// linearizable.
+#[derive(Debug, Clone)]
+pub struct RwConflict {
+    /// Probability of accessing the shared key.
+    pub conflict_rate: f64,
+    /// Probability that a hot-key command is a read (`Get`) rather than an `Add`.
+    pub read_ratio: f64,
+    /// Payload carried by each command, in bytes.
+    pub payload_size: usize,
+    rng: Rng,
+    sequences: std::collections::BTreeMap<ClientId, u64>,
+}
+
+impl RwConflict {
+    /// Creates the workload.
+    pub fn new(conflict_rate: f64, read_ratio: f64, payload_size: usize, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&conflict_rate));
+        assert!((0.0..=1.0).contains(&read_ratio));
+        Self {
+            conflict_rate,
+            read_ratio,
+            payload_size,
+            rng: Rng::new(seed),
+            sequences: std::collections::BTreeMap::new(),
+        }
+    }
+}
+
+impl Workload for RwConflict {
+    fn next_command(&mut self, client: ClientId) -> Command {
+        let seq = self.sequences.entry(client).or_insert(0);
+        *seq += 1;
+        let rifl = Rifl::new(client, *seq);
+        if self.rng.gen_bool(self.conflict_rate) {
+            let op = if self.rng.gen_bool(self.read_ratio) {
+                KVOp::Get
+            } else {
+                KVOp::Add(1)
+            };
+            Command::single(rifl, 0, 0, op, self.payload_size)
+        } else {
+            let key: Key = 1 + client * 1_000_000_000 + *seq;
+            Command::single(rifl, 0, key, KVOp::Put(*seq), self.payload_size)
+        }
+    }
+}
+
 /// A fixed-key workload where every command conflicts (useful for tests and for the
 /// pathological scenarios of Appendix D).
 #[derive(Debug, Clone)]
@@ -329,6 +380,28 @@ mod tests {
             assert_eq!(cmd.keys_of(0).next(), Some(0));
         }
         assert_eq!(w.ops_per_command(), 1);
+    }
+
+    #[test]
+    fn rw_conflict_mixes_reads_and_rmws_on_the_hot_key() {
+        let mut w = RwConflict::new(1.0, 0.5, 0, 3);
+        let mut reads = 0;
+        let mut rmws = 0;
+        for i in 0..1000 {
+            let cmd = w.next_command(i % 4);
+            assert_eq!(cmd.keys_of(0).next(), Some(0));
+            if cmd.is_read_only() {
+                reads += 1;
+            } else {
+                rmws += 1;
+            }
+        }
+        assert!(reads > 300 && rmws > 300, "mix off: {reads}/{rmws}");
+        // Cold commands are unique-key puts.
+        let mut cold = RwConflict::new(0.0, 0.5, 0, 3);
+        let cmd = cold.next_command(1);
+        assert_ne!(cmd.keys_of(0).next(), Some(0));
+        assert!(!cmd.is_read_only());
     }
 
     #[test]

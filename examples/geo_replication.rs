@@ -23,7 +23,7 @@ fn main() {
     let tempo = run::<Tempo, _>(
         config,
         planet.clone(),
-        opts,
+        opts.clone(),
         ConflictWorkload::new(0.02, 100, 1),
     );
     println!("running FPaxos f=1 with the leader in Ireland...");

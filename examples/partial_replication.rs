@@ -29,13 +29,13 @@ fn main() {
         let tempo = run::<Tempo, _>(
             config,
             planet.clone(),
-            opts,
+            opts.clone(),
             YcsbT::new(shards, 100_000, 0.7, 0.5, 7),
         );
         let janus = run::<Janus, _>(
             config,
             planet.clone(),
-            opts,
+            opts.clone(),
             YcsbT::new(shards, 100_000, 0.7, 0.5, 7),
         );
         println!(

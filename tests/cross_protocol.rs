@@ -121,13 +121,13 @@ fn fpaxos_leader_is_a_throughput_bottleneck_under_cpu_model() {
     let tempo = run::<Tempo, _>(
         Config::full(5, 1),
         Planet::ec2(),
-        cpu_opts,
+        cpu_opts.clone(),
         ConflictWorkload::new(0.02, 4096, 3),
     );
     let fpaxos = run::<FPaxos, _>(
         Config::full(5, 1),
         Planet::ec2(),
-        cpu_opts,
+        cpu_opts.clone(),
         ConflictWorkload::new(0.02, 4096, 3),
     );
     assert!(!tempo.stalled && !fpaxos.stalled);
