@@ -22,7 +22,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::ops::Bound;
-use tempo_kernel::command::Command;
+use tempo_kernel::command::{Command, Key};
 use tempo_kernel::config::Config;
 use tempo_kernel::id::{Dot, ProcessId, ShardId};
 use tempo_kernel::kvstore::KVStore;
@@ -94,6 +94,11 @@ pub struct TempoExecutor {
     announce_visits: u64,
     /// Dots executed and not yet claimed via [`Self::take_executed_dots`].
     executed_dots: Vec<Dot>,
+    /// The `⟨timestamp, dot⟩` of the last executed command — the *execution boundary*.
+    /// Execution pops the queue in `⟨ts, id⟩` order, so the executed set is exactly the
+    /// prefix at or below this pair; `(0, (0, 0))` before anything executes. Durable
+    /// snapshots and rejoin state transfers are cut at this boundary (DESIGN.md §6).
+    floor: (u64, Dot),
     kv: KVStore,
     executed_count: u64,
 }
@@ -138,6 +143,74 @@ impl TempoExecutor {
         self.early_stables.remove(&dot);
     }
 
+    /// The execution boundary: the `⟨timestamp, dot⟩` of the last executed command.
+    pub fn exec_floor(&self) -> (u64, Dot) {
+        self.floor
+    }
+
+    /// The applied key-value state as `(key, value)` pairs (snapshots and state
+    /// transfers; the image corresponds exactly to the [`Self::exec_floor`] prefix).
+    pub fn kv_entries(&self) -> Vec<(Key, u64)> {
+        self.kv.entries()
+    }
+
+    /// The committed-but-unexecuted queue, in `⟨ts, id⟩` order, with each entry's
+    /// remaining sibling-shard waits (for durable snapshots).
+    pub fn queued_entries(&self) -> Vec<(Dot, u64, Command, Vec<ShardId>)> {
+        self.queue
+            .iter()
+            .map(|&(ts, dot)| {
+                let pending = self.pending.get(&dot).expect("queued commands are pending");
+                (
+                    dot,
+                    ts,
+                    pending.cmd.clone(),
+                    pending.waits.iter().copied().collect(),
+                )
+            })
+            .collect()
+    }
+
+    /// Restores the executor from a durable snapshot: the applied image, its execution
+    /// boundary, and the stability watermark in force when the snapshot was cut. The
+    /// queued commits of the snapshot are re-fed by the caller as ordinary `Committed`
+    /// events — the executor re-derives execution order itself.
+    pub fn restore(&mut self, stable: u64, floor: (u64, Dot), executed: u64, kv: Vec<(Key, u64)>) {
+        debug_assert!(self.queue.is_empty(), "restore only into a fresh executor");
+        self.stable = stable;
+        self.floor = floor;
+        self.executed_count = executed;
+        self.kv.restore(kv, executed);
+    }
+
+    /// Installs a rejoin state transfer: replaces the applied image with a peer's
+    /// (which is complete up to `floor`) and drops every queued entry at or below the
+    /// new boundary — their effects are contained in the transferred image. Returns the
+    /// dropped dots so the ordering stage can account them as executed-elsewhere.
+    ///
+    /// The caller must have checked that `floor` is ahead of [`Self::exec_floor`].
+    pub fn install_transfer(&mut self, kv: Vec<(Key, u64)>, floor: (u64, Dot)) -> Vec<Dot> {
+        debug_assert!(
+            floor > self.floor,
+            "transfer must move the boundary forward"
+        );
+        self.kv.restore(kv, self.kv.commands_executed());
+        self.floor = floor;
+        self.stable = self.stable.max(floor.0);
+        let mut dropped = Vec::new();
+        while let Some(&(ts, dot)) = self.queue.first() {
+            if (ts, dot) > floor {
+                break;
+            }
+            self.queue.pop_first();
+            self.pending.remove(&dot);
+            self.announced.remove(&dot);
+            self.early_stables.remove(&dot);
+            dropped.push(dot);
+        }
+        dropped
+    }
+
     fn run(&mut self, out: &mut Vec<Executed>) {
         // Announcement pass: flag stability of multi-shard commands as soon as they are
         // locally stable, without waiting for earlier commands to execute (the `MStable`
@@ -180,6 +253,7 @@ impl TempoExecutor {
                 result,
             });
             self.executed_count += 1;
+            self.floor = (ts, dot);
             self.executed_dots.push(dot);
             self.announced.remove(&dot);
             self.early_stables.remove(&dot);
@@ -202,6 +276,7 @@ impl Executor for TempoExecutor {
             announce_cursor: None,
             announce_visits: 0,
             executed_dots: Vec::new(),
+            floor: (0, Dot::new(0, 0)),
             kv: KVStore::new(),
             executed_count: 0,
         }

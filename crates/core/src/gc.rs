@@ -23,8 +23,8 @@
 //! Limitation (partial replication): the per-origin watermark only advances through dots
 //! that access this shard. An origin interleaving commands to other shards leaves
 //! permanent gaps, stalling its watermark — those dots are summarised by the coalesced
-//! ranges of [`SeqSet`] but not collected. Exchanging the full range set would lift this
-//! and is left to a future PR.
+//! ranges of the internal `SeqSet` but not collected. Exchanging the full range set
+//! would lift this and is left to a future PR.
 
 use crate::promises::SeqSet;
 use std::collections::BTreeMap;
@@ -68,6 +68,20 @@ impl GcTracker {
             .entry(dot.source)
             .or_default()
             .insert(dot.sequence);
+    }
+
+    /// Seeds the executed set of `origin` with the contiguous prefix `[1, watermark]`.
+    /// Used when restoring from a durable snapshot and when installing a rejoin state
+    /// transfer (the transferred image contains the effect of that prefix, so this
+    /// process will never need the corresponding metadata again). Watermarks are
+    /// monotone; a stale seed is a no-op.
+    pub fn restore_executed(&mut self, origin: ProcessId, watermark: u64) {
+        if watermark >= 1 {
+            self.executed
+                .entry(origin)
+                .or_default()
+                .insert_range(1, watermark);
+        }
     }
 
     /// The local executed watermark per origin, for piggybacking on `MPromises`.

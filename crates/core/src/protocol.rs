@@ -21,12 +21,14 @@ use crate::messages::{Message, PromiseBundle, Quorums, RecPhase};
 use crate::promises::{PromiseRange, PromiseTracker};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
-use tempo_kernel::command::Command;
+use tempo_kernel::command::{Command, Key};
 use tempo_kernel::config::Config;
 use tempo_kernel::id::{Dot, DotGen, ProcessId, ShardId};
 use tempo_kernel::membership::Membership;
 use tempo_kernel::protocol::{Action, Executor, Protocol, ProtocolMetrics, TimerId, View};
 use tempo_kernel::util::max_and_count;
+use tempo_store::snapshot::{AcceptState, QueuedCommit};
+use tempo_store::{Snapshot, Store, WalRecord};
 
 /// Timer driving the periodic `MPromises` broadcast (Algorithm 2, line 45).
 pub const TIMER_PROMISES: TimerId = TimerId(1);
@@ -60,6 +62,19 @@ pub struct TempoOptions {
     /// Interval of the liveness scan over pending commands, in microseconds
     /// ([`TIMER_LIVENESS`]).
     pub liveness_interval_us: u64,
+    /// After the `MRejoin` handshake, request a snapshot of the applied state from a
+    /// shard peer (`MStateRequest`/`MState`) and gate execution until it installs:
+    /// even with a durable store the replica misses every command committed while it
+    /// was down, and serving reads around that gap would be stale (DESIGN.md §6).
+    /// Disabled only by tests that demonstrate the amnesia gap.
+    pub state_transfer: bool,
+    /// Install a durable snapshot (truncating the WAL) once this many records have
+    /// been appended since the previous snapshot. Only relevant with a store.
+    pub snapshot_every_appends: u64,
+    /// Persist clock floors in chunks of this many timestamps: one `ClockFloor` record
+    /// covers the next `clock_floor_chunk` proposals, and a restart skips at most that
+    /// many unused timestamps (it can never reuse a promised one).
+    pub clock_floor_chunk: u64,
 }
 
 impl Default for TempoOptions {
@@ -72,6 +87,9 @@ impl Default for TempoOptions {
             commit_request_timeout_us: 1_000_000,
             promise_interval_us: 5_000,
             liveness_interval_us: 5_000,
+            state_transfer: true,
+            snapshot_every_appends: 256,
+            clock_floor_chunk: 64,
         }
     }
 }
@@ -132,6 +150,27 @@ pub struct Tempo {
     incarnation: u64,
     /// Shard peers that answered the current `MRejoin` handshake.
     rejoin_acks: BTreeSet<ProcessId>,
+    /// The durable backing store, when this replica persists its state (see
+    /// [`Tempo::with_store`] and DESIGN.md §6). `None` = diskless (the baseline).
+    store: Option<Box<dyn Store>>,
+    /// The highest `ClockFloor` persisted to the WAL. Floors are persisted in chunks
+    /// ahead of the live clock, so most proposals append nothing.
+    persisted_clock: u64,
+    /// The store's append count as of the last snapshot (snapshot pacing).
+    appends_at_snapshot: u64,
+    /// Whether this instance was restored from a non-empty store. Like a restarted
+    /// incarnation, a restored one never *claims* promise ranges: its own pre-crash
+    /// attached proposals are not individually logged, so any prefix claim could cover
+    /// a still-gated attachment at a peer (DESIGN.md §5).
+    recovered: bool,
+    /// Set between the completion of the rejoin handshake and the installation of a
+    /// peer's `MState`: execution (and thus read service) stays gated so the replica
+    /// cannot answer reads from a store missing the commands it slept through.
+    awaiting_state: bool,
+    /// Last time an `MStateRequest` was sent (retry pacing under message loss).
+    last_state_request_us: u64,
+    /// `MStateRequest` attempts so far (rotates the target across live peers).
+    state_request_attempts: u64,
 }
 
 impl Tempo {
@@ -181,7 +220,34 @@ impl Tempo {
             joined: true,
             incarnation: 0,
             rejoin_acks: BTreeSet::new(),
+            store: None,
+            persisted_clock: 0,
+            appends_at_snapshot: 0,
+            recovered: false,
+            awaiting_state: false,
+            last_state_request_us: 0,
+            state_request_attempts: 0,
         }
+    }
+
+    /// Creates a Tempo instance backed by a durable [`Store`]: every per-dot
+    /// ballot/accept/commit and the clock floor are written ahead to it, periodic
+    /// snapshots truncate its WAL, and — crucially — the instance *recovers from it
+    /// right here*: the snapshot is installed and the WAL suffix replayed before the
+    /// first message is handled, so a replica rebuilt after a crash starts from its
+    /// pre-crash accepts and commits instead of blank (DESIGN.md §6).
+    pub fn with_store(
+        process: ProcessId,
+        shard: ShardId,
+        config: Config,
+        options: TempoOptions,
+        mut store: Box<dyn Store>,
+    ) -> Self {
+        let mut tempo = Self::with_options(process, shard, config, options);
+        let (snapshot, wal) = store.load();
+        tempo.store = Some(store);
+        tempo.recover_from_store(snapshot, wal);
+        tempo
     }
 
     /// The options in use.
@@ -213,6 +279,25 @@ impl Tempo {
     /// Read access to the committed-command GC state (tests and diagnostics).
     pub fn gc_tracker(&self) -> &GcTracker {
         &self.gc
+    }
+
+    /// The consensus state `(ts, bal, abal)` of a command at this process, if any
+    /// (diagnostics and durability tests: this is exactly what `Ballot`/`Accept` WAL
+    /// records must bring back after a crash).
+    pub fn consensus_state(&self, dot: Dot) -> Option<(u64, u64, u64)> {
+        self.info.get(&dot).map(|i| (i.ts, i.bal, i.abal))
+    }
+
+    /// Whether this instance is still waiting for a rejoin state transfer to install
+    /// (execution is gated while true; see DESIGN.md §6).
+    pub fn is_awaiting_state(&self) -> bool {
+        self.awaiting_state
+    }
+
+    /// Commands committed at this process but never applied by the local executor:
+    /// amnesia skips (no state transfer) plus transfer-covered duplicates.
+    pub fn exec_skipped(&self) -> u64 {
+        self.exec_skipped
     }
 
     /// The committed (final) timestamp of a command at this process, if committed.
@@ -328,6 +413,7 @@ impl Tempo {
         if after > before {
             self.promises
                 .add(self.process, PromiseRange::new(before + 1, after));
+            self.wal_log_clock_floor();
         }
     }
 
@@ -354,6 +440,7 @@ impl Tempo {
         self.info_mut(dot, now_us)
             .buffered_attached
             .push((process, t));
+        self.wal_log_clock_floor();
         (t, detached)
     }
 
@@ -362,13 +449,14 @@ impl Tempo {
     /// peer. Broadcast in `MPromises` so that receivers can absorb the whole prefix —
     /// promise dissemination stays correct even when individual deltas are lost.
     ///
-    /// A restarted incarnation claims nothing (frontier 0, ever): it cannot enumerate
-    /// the previous incarnation's still-in-flight attached proposals, so any prefix
-    /// claim could cover a gated attachment and let a *healthy* replica's stability
-    /// pass a command that has not committed there (see DESIGN.md §5). Its prefix at
-    /// the peers simply stalls; stability proceeds through the other replicas.
+    /// A restarted (or store-restored) incarnation claims nothing (frontier 0, ever):
+    /// it cannot enumerate the previous incarnation's still-in-flight attached
+    /// proposals — those are not individually logged — so any prefix claim could cover
+    /// a gated attachment and let a *healthy* replica's stability pass a command that
+    /// has not committed there (see DESIGN.md §5). Its prefix at the peers simply
+    /// stalls; stability proceeds through the other replicas.
     fn promise_frontier(&self) -> u64 {
-        if self.incarnation > 0 {
+        if self.incarnation > 0 || self.recovered {
             return 0;
         }
         match self.attached_pending.first() {
@@ -427,6 +515,320 @@ impl Tempo {
                     .unwrap_or_else(|| self.view.closest_process(shard))
             })
             .collect()
+    }
+
+    // ------------------------------------------------------------- durability
+
+    /// Appends one record to the durable store, if any. Appends are buffered; the
+    /// kernel driver's persist hook syncs them before this step's messages leave.
+    fn wal_append(&mut self, record: WalRecord) {
+        if let Some(store) = &mut self.store {
+            store.append(&record);
+        }
+    }
+
+    /// Keeps the durable clock floor ahead of the live clock, in chunks: whenever the
+    /// clock passes the persisted floor, one `ClockFloor` record reserves the next
+    /// `clock_floor_chunk` timestamps. Recovery resumes from the persisted floor — an
+    /// over-approximation, so a restart may *skip* unused timestamps (harmless: nobody
+    /// was promised them) but can never reuse a promised one.
+    fn wal_log_clock_floor(&mut self) {
+        if self.store.is_none() {
+            return;
+        }
+        let clock = self.clock.value();
+        if clock > self.persisted_clock {
+            let floor = clock + self.options.clock_floor_chunk;
+            self.wal_append(WalRecord::ClockFloor(floor));
+            self.persisted_clock = floor;
+        }
+    }
+
+    /// Restores this instance from its store's snapshot and WAL suffix (called from
+    /// [`Tempo::with_store`], before the instance handles anything).
+    ///
+    /// Replay is executor-order-agnostic: the snapshot's queued commits and the WAL's
+    /// `Commit` records are re-fed as ordinary `Committed` events with the stability
+    /// watermark restored to its snapshot-time value, and the executor re-derives
+    /// `⟨ts, id⟩` execution order itself — the line-47 commit gate guarantees every
+    /// WAL-suffix commit lies strictly above the snapshot's watermark, so nothing can
+    /// execute out of order during replay (DESIGN.md §6, cut-point argument).
+    fn recover_from_store(&mut self, snapshot: Option<Snapshot>, wal: Vec<WalRecord>) {
+        let empty = snapshot.is_none() && wal.is_empty();
+        let replayed_wal = !wal.is_empty();
+        if let Some(snap) = snapshot {
+            self.clock.bump(snap.clock);
+            self.dot_gen.skip_to(snap.next_dot_seq);
+            self.executor.restore(
+                snap.stable,
+                (snap.floor_ts, snap.floor_dot),
+                snap.executed_count,
+                snap.kv,
+            );
+            self.last_stable_fed = snap.stable;
+            // Every snapshot-covered execution was a commit; keep the two counters
+            // consistent so the stall detector (`repair_scan`) stays meaningful.
+            self.metrics.committed = snap.executed_count;
+            for (origin, watermark) in &snap.watermarks {
+                self.gc.restore_executed(*origin, *watermark);
+            }
+            for a in &snap.accepts {
+                let info = self.info_mut(a.dot, 0);
+                info.ts = a.ts;
+                info.bal = a.bal;
+                info.abal = a.abal;
+            }
+            for q in snap.queued {
+                self.replay_commit(q.dot, q.ts, q.cmd, q.waits);
+            }
+        }
+        for record in wal {
+            match record {
+                WalRecord::ClockFloor(floor) => self.clock.bump(floor),
+                WalRecord::Ballot { dot, bal } => {
+                    let info = self.info_mut(dot, 0);
+                    info.bal = info.bal.max(bal);
+                }
+                WalRecord::Accept { dot, ts, bal } => {
+                    let info = self.info_mut(dot, 0);
+                    info.ts = ts;
+                    info.bal = info.bal.max(bal);
+                    info.abal = info.abal.max(bal);
+                }
+                WalRecord::Commit {
+                    dot,
+                    ts,
+                    cmd,
+                    waits,
+                } => self.replay_commit(dot, ts, cmd, waits),
+                WalRecord::SiblingStable { dot, shard } => {
+                    self.replay_feed(ExecutionInfo::ShardStable { dot, shard });
+                }
+                WalRecord::Stable(ts) => {
+                    if ts > self.last_stable_fed {
+                        self.last_stable_fed = ts;
+                        self.replay_feed(ExecutionInfo::Stable { ts });
+                    }
+                }
+            }
+        }
+        // The floor bumps above buffered promises over the previous life's range; a
+        // recovered instance never claims them (see `promise_frontier`).
+        let _ = self.clock.take_detached();
+        let _ = self.clock.take_attached();
+        self.persisted_clock = self.clock.value();
+        if let Some(store) = &self.store {
+            self.appends_at_snapshot = store.metrics().wal_appends;
+        }
+        self.recovered = !empty;
+        if replayed_wal {
+            // Fold the replayed suffix into a fresh snapshot immediately: append-count
+            // pacing restarts at zero with each incarnation, so a crash-looping
+            // replica would otherwise never truncate its WAL and replay cost would
+            // grow without bound across crashes.
+            self.force_snapshot();
+        }
+    }
+
+    /// Replays one durable commit (from the snapshot's queue or a WAL `Commit`).
+    fn replay_commit(&mut self, dot: Dot, final_ts: u64, cmd: Command, waits: Vec<ShardId>) {
+        {
+            let info = self.info_mut(dot, 0);
+            if info.phase.is_committed_or_executed() {
+                return;
+            }
+            info.learn_payload(&cmd, &Quorums::new());
+            info.final_ts = final_ts;
+            info.phase = Phase::Commit;
+        }
+        self.pending.remove(&dot);
+        self.metrics.committed += 1;
+        self.clock.bump(final_ts);
+        if (final_ts, dot) <= self.executor.exec_floor() {
+            // Defensive: already inside the restored image (cannot happen for records
+            // the cut-point argument admits, but a replayed log must never double-apply).
+            let info = self.info.get_mut(&dot).expect("info exists");
+            info.phase = Phase::Execute;
+            self.gc.record_executed(dot);
+            return;
+        }
+        self.replay_feed(ExecutionInfo::Committed {
+            dot,
+            ts: final_ts,
+            cmd,
+            waits,
+        });
+    }
+
+    /// Feeds the executor during recovery. No actions can be emitted (the instance is
+    /// still being constructed): executions are absorbed into phase/GC bookkeeping,
+    /// results are dropped (their clients were answered in a previous life or will
+    /// retry), and `MStable` announcements are not re-broadcast (the previous life
+    /// sent them; live replicas answer sibling shards that still wait).
+    fn replay_feed(&mut self, info: ExecutionInfo) {
+        let _ = self.executor.handle(info);
+        let _ = self.executor.take_newly_stable();
+        for dot in self.executor.take_executed_dots() {
+            let info = self
+                .info
+                .get_mut(&dot)
+                .expect("executed commands have info");
+            info.phase = Phase::Execute;
+            info.buffered_attached.clear();
+            self.gc.record_executed(dot);
+        }
+    }
+
+    /// Builds the durable snapshot of the current state (see [`Snapshot`] for what must
+    /// be carried and why).
+    fn build_snapshot(&self) -> Snapshot {
+        let (floor_ts, floor_dot) = self.executor.exec_floor();
+        Snapshot {
+            clock: self.clock.value(),
+            stable: self.last_stable_fed,
+            floor_ts,
+            floor_dot,
+            next_dot_seq: self.dot_gen.generated(),
+            executed_count: self.executor.executed(),
+            kv: self.executor.kv_entries(),
+            queued: self
+                .executor
+                .queued_entries()
+                .into_iter()
+                .map(|(dot, ts, cmd, waits)| QueuedCommit {
+                    dot,
+                    ts,
+                    cmd,
+                    waits,
+                })
+                .collect(),
+            accepts: self
+                .info
+                .iter()
+                .filter(|(_, i)| !i.phase.is_committed_or_executed() && (i.bal != 0 || i.abal != 0))
+                .map(|(dot, i)| AcceptState {
+                    dot: *dot,
+                    ts: i.ts,
+                    bal: i.bal,
+                    abal: i.abal,
+                })
+                .collect(),
+            watermarks: self.gc.executed_frontier(),
+        }
+    }
+
+    /// Installs a snapshot once enough WAL records accumulated since the last one.
+    /// Paced from the promise timer, so snapshot cost is off the message hot path.
+    fn maybe_snapshot(&mut self) {
+        let Some(store) = &self.store else {
+            return;
+        };
+        if store.metrics().wal_appends - self.appends_at_snapshot
+            < self.options.snapshot_every_appends
+        {
+            return;
+        }
+        self.force_snapshot();
+    }
+
+    /// Unconditionally installs a snapshot (truncating the WAL).
+    fn force_snapshot(&mut self) {
+        if self.store.is_none() {
+            return;
+        }
+        let snapshot = self.build_snapshot();
+        let store = self.store.as_mut().expect("checked above");
+        store.install_snapshot(&snapshot);
+        self.appends_at_snapshot = store.metrics().wal_appends;
+        // The snapshot carries the exact clock; the next floor chunk starts there.
+        self.persisted_clock = self.clock.value();
+    }
+
+    // ---------------------------------------------------------- state transfer
+
+    /// Asks a live shard peer for its applied state (post-rejoin back-fill). Targets
+    /// rotate across live peers on retry so one unresponsive peer cannot stall the
+    /// transfer forever.
+    fn send_state_request(&mut self, now_us: u64, out: &mut Vec<Action<Message>>) {
+        let live: Vec<ProcessId> = self
+            .shard_peers
+            .iter()
+            .copied()
+            .filter(|p| *p != self.process && !self.suspected.contains(p))
+            .collect();
+        if live.is_empty() {
+            // Nobody to transfer from (every peer suspected): ungate rather than
+            // stall — ordering safety does not depend on the transfer.
+            self.awaiting_state = false;
+            self.sync_stability(now_us, out);
+            return;
+        }
+        let target = live[(self.state_request_attempts as usize) % live.len()];
+        self.state_request_attempts += 1;
+        self.last_state_request_us = now_us;
+        self.send(&[target], Message::MStateRequest, now_us, out);
+    }
+
+    fn handle_state_request(
+        &mut self,
+        from: ProcessId,
+        now_us: u64,
+        out: &mut Vec<Action<Message>>,
+    ) {
+        if !self.joined || self.awaiting_state {
+            // Mid-rejoin (or mid-transfer) state is not a trustworthy image.
+            return;
+        }
+        let (floor_ts, floor_dot) = self.executor.exec_floor();
+        let msg = Message::MState {
+            floor_ts,
+            floor_dot,
+            kv: self.executor.kv_entries(),
+            watermarks: self.gc.executed_frontier(),
+        };
+        self.send(&[from], msg, now_us, out);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_state(
+        &mut self,
+        floor_ts: u64,
+        floor_dot: Dot,
+        kv: Vec<(Key, u64)>,
+        watermarks: Vec<(ProcessId, u64)>,
+        now_us: u64,
+        out: &mut Vec<Action<Message>>,
+    ) {
+        if !self.awaiting_state {
+            return; // Late duplicate (or a transfer this instance never asked for).
+        }
+        self.awaiting_state = false;
+        let floor = (floor_ts, floor_dot);
+        if floor > self.executor.exec_floor() {
+            let dropped = self.executor.install_transfer(kv, floor);
+            for dot in &dropped {
+                // Queued commits covered by the transferred image: their effects are
+                // present without the local executor applying them.
+                let info = self.info.get_mut(dot).expect("queued commands have info");
+                info.phase = Phase::Execute;
+                info.proposal_detached.clear();
+                info.proposals.clear();
+                info.rec_acks.clear();
+                info.buffered_attached.clear();
+                self.exec_skipped += 1;
+                self.gc.record_executed(*dot);
+            }
+            for (origin, watermark) in &watermarks {
+                self.gc.restore_executed(*origin, *watermark);
+            }
+            self.gc_collect();
+            self.last_stable_fed = self.last_stable_fed.max(floor_ts);
+            self.last_exec_progress_us = now_us;
+            // Write-through: the back-filled image lives only in the executor until a
+            // snapshot captures it — force one so a second crash keeps the back-fill.
+            self.force_snapshot();
+        }
+        self.sync_stability(now_us, out);
     }
 
     // ------------------------------------------------------------ commit path
@@ -718,18 +1120,26 @@ impl Tempo {
         // Generate detached promises up to the committed timestamp (line 25/59); this is
         // what lets stability reach `final_ts` even when it exceeds this shard's clocks.
         self.clock_bump(final_ts);
-        if final_ts <= self.last_stable_fed {
-            // The execution stage was already told stability passed `final_ts`, so this
-            // command can no longer be placed in ⟨ts, id⟩ order here. In the normal
-            // regime this cannot happen — the line-47 commit gate keeps the local
-            // stable watermark strictly below a command's timestamp until it commits
-            // locally — but a *restarted* incarnation's tracker is deliberately seeded
-            // past old commands (rejoin prefixes, safe frontiers, promise repairs), so
-            // late back-fills of pre-crash commands land below stability. Skip applying
-            // them: the store stays incomplete until state transfer exists (ROADMAP
-            // follow-on), which is safe for ordering — this incarnation's execution log
-            // is a consistent suffix — while recording them as executed keeps GC
-            // draining and the `MStable` attestation keeps sibling shards live.
+        // A commit at or below the execution boundary is a duplicate of state this
+        // replica already *holds*: a rejoin state transfer installed a peer's image
+        // complete up to the boundary, so the command's effect is present even though
+        // the local executor never applied it.
+        let transferred = (final_ts, dot) <= self.executor.exec_floor();
+        if transferred || final_ts <= self.last_stable_fed {
+            // Not placeable in ⟨ts, id⟩ order anymore. In the normal regime this cannot
+            // happen — the line-47 commit gate keeps the local stable watermark
+            // strictly below a command's timestamp until it commits locally — but a
+            // *restarted* incarnation's tracker is deliberately seeded past old
+            // commands (rejoin prefixes, safe frontiers, promise repairs), so late
+            // back-fills of pre-crash commands land below stability. Two cases:
+            // `transferred` means the effect is already in the installed image (a true
+            // duplicate); otherwise the command is skipped *unapplied* — the store
+            // stays incomplete, which is safe for ordering (this incarnation's
+            // execution log is a consistent suffix) and is exactly the gap the state
+            // transfer exists to close. Either way, recording the dot as executed
+            // keeps GC draining and the `MStable` attestation keeps sibling shards
+            // live. Deliberately NOT written to the WAL: replaying an unapplied (or
+            // already-present) command into a partial image would corrupt it.
             self.exec_skipped += 1;
             let info = self.info.get_mut(&dot).expect("info exists");
             info.phase = Phase::Execute;
@@ -756,6 +1166,16 @@ impl Tempo {
         } else {
             Vec::new()
         };
+        // Write-ahead: the commit (payload included) must survive a crash so the
+        // rebuilt replica replays it instead of forgetting it (DESIGN.md §6).
+        if self.store.is_some() {
+            self.wal_append(WalRecord::Commit {
+                dot,
+                ts: final_ts,
+                cmd: cmd.clone(),
+                waits: waits.clone(),
+            });
+        }
         self.exec_feed(
             ExecutionInfo::Committed {
                 dot,
@@ -800,6 +1220,14 @@ impl Tempo {
             info.bal = ballot;
             info.abal = ballot;
         }
+        // Write-ahead: the accept must survive a crash (a forgotten accept is how an
+        // amnesiac acceptor lets two values commit). The driver's persist hook syncs
+        // it before the ack below can leave this process.
+        self.wal_append(WalRecord::Accept {
+            dot,
+            ts,
+            bal: ballot,
+        });
         self.clock_bump(ts);
         let ack = Message::MConsensusAck { dot, ballot };
         self.send(&[from], ack, now_us, out);
@@ -947,6 +1375,10 @@ impl Tempo {
     ) {
         // Any replica's attestation clears its shard's wait (see `commit_with`).
         let shard = self.membership.shard_of(from);
+        // Write-ahead: attestations are sent once per replica, so one consumed by a
+        // commit that then crashes would otherwise be gone — the replayed commit
+        // would re-wait forever.
+        self.wal_append(WalRecord::SiblingStable { dot, shard });
         self.exec_feed(ExecutionInfo::ShardStable { dot, shard }, now_us, out);
     }
 
@@ -955,11 +1387,20 @@ impl Tempo {
     /// read, so the steady-state cost of an `MPromises` (or promise-timer fire) that
     /// taught us nothing new is a single comparison instead of a full executor pass.
     fn sync_stability(&mut self, now_us: u64, out: &mut Vec<Action<Message>>) {
+        if self.awaiting_state {
+            // Execution is gated until the rejoin state transfer installs: advancing
+            // stability now would execute (and serve reads over) a store that misses
+            // every command committed while this replica was down.
+            return;
+        }
         let stable = self.promises.stable_timestamp();
         if stable <= self.last_stable_fed {
             return;
         }
         self.last_stable_fed = stable;
+        // Write-ahead: interleaving watermark advances with `Commit` records makes
+        // replay reproduce the exact pre-crash execution prefix (DESIGN.md §6).
+        self.wal_append(WalRecord::Stable(stable));
         self.exec_feed(ExecutionInfo::Stable { ts: stable }, now_us, out);
     }
 
@@ -1141,11 +1582,11 @@ impl Tempo {
         now_us: u64,
         out: &mut Vec<Action<Message>>,
     ) {
-        if !self.joined || self.incarnation > 0 {
-            // A restarted incarnation cannot enumerate its previous life's in-flight
-            // attached proposals, so it must not claim `[1, clock]` — see
-            // `promise_frontier` and DESIGN.md §5. The requester's repair comes from
-            // the other peers.
+        if !self.joined || self.incarnation > 0 || self.recovered {
+            // A restarted (or store-restored) incarnation cannot enumerate its
+            // previous life's in-flight attached proposals, so it must not claim
+            // `[1, clock]` — see `promise_frontier` and DESIGN.md §5. The requester's
+            // repair comes from the other peers.
             return;
         }
         let repair = Message::MPromiseRepair {
@@ -1308,6 +1749,9 @@ impl Tempo {
             let rec_phase = info.phase.rec_phase().unwrap_or(RecPhase::RecoverR);
             (info.ts, rec_phase, info.abal)
         };
+        // Write-ahead: the joined ballot must survive a crash, or a recovered replica
+        // could accept a value at a ballot it already promised away.
+        self.wal_append(WalRecord::Ballot { dot, bal: ballot });
         let ack = Message::MRecAck {
             dot,
             ts,
@@ -1417,6 +1861,9 @@ impl Tempo {
                 false
             }
         };
+        if should_retry {
+            self.wal_append(WalRecord::Ballot { dot, bal: ballot });
+        }
         if should_retry && self.is_leader() {
             self.start_recovery(dot, now_us, out);
         }
@@ -1534,7 +1981,12 @@ impl Tempo {
             let _ = self.clock.take_detached();
             let _ = self.clock.take_attached();
             self.joined = true;
-            self.sync_stability(now_us, out);
+            if self.awaiting_state {
+                // Back-fill the applied state from a peer before serving anything.
+                self.send_state_request(now_us, out);
+            } else {
+                self.sync_stability(now_us, out);
+            }
         }
     }
 
@@ -1562,7 +2014,9 @@ impl Tempo {
             | Message::MPromiseRequest
             | Message::MPromiseRepair { .. }
             | Message::MRejoin
-            | Message::MRejoinAck { .. } => None,
+            | Message::MRejoinAck { .. }
+            | Message::MStateRequest
+            | Message::MState { .. } => None,
         }
     }
 
@@ -1644,6 +2098,13 @@ impl Tempo {
                 your_highest,
                 prefixes,
             } => self.handle_rejoin_ack(from, clock, your_highest, prefixes, now_us, &mut out),
+            Message::MStateRequest => self.handle_state_request(from, now_us, &mut out),
+            Message::MState {
+                floor_ts,
+                floor_dot,
+                kv,
+                watermarks,
+            } => self.handle_state(floor_ts, floor_dot, kv, watermarks, now_us, &mut out),
         }
         out
     }
@@ -1722,6 +2183,11 @@ impl Protocol for Tempo {
         self.dot_gen.skip_to(incarnation << 48);
         self.joined = false;
         self.rejoin_acks.clear();
+        // Gate execution until a peer's state snapshot back-fills the commands this
+        // replica missed while down (even a durable store cannot hold those); the
+        // request goes out once the rejoin handshake completes.
+        self.awaiting_state = self.options.state_transfer;
+        self.state_request_attempts = 0;
         let mut out = Vec::new();
         self.send_rejoin(now_us, &mut out);
         out
@@ -1773,6 +2239,9 @@ impl Protocol for Tempo {
                 // Execution might have become possible thanks to locally generated
                 // promises.
                 self.sync_stability(now_us, &mut out);
+                // Durable snapshots are paced off the same timer: off the message hot
+                // path, and naturally quiescent when the WAL is.
+                self.maybe_snapshot();
                 out.push(Action::schedule(
                     TIMER_PROMISES,
                     self.options.promise_interval_us,
@@ -1780,6 +2249,14 @@ impl Protocol for Tempo {
             }
             TIMER_LIVENESS => {
                 if self.joined {
+                    if self.awaiting_state
+                        && now_us.saturating_sub(self.last_state_request_us)
+                            >= self.options.commit_request_timeout_us
+                    {
+                        // The state transfer is outstanding (request or reply lost, or
+                        // the target itself mid-rejoin): retry against the next peer.
+                        self.send_state_request(now_us, &mut out);
+                    }
                     self.liveness_scan(now_us, &mut out);
                 } else {
                     // Mid-rejoin: retry the handshake instead of probing pending dots
@@ -1796,6 +2273,15 @@ impl Protocol for Tempo {
         out
     }
 
+    fn persist(&mut self) {
+        // Flush the WAL appends of this dispatch step in one batch; the driver calls
+        // this before the step's messages are handed to the transport, which is what
+        // makes every append above a *write-ahead* (DESIGN.md §6).
+        if let Some(store) = &mut self.store {
+            store.sync();
+        }
+    }
+
     fn executor(&self) -> &TempoExecutor {
         &self.executor
     }
@@ -1804,6 +2290,12 @@ impl Protocol for Tempo {
         let mut metrics = self.metrics.clone();
         // The execution stage is the single source of truth for the executed count.
         metrics.executed = self.executor.executed();
+        if let Some(store) = &self.store {
+            let m = store.metrics();
+            metrics.wal_appends = m.wal_appends;
+            metrics.wal_bytes = m.wal_bytes;
+            metrics.snapshots_taken = m.snapshots_taken;
+        }
         metrics
     }
 }

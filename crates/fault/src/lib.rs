@@ -15,6 +15,27 @@
 //!   agreement on the order of conflicting commands, and at-most-once execution.
 //!
 //! Everything is deterministic given a seed, so a failing schedule replays exactly.
+//!
+//! # Driving it
+//!
+//! The crate is runtime-agnostic: `tempo-sim` consumes a [`NemesisSchedule`] through
+//! `SimOpts::nemesis` and records a [`History`] with `SimOpts::record_history`; any
+//! other embedder can do the same by consulting [`Nemesis`] before each delivery and
+//! feeding the history the invoke/complete/abort/execution events it observes. Crash
+//! *recovery* composes with durable state: the simulator's protocol factory decides
+//! what a restarted process keeps (a `tempo-store` backend) versus loses (everything
+//! volatile) — see `tests/durability.rs` for the two extremes, and `tests/chaos.rs`
+//! for the preset + randomized battery every change must keep green.
+//!
+//! # What a green checker does and does not mean
+//!
+//! [`History::check`] is a per-run bug finder over the schedules actually injected,
+//! not a proof: it covers per-key linearizability (Wing & Gong with memoization;
+//! aborted and unanswered operations linearized optionally), replica agreement on
+//! conflicting-command order per incarnation, and at-most-once execution — but it
+//! cannot see cross-key anomalies (per-key projection) and only explores the
+//! interleavings the seeds produce. DESIGN.md §5 states the full fault model; §6 the
+//! durability model layered on top of it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

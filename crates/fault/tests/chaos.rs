@@ -7,11 +7,12 @@
 //! commands stranded by faults instead of hanging) and its recorded history must pass
 //! per-key linearizability, replica agreement and at-most-once execution.
 //!
-//! Workload choice matters: schedules with `Restart` events use the write-only
-//! `ConflictWorkload`, because a replica restarted without state transfer serves reads
-//! from an incomplete store (see DESIGN.md §5 — durable state is the ROADMAP follow-on);
-//! crash-free and crash-only schedules use `RwConflict`, whose `Get`/`Add` outputs give
-//! the linearizability checker observations to falsify.
+//! Restart-bearing schedules run `RwConflict` (reads included) like everything else:
+//! since the rejoin state transfer (`MStateRequest`/`MState`, DESIGN.md §6), a
+//! restarted replica — durable store or not — gates execution until a peer's applied
+//! image installs, so the reads it serves are fresh. The write-only restriction that
+//! previously hid the amnesia gap is gone; `tests/durability.rs` keeps one
+//! deliberately transfer-less run to show the checker catching that gap.
 
 use tempo_core::Tempo;
 use tempo_fault::{History, NemesisSchedule, RandomNemesisOpts};
@@ -104,14 +105,14 @@ fn coordinator_crash_mid_commit_recovers_the_command() {
 }
 
 /// Rolling crashes up to `f`: one site at a time crashes, loses its volatile state and
-/// rejoins. Write-only workload (a restarted replica has no state transfer; see the
-/// module docs).
+/// rejoins. Runs with reads since the rejoin state transfer: a restarted replica
+/// back-fills its store before serving anything (see the module docs).
 #[test]
 fn rolling_crashes_preset_stays_safe() {
     for (f, seed) in [(1usize, 11u64), (2, 12)] {
         let config = Config::full(5, f);
         let schedule = NemesisSchedule::rolling_crashes(config, 200_000, 400_000);
-        let report = checked_run(config, schedule, seed, ConflictWorkload::new(0.1, 16, seed));
+        let report = checked_run(config, schedule, seed, RwConflict::new(0.2, 0.4, 16, seed));
         assert_eq!(report.faults.crashes as usize, f);
         assert_eq!(report.faults.restarts as usize, f);
         assert!(report.completed > 0);
@@ -206,7 +207,7 @@ fn restarted_replica_rejoins_and_serves_new_commands() {
         (200_000, tempo_fault::FaultEvent::Crash(0)),
         (600_000, tempo_fault::FaultEvent::Restart(0)),
     ]);
-    let report = checked_run(config, schedule, 23, ConflictWorkload::new(0.1, 16, 23));
+    let report = checked_run(config, schedule, 23, RwConflict::new(0.2, 0.4, 16, 23));
     // Incarnation 1 specifically: the all-incarnations view would pass on pre-crash
     // executions alone and say nothing about the rejoin.
     let executed_by_new_incarnation: Vec<Rifl> = history(&report).executed_by_incarnation(0, 1);

@@ -16,6 +16,13 @@
 //! all protocols (a `Send` to `k` remote peers counts as `k` messages), so message
 //! accounting cannot drift between protocol implementations.
 //!
+//! It is also the single place where the **persistence hook** fires: at the end of every
+//! dispatch step — after the protocol's actions were absorbed, before the step's
+//! [`Output`] is returned to the scheduler — the driver calls [`Protocol::persist`].
+//! Since schedulers only transport messages they received in an `Output`, a protocol
+//! that flushes its durable store in `persist` gets the write-ahead guarantee for free:
+//! no message leaves the process before the state that produced it is durable.
+//!
 //! The contract, in one paragraph: the *protocol* decides what to send, when to run
 //! periodic work (by scheduling its own timers) and when a command has executed (by
 //! emitting `Deliver`); the *driver* turns those decisions into data the scheduler can
@@ -90,26 +97,34 @@ impl<P: Protocol> Driver<P> {
     /// (typically timer registrations). Must be called once before any other step.
     pub fn start(&mut self, view: View, now_us: u64) -> Output<P::Message> {
         let actions = self.protocol.discover(view);
-        self.absorb(actions, now_us)
+        let output = self.absorb(actions, now_us);
+        self.protocol.persist();
+        output
     }
 
     /// Runs the protocol's rejoin hook for a process rebuilt after a crash (see
     /// [`Protocol::rejoin`]) and absorbs the handshake actions it produces.
     pub fn rejoin(&mut self, incarnation: u64, now_us: u64) -> Output<P::Message> {
         let actions = self.protocol.rejoin(incarnation, now_us);
-        self.absorb(actions, now_us)
+        let output = self.absorb(actions, now_us);
+        self.protocol.persist();
+        output
     }
 
     /// Submits a client command.
     pub fn submit(&mut self, cmd: Command, now_us: u64) -> Output<P::Message> {
         let actions = self.protocol.submit(cmd, now_us);
-        self.absorb(actions, now_us)
+        let output = self.absorb(actions, now_us);
+        self.protocol.persist();
+        output
     }
 
     /// Delivers a message from `from`.
     pub fn handle(&mut self, from: ProcessId, msg: P::Message, now_us: u64) -> Output<P::Message> {
         let actions = self.protocol.handle(from, msg, now_us);
-        self.absorb(actions, now_us)
+        let output = self.absorb(actions, now_us);
+        self.protocol.persist();
+        output
     }
 
     /// The absolute time (µs) at which the earliest pending timer is due, if any.
@@ -126,6 +141,7 @@ impl<P: Protocol> Driver<P> {
             let actions = self.protocol.timer(timer, now_us);
             self.absorb_into(actions, now_us, &mut output);
         }
+        self.protocol.persist();
         output
     }
 

@@ -69,6 +69,19 @@ impl KVStore {
         self.executed
     }
 
+    /// The full store contents as `(key, value)` pairs, in key order. Used to build
+    /// durable snapshots and rejoin state transfers.
+    pub fn entries(&self) -> Vec<(Key, u64)> {
+        self.store.iter().map(|(k, v)| (*k, *v)).collect()
+    }
+
+    /// Replaces the store contents with `entries`, keeping the executed counter at
+    /// `executed`. Used when installing a durable snapshot or a state transfer.
+    pub fn restore(&mut self, entries: Vec<(Key, u64)>, executed: u64) {
+        self.store = entries.into_iter().collect();
+        self.executed = executed;
+    }
+
     /// A digest of the store contents, used by tests to compare replica states cheaply.
     pub fn digest(&self) -> u64 {
         // FNV-1a over (key, value) pairs; the store is a BTreeMap so iteration order is

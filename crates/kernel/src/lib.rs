@@ -8,10 +8,10 @@
 //! * [`command`] — commands, key accesses and conflict detection,
 //! * [`config`] — replication configuration (`n`, `f`, shards) and quorum sizes,
 //! * [`membership`] — the static placement of processes onto sites and shards,
-//! * [`protocol`] — the [`Protocol`](protocol::Protocol) *ordering* trait
-//!   (`submit`/`handle`/`timer`), the [`Executor`](protocol::Executor) *execution* trait,
-//!   and the typed [`Action`](protocol::Action) model (`Send` / `Deliver` / `Schedule`),
-//! * [`driver`] — the generic [`Driver`](driver::Driver) event-dispatch core that the
+//! * [`protocol`] — the [`Protocol`] *ordering* trait
+//!   (`submit`/`handle`/`timer`), the [`Executor`] *execution* trait,
+//!   and the typed [`Action`] model (`Send` / `Deliver` / `Schedule`),
+//! * [`driver`] — the generic [`Driver`] event-dispatch core that the
 //!   simulator, the threaded runtime and the test harness all schedule over,
 //! * [`harness`] — [`LocalCluster`](harness::LocalCluster), a synchronous FIFO cluster
 //!   for protocol unit tests,
@@ -25,7 +25,7 @@
 //! # Protocol API v2 in one example
 //!
 //! A protocol is a deterministic state machine producing typed actions; a runtime wraps
-//! it in a [`Driver`](driver::Driver) and acts on the returned [`Output`](driver::Output):
+//! it in a [`Driver`] and acts on the returned [`Output`]:
 //!
 //! ```
 //! use tempo_kernel::driver::Driver;

@@ -137,6 +137,13 @@ pub struct ProtocolMetrics {
     /// CPU-model accounting and the throughput-bench counters agree across protocols.
     /// Maintained uniformly by the [`crate::driver::Driver`]; protocols leave it at 0.
     pub messages_sent: u64,
+    /// Write-ahead-log records appended to this process's durable store (0 for
+    /// protocols without a store, or with a store that never wrote).
+    pub wal_appends: u64,
+    /// Bytes appended to the write-ahead log (frame overhead included).
+    pub wal_bytes: u64,
+    /// Durable snapshots installed by this process (each truncates its WAL).
+    pub snapshots_taken: u64,
 }
 
 impl ProtocolMetrics {
@@ -321,21 +328,49 @@ pub trait Protocol: Sized {
     /// Informs the protocol that `process` is suspected to have failed — the embedding
     /// runtime's stand-in for the Ω failure detector of the paper's Appendix B. Protocols
     /// without failure handling ignore it (the default).
+    ///
+    /// Suspicion is advisory, never load-bearing for safety: a wrong suspicion may only
+    /// cost latency (Tempo, for instance, uses it to route new commands and fast
+    /// quorums around the suspected process and to elect the recovery leader — the
+    /// lowest *non-suspected* shard peer — but quorum intersection still provides
+    /// correctness). There is no obligation to ever call this; a runtime with no
+    /// failure detector simply leaves recovery to the protocol's own timeouts.
     fn suspect(&mut self, _process: ProcessId) {}
 
     /// Withdraws a suspicion raised with [`Protocol::suspect`] (e.g. the process
-    /// restarted and rejoined). Ignored by default.
+    /// restarted and rejoined). Ignored by default. After withdrawal the process is
+    /// again eligible for fast quorums and coordination duties.
     fn unsuspect(&mut self, _process: ProcessId) {}
 
-    /// Called once on a protocol instance rebuilt after a crash (volatile state lost),
-    /// with the 1-based restart count of this process. Protocols that support rejoining
-    /// return the actions of their rejoin handshake (and must make their command
-    /// identifiers disjoint from earlier incarnations); the default — for protocols
-    /// without restart support — returns no actions, which leaves the restarted replica
-    /// as a best-effort participant.
+    /// Called once on a protocol instance rebuilt after a crash, with the 1-based
+    /// restart count of this process. Protocols that support rejoining return the
+    /// actions of their rejoin handshake (and must make their command identifiers
+    /// disjoint from earlier incarnations — Tempo reserves the dot band
+    /// `incarnation << 48`); the default — for protocols without restart support —
+    /// returns no actions, which leaves the restarted replica as a best-effort
+    /// participant.
+    ///
+    /// What "rebuilt" means depends on the backing store: a *diskless* instance starts
+    /// blank and must treat its entire past as unknown (Tempo suspends proposals and
+    /// consensus participation until its `MRejoin` handshake re-establishes a safe
+    /// clock floor — see `DESIGN.md` §5), while an instance constructed around a
+    /// durable store (e.g. `Tempo::with_store`) has already replayed its
+    /// snapshot + WAL by the time `rejoin` runs, and the handshake only re-derives
+    /// what durability cannot: the peers' promise prefixes and — via the
+    /// snapshot/state-transfer exchange — the commands this replica missed while down
+    /// (`DESIGN.md` §6). Volatile state (in-flight quorums, timers, suspicions) is
+    /// lost in both cases.
     fn rejoin(&mut self, _incarnation: u64, _now_us: u64) -> Vec<Action<Self::Message>> {
         Vec::new()
     }
+
+    /// Persistence hook, called by the [`crate::driver::Driver`] at the end of every
+    /// dispatch step — after the protocol's actions were absorbed, *before* the step's
+    /// outbound messages are handed to the scheduler's transport. A protocol with a
+    /// durable store flushes it here (one batched `fsync` per step), which yields the
+    /// write-ahead guarantee: no message leaves a process before the state that
+    /// produced it is durable. The default (for in-memory protocols) is a no-op.
+    fn persist(&mut self) {}
 
     /// Read access to the execution stage (diagnostics and tests).
     fn executor(&self) -> &Self::Executor;

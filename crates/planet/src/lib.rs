@@ -9,9 +9,9 @@
 //! * [`Planet`] — a symmetric ping-latency matrix with lookups in microseconds,
 //! * [`Planet::ec2`] — the exact Table 2 matrix,
 //! * site-placement helpers that map the sites of a
-//!   [`Membership`](tempo_kernel::Membership) onto regions and pre-compute the
+//!   [`Membership`] onto regions and pre-compute the
 //!   sorted-by-distance process lists required by
-//!   [`View`](tempo_kernel::protocol::View).
+//!   [`View`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -9,11 +9,11 @@
 //!
 //! A simulation runs closed-loop clients at each site against one protocol instance per
 //! (site, shard) pair; messages are delivered after the one-way latency of the
-//! [`Planet`](tempo_planet::Planet); executed commands complete the issuing client's
+//! [`Planet`]; executed commands complete the issuing client's
 //! request once every accessed shard has executed the command at the client's site.
 //!
 //! The simulator is a thin scheduler over the kernel's generic
-//! [`Driver`](tempo_kernel::driver::Driver): it owns transport (the latency-modelled
+//! [`Driver`]: it owns transport (the latency-modelled
 //! event queue) and time, while all submit/handle/timer dispatch — including the
 //! protocol-owned periodic timers that replaced the v1 global tick — lives in the shared
 //! driver core.
@@ -27,10 +27,21 @@
 //! firing timers and are skipped by client failover, and a `Restart` rebuilds the
 //! process from `Protocol::new` (volatile state lost) and runs its rejoin hook. Every
 //! injected fault and every message it cost is tallied in the run report's
-//! [`FaultSummary`]. With [`SimOpts::record_history`] the run also produces a
+//! fault summary ([`RunReport::faults`]). With [`SimOpts::record_history`] the run also produces a
 //! [`History`] of client invocations/responses and per-replica execution sequences for
 //! the `tempo-fault` safety checker; [`SimOpts::client_timeout_us`] lets closed-loop
 //! clients give up on commands stranded by a fault (counted per client as aborted).
+//!
+//! # Durable state across restarts
+//!
+//! By default a `Restart` rebuilds the process via `Protocol::new` — fully amnesiac.
+//! [`Simulation::with_factory`] replaces that constructor with a caller-supplied
+//! [`ProtocolFactory`], which the simulator invokes both at boot (incarnation 0) and on
+//! every restart (incarnation ≥ 1). A factory that wires each process to a durable
+//! store handle (`tempo-store`'s `MemStore` clones, or a `FileStore` directory reopened
+//! per incarnation) thereby models a disk that survives the crash: the nemesis still
+//! destroys all volatile state with the old instance, but the durable half persists —
+//! which is what lets chaos tests distinguish disk from memory.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -185,6 +196,12 @@ impl<M> Ord for Event<M> {
     }
 }
 
+/// Builds the protocol instance of one process. Called at boot with incarnation 0 and
+/// again on every nemesis `Restart` with the 1-based restart count; the factory decides
+/// what survives (e.g. by reusing a durable store handle) — the simulator always
+/// discards the previous instance, so volatile state is lost regardless.
+pub type ProtocolFactory<P> = Box<dyn FnMut(ProcessId, ShardId, Config, u64) -> P>;
+
 struct ClientState {
     site: SiteId,
     issued: usize,
@@ -207,6 +224,7 @@ pub struct Simulation<P: Protocol, W: Workload> {
     membership: Membership,
     planet: Planet,
     opts: SimOpts,
+    factory: ProtocolFactory<P>,
     drivers: BTreeMap<ProcessId, Driver<P>>,
     workload: W,
     clients: BTreeMap<ClientId, ClientState>,
@@ -235,6 +253,31 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
     ///
     /// Panics if the planet does not have exactly one region per site of the config.
     pub fn new(config: Config, planet: Planet, opts: SimOpts, workload: W) -> Self {
+        Self::with_factory(
+            config,
+            planet,
+            opts,
+            workload,
+            Box::new(|id, shard, config, _incarnation| P::new(id, shard, config)),
+        )
+    }
+
+    /// Creates a simulation whose protocol instances are built by `factory` instead of
+    /// `Protocol::new` — at boot (incarnation 0) and again on every nemesis restart
+    /// (incarnation ≥ 1). This is how durable state enters the fault model: a factory
+    /// that hands every incarnation of a process the same `tempo-store` backend makes
+    /// the store survive the crash while volatile state is still lost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the planet does not have exactly one region per site of the config.
+    pub fn with_factory(
+        config: Config,
+        planet: Planet,
+        opts: SimOpts,
+        workload: W,
+        mut factory: ProtocolFactory<P>,
+    ) -> Self {
         assert_eq!(
             planet.len(),
             config.n(),
@@ -244,7 +287,7 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
         let mut drivers = BTreeMap::new();
         for id in membership.all_processes() {
             let shard = membership.shard_of(id);
-            drivers.insert(id, Driver::<P>::new(id, shard, config));
+            drivers.insert(id, Driver::from_protocol(factory(id, shard, config, 0)));
         }
         let mut clients = BTreeMap::new();
         let mut client_id: ClientId = 0;
@@ -281,6 +324,7 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
             membership,
             planet,
             opts,
+            factory,
             drivers,
             workload,
             clients,
@@ -560,12 +604,15 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
                     }
                 }
                 FaultEvent::Restart(p) => {
-                    // Rebuild from scratch: a fresh incarnation that must rejoin.
+                    // Rebuild through the factory: a fresh incarnation that must
+                    // rejoin. Volatile state died with the old driver; whatever the
+                    // factory preserved (a durable store handle) is the "disk".
                     let incarnation = self.incarnations.entry(p).or_insert(0);
                     *incarnation += 1;
                     let incarnation = *incarnation;
                     let shard = self.membership.shard_of(p);
-                    let mut driver = Driver::<P>::new(p, shard, self.config);
+                    let mut driver =
+                        Driver::from_protocol((self.factory)(p, shard, self.config, incarnation));
                     let view = self.planet.view_for(self.config, p);
                     let start = driver.start(view, at);
                     let rejoin = driver.rejoin(incarnation, at);
@@ -713,6 +760,9 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
             metrics.gc_collected += m.gc_collected;
             metrics.gc_messages += m.gc_messages;
             metrics.messages_sent += m.messages_sent;
+            metrics.wal_appends += m.wal_appends;
+            metrics.wal_bytes += m.wal_bytes;
+            metrics.snapshots_taken += m.snapshots_taken;
         }
         let duration = self
             .last_completion
@@ -764,6 +814,18 @@ pub fn run<P: Protocol, W: Workload>(
     workload: W,
 ) -> RunReport {
     Simulation::<P, W>::new(config, planet, opts, workload).run()
+}
+
+/// Convenience entry point with a custom [`ProtocolFactory`] (see
+/// [`Simulation::with_factory`]): how durable-store-backed deployments are run.
+pub fn run_with_factory<P: Protocol, W: Workload>(
+    config: Config,
+    planet: Planet,
+    opts: SimOpts,
+    workload: W,
+    factory: ProtocolFactory<P>,
+) -> RunReport {
+    Simulation::<P, W>::with_factory(config, planet, opts, workload, factory).run()
 }
 
 #[cfg(test)]

@@ -112,6 +112,12 @@ impl RunReport {
                 self.metrics.recoveries_completed, self.metrics.recoveries_started
             ));
         }
+        if self.metrics.wal_appends > 0 {
+            line.push_str(&format!(
+                " wal={}rec/{}B snapshots={}",
+                self.metrics.wal_appends, self.metrics.wal_bytes, self.metrics.snapshots_taken
+            ));
+        }
         if self.faults.events() > 0 {
             line.push_str(&format!(
                 " faults={} msgs-dropped={}",

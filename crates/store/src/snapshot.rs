@@ -1,0 +1,255 @@
+//! Executor/clock snapshots: a point-in-time image of everything the WAL would
+//! otherwise have to retain forever.
+//!
+//! Installing a snapshot truncates the WAL, so the snapshot must carry *every* durable
+//! fact not re-derivable from the WAL suffix (DESIGN.md §6 gives the cut-point safety
+//! argument):
+//!
+//! * the applied key-value state and the execution boundary it corresponds to (the
+//!   `(timestamp, dot)` pair of the last executed command — execution pops in
+//!   `⟨ts, id⟩` order, so the executed set is exactly that prefix),
+//! * the committed-but-unexecuted queue (with each entry's remaining sibling-shard
+//!   waits) — their `Commit` WAL records are being truncated,
+//! * the consensus state (`ts`/`bal`/`abal`) of still-pending dots — their
+//!   `Ballot`/`Accept` records are being truncated,
+//! * the timestamping clock floor and the per-origin executed watermarks feeding
+//!   committed-command GC.
+//!
+//! A snapshot is encoded as one checksummed frame behind the magic `b"TSN1"`, written
+//! to a temporary file and renamed into place, so a crash mid-install leaves the
+//! previous snapshot intact.
+
+use crate::wal::{
+    frame, get_command, get_dot, get_pairs, put_command, put_dot, put_pairs, read_frame,
+    DecodeError, Reader, Writer,
+};
+use tempo_kernel::command::Command;
+use tempo_kernel::id::{Dot, ProcessId, ShardId};
+
+/// Magic + version prefix of a snapshot stream.
+pub const SNAPSHOT_MAGIC: &[u8; 4] = b"TSN1";
+
+/// A committed command still queued for execution at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueuedCommit {
+    /// Command identifier.
+    pub dot: Dot,
+    /// The final (across-shards) timestamp.
+    pub ts: u64,
+    /// The command payload.
+    pub cmd: Command,
+    /// Sibling shards whose stability attestation is still missing.
+    pub waits: Vec<ShardId>,
+}
+
+/// The consensus state of a dot still pending at snapshot time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AcceptState {
+    /// Command identifier.
+    pub dot: Dot,
+    /// This shard's timestamp for the command (proposal or accepted value).
+    pub ts: u64,
+    /// Highest ballot joined.
+    pub bal: u64,
+    /// Highest ballot at which a value was accepted (0 = none).
+    pub abal: u64,
+}
+
+/// A point-in-time image of one replica's durable state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// The timestamping clock floor: recovery must never propose at or below it.
+    pub clock: u64,
+    /// The stability watermark last fed to the executor.
+    pub stable: u64,
+    /// Timestamp of the last executed command (the execution boundary).
+    pub floor_ts: u64,
+    /// Dot of the last executed command (`(0, 0)` when nothing executed yet).
+    pub floor_dot: Dot,
+    /// The dot-generator position (best effort; incarnation bands are the primary
+    /// defence against dot reuse, see DESIGN.md §6).
+    pub next_dot_seq: u64,
+    /// Commands executed by the snapshotted executor.
+    pub executed_count: u64,
+    /// The applied key-value state, as `(key, value)` pairs.
+    pub kv: Vec<(u64, u64)>,
+    /// Committed-but-unexecuted commands, with their remaining waits.
+    pub queued: Vec<QueuedCommit>,
+    /// Consensus state of still-pending dots.
+    pub accepts: Vec<AcceptState>,
+    /// Per-origin executed watermarks (committed-command GC seed).
+    pub watermarks: Vec<(ProcessId, u64)>,
+}
+
+impl Default for Snapshot {
+    fn default() -> Self {
+        Self {
+            clock: 0,
+            stable: 0,
+            floor_ts: 0,
+            floor_dot: Dot::new(0, 0),
+            next_dot_seq: 0,
+            executed_count: 0,
+            kv: Vec::new(),
+            queued: Vec::new(),
+            accepts: Vec::new(),
+            watermarks: Vec::new(),
+        }
+    }
+}
+
+impl Snapshot {
+    /// Encodes the snapshot as `magic + [len][crc][payload]`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u64(self.clock);
+        w.put_u64(self.stable);
+        w.put_u64(self.floor_ts);
+        put_dot(&mut w, self.floor_dot);
+        w.put_u64(self.next_dot_seq);
+        w.put_u64(self.executed_count);
+        put_pairs(&mut w, &self.kv);
+        w.put_u32(self.queued.len() as u32);
+        for q in &self.queued {
+            put_dot(&mut w, q.dot);
+            w.put_u64(q.ts);
+            w.put_u32(q.waits.len() as u32);
+            for shard in &q.waits {
+                w.put_u64(*shard);
+            }
+            put_command(&mut w, &q.cmd);
+        }
+        w.put_u32(self.accepts.len() as u32);
+        for a in &self.accepts {
+            put_dot(&mut w, a.dot);
+            w.put_u64(a.ts);
+            w.put_u64(a.bal);
+            w.put_u64(a.abal);
+        }
+        put_pairs(&mut w, &self.watermarks);
+        let payload = w.into_bytes();
+        let mut out = SNAPSHOT_MAGIC.to_vec();
+        out.extend_from_slice(&frame(&payload));
+        out
+    }
+
+    /// Decodes a snapshot stream produced by [`Snapshot::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+        if bytes.len() < SNAPSHOT_MAGIC.len() || &bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let (payload, _end) = read_frame(bytes, SNAPSHOT_MAGIC.len())?;
+        let mut r = Reader::new(payload);
+        let clock = r.u64()?;
+        let stable = r.u64()?;
+        let floor_ts = r.u64()?;
+        let floor_dot = get_dot(&mut r)?;
+        let next_dot_seq = r.u64()?;
+        let executed_count = r.u64()?;
+        let kv = get_pairs(&mut r)?;
+        let n = r.u32()?;
+        let mut queued = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let dot = get_dot(&mut r)?;
+            let ts = r.u64()?;
+            let w = r.u32()?;
+            let mut waits = Vec::with_capacity(w as usize);
+            for _ in 0..w {
+                waits.push(r.u64()?);
+            }
+            let cmd = get_command(&mut r)?;
+            queued.push(QueuedCommit {
+                dot,
+                ts,
+                cmd,
+                waits,
+            });
+        }
+        let n = r.u32()?;
+        let mut accepts = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            accepts.push(AcceptState {
+                dot: get_dot(&mut r)?,
+                ts: r.u64()?,
+                bal: r.u64()?,
+                abal: r.u64()?,
+            });
+        }
+        let watermarks = get_pairs(&mut r)?;
+        Ok(Self {
+            clock,
+            stable,
+            floor_ts,
+            floor_dot,
+            next_dot_seq,
+            executed_count,
+            kv,
+            queued,
+            accepts,
+            watermarks,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_kernel::command::KVOp;
+    use tempo_kernel::id::Rifl;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            clock: 200,
+            stable: 150,
+            floor_ts: 149,
+            floor_dot: Dot::new(2, 31),
+            next_dot_seq: 40,
+            executed_count: 120,
+            kv: vec![(0, 55), (42, 7)],
+            queued: vec![QueuedCommit {
+                dot: Dot::new(1, 9),
+                ts: 160,
+                cmd: Command::new(
+                    Rifl::new(5, 6),
+                    vec![(0, 1, KVOp::Add(1)), (1, 2, KVOp::Get)],
+                    8,
+                ),
+                waits: vec![1],
+            }],
+            accepts: vec![AcceptState {
+                dot: Dot::new(3, 2),
+                ts: 170,
+                bal: 4,
+                abal: 4,
+            }],
+            watermarks: vec![(0, 30), (1, 28)],
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips() {
+        let snap = sample();
+        assert_eq!(Snapshot::decode(&snap.encode()).unwrap(), snap);
+    }
+
+    #[test]
+    fn empty_snapshot_roundtrips() {
+        let snap = Snapshot::default();
+        assert_eq!(Snapshot::decode(&snap.encode()).unwrap(), snap);
+    }
+
+    #[test]
+    fn torn_snapshot_is_rejected() {
+        let bytes = sample().encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                Snapshot::decode(&bytes[..cut]).is_err(),
+                "truncation at {cut} must not decode"
+            );
+        }
+        let mut corrupt = bytes.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x01;
+        assert!(Snapshot::decode(&corrupt).is_err());
+    }
+}

@@ -1,0 +1,534 @@
+//! The write-ahead log: record types, byte encoding and crash-tolerant replay.
+//!
+//! # Stream format
+//!
+//! A WAL stream is the 4-byte magic `b"TWL1"` followed by framed records. Each frame is
+//!
+//! ```text
+//! [ payload length : u32 LE ][ CRC-32 of payload : u32 LE ][ payload ]
+//! ```
+//!
+//! and the payload is a tag byte followed by the record fields (little-endian fixed-width
+//! integers throughout; see [`WalRecord::encode`]). The format is hand-rolled because the
+//! workspace is dependency-free; it is versioned by the magic, and the golden-file test
+//! in `tests/golden.rs` pins the exact bytes so accidental format drift fails CI.
+//!
+//! # Torn tails
+//!
+//! A crash can leave a partially written frame at the end of the log. [`replay`] decodes
+//! frames until it hits a truncated or checksum-failing frame, reports how many bytes
+//! form the valid prefix, and the caller truncates the log there (`FileStore` does so on
+//! open). A record is therefore durable *iff* its frame was fully written and synced —
+//! exactly the contract [`crate::Store::sync`] provides to the protocol layer.
+
+use std::fmt;
+use tempo_kernel::command::{Command, KVOp, Key};
+use tempo_kernel::id::{Dot, Rifl, ShardId};
+
+/// Magic + version prefix of a WAL stream.
+pub const WAL_MAGIC: &[u8; 4] = b"TWL1";
+
+/// A decoding failure. Replay treats any error as the start of a torn tail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the value (or frame) was complete.
+    Truncated,
+    /// A frame's checksum did not match its payload.
+    BadChecksum,
+    /// An unknown record or operation tag.
+    BadTag(u8),
+    /// The stream does not start with the expected magic bytes.
+    BadMagic,
+    /// A decoded command carried no operations (commands access at least one key).
+    EmptyCommand,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "truncated input"),
+            DecodeError::BadChecksum => write!(f, "checksum mismatch"),
+            DecodeError::BadTag(t) => write!(f, "unknown tag {t}"),
+            DecodeError::BadMagic => write!(f, "bad magic"),
+            DecodeError::EmptyCommand => write!(f, "command with no operations"),
+        }
+    }
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------- primitives
+
+/// Little-endian byte writer over a growable buffer.
+#[derive(Debug, Default)]
+pub(crate) struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub(crate) fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Little-endian byte reader over a slice.
+#[derive(Debug)]
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+// --------------------------------------------------------------- field codecs
+
+pub(crate) fn put_dot(w: &mut Writer, dot: Dot) {
+    w.put_u64(dot.source);
+    w.put_u64(dot.sequence);
+}
+
+pub(crate) fn get_dot(r: &mut Reader<'_>) -> Result<Dot, DecodeError> {
+    Ok(Dot::new(r.u64()?, r.u64()?))
+}
+
+pub(crate) fn put_command(w: &mut Writer, cmd: &Command) {
+    w.put_u64(cmd.rifl.client);
+    w.put_u64(cmd.rifl.seq);
+    w.put_u64(cmd.payload_size as u64);
+    w.put_u32(cmd.shard_count() as u32);
+    for shard in cmd.shards() {
+        w.put_u64(shard);
+        let ops = cmd.ops_of(shard);
+        w.put_u32(ops.len() as u32);
+        for (key, op) in ops {
+            w.put_u64(*key);
+            match op {
+                KVOp::Get => w.put_u8(0),
+                KVOp::Put(v) => {
+                    w.put_u8(1);
+                    w.put_u64(*v);
+                }
+                KVOp::Add(v) => {
+                    w.put_u8(2);
+                    w.put_u64(*v);
+                }
+            }
+        }
+    }
+}
+
+pub(crate) fn get_command(r: &mut Reader<'_>) -> Result<Command, DecodeError> {
+    let rifl = Rifl::new(r.u64()?, r.u64()?);
+    let payload_size = r.u64()? as usize;
+    let shards = r.u32()?;
+    let mut triples: Vec<(ShardId, Key, KVOp)> = Vec::new();
+    for _ in 0..shards {
+        let shard = r.u64()?;
+        let ops = r.u32()?;
+        for _ in 0..ops {
+            let key = r.u64()?;
+            let op = match r.u8()? {
+                0 => KVOp::Get,
+                1 => KVOp::Put(r.u64()?),
+                2 => KVOp::Add(r.u64()?),
+                t => return Err(DecodeError::BadTag(t)),
+            };
+            triples.push((shard, key, op));
+        }
+    }
+    if triples.is_empty() {
+        return Err(DecodeError::EmptyCommand);
+    }
+    Ok(Command::new(rifl, triples, payload_size))
+}
+
+pub(crate) fn put_pairs(w: &mut Writer, pairs: &[(u64, u64)]) {
+    w.put_u32(pairs.len() as u32);
+    for (a, b) in pairs {
+        w.put_u64(*a);
+        w.put_u64(*b);
+    }
+}
+
+pub(crate) fn get_pairs(r: &mut Reader<'_>) -> Result<Vec<(u64, u64)>, DecodeError> {
+    let n = r.u32()?;
+    let mut out = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        out.push((r.u64()?, r.u64()?));
+    }
+    Ok(out)
+}
+
+// ------------------------------------------------------------------- records
+
+/// One durable event of the ordering stage. The record set mirrors exactly the state a
+/// crashed replica must not forget (DESIGN.md §6): the consensus promises and accepts it
+/// made (`Ballot`/`Accept`), the commits it learned (`Commit` — the bulk of the log,
+/// payload included), the sibling-shard stability attestations a queued multi-shard
+/// command has already collected (`SiblingStable`), and the timestamping floor below
+/// which it must never propose again (`ClockFloor`, persisted in chunks so one append
+/// covers many proposals).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// The replica will never propose a timestamp at or below this value. Floors are
+    /// over-approximations (persisted in chunks ahead of the live clock), so recovery
+    /// may skip unused timestamps but can never reuse a promised one.
+    ClockFloor(u64),
+    /// The replica joined consensus ballot `bal` for `dot` and must reject lower ones.
+    Ballot {
+        /// Command identifier.
+        dot: Dot,
+        /// The joined ballot.
+        bal: u64,
+    },
+    /// The replica accepted timestamp `ts` for `dot` at ballot `bal` (Flexible Paxos
+    /// phase 2b). A recovered replica must report this accept in `MRecAck`.
+    Accept {
+        /// Command identifier.
+        dot: Dot,
+        /// The accepted timestamp.
+        ts: u64,
+        /// The ballot of the accept.
+        bal: u64,
+    },
+    /// The command committed locally with final timestamp `ts`. `waits` are the sibling
+    /// shards whose `MStable` attestation was still outstanding at commit time.
+    Commit {
+        /// Command identifier.
+        dot: Dot,
+        /// The final (across-shards) timestamp.
+        ts: u64,
+        /// The command payload.
+        cmd: Command,
+        /// Sibling shards not yet attested stable at commit time.
+        waits: Vec<ShardId>,
+    },
+    /// Some replica of `shard` attested that `dot` is stable there (`MStable`); replayed
+    /// so a queued multi-shard command does not re-wait for attestations that already
+    /// arrived (they are sent only once per replica).
+    SiblingStable {
+        /// Command identifier.
+        dot: Dot,
+        /// The attesting shard.
+        shard: ShardId,
+    },
+    /// The stability watermark (Theorem 1) advanced to `ts`. Interleaved with `Commit`
+    /// records in append order, this lets replay re-execute exactly the prefix that
+    /// executed before the crash — execution order is deterministic given commits and
+    /// watermark advances — so a recovered replica's applied image matches its
+    /// pre-crash image without waiting for peers.
+    Stable(u64),
+}
+
+const TAG_CLOCK_FLOOR: u8 = 1;
+const TAG_BALLOT: u8 = 2;
+const TAG_ACCEPT: u8 = 3;
+const TAG_COMMIT: u8 = 4;
+const TAG_SIBLING_STABLE: u8 = 5;
+const TAG_STABLE: u8 = 6;
+
+impl WalRecord {
+    /// Encodes the record payload (tag + fields, no frame).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            WalRecord::ClockFloor(floor) => {
+                w.put_u8(TAG_CLOCK_FLOOR);
+                w.put_u64(*floor);
+            }
+            WalRecord::Ballot { dot, bal } => {
+                w.put_u8(TAG_BALLOT);
+                put_dot(&mut w, *dot);
+                w.put_u64(*bal);
+            }
+            WalRecord::Accept { dot, ts, bal } => {
+                w.put_u8(TAG_ACCEPT);
+                put_dot(&mut w, *dot);
+                w.put_u64(*ts);
+                w.put_u64(*bal);
+            }
+            WalRecord::Commit {
+                dot,
+                ts,
+                cmd,
+                waits,
+            } => {
+                w.put_u8(TAG_COMMIT);
+                put_dot(&mut w, *dot);
+                w.put_u64(*ts);
+                w.put_u32(waits.len() as u32);
+                for shard in waits {
+                    w.put_u64(*shard);
+                }
+                put_command(&mut w, cmd);
+            }
+            WalRecord::SiblingStable { dot, shard } => {
+                w.put_u8(TAG_SIBLING_STABLE);
+                put_dot(&mut w, *dot);
+                w.put_u64(*shard);
+            }
+            WalRecord::Stable(ts) => {
+                w.put_u8(TAG_STABLE);
+                w.put_u64(*ts);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a record payload produced by [`WalRecord::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(bytes);
+        let record = match r.u8()? {
+            TAG_CLOCK_FLOOR => WalRecord::ClockFloor(r.u64()?),
+            TAG_BALLOT => WalRecord::Ballot {
+                dot: get_dot(&mut r)?,
+                bal: r.u64()?,
+            },
+            TAG_ACCEPT => WalRecord::Accept {
+                dot: get_dot(&mut r)?,
+                ts: r.u64()?,
+                bal: r.u64()?,
+            },
+            TAG_COMMIT => {
+                let dot = get_dot(&mut r)?;
+                let ts = r.u64()?;
+                let n = r.u32()?;
+                let mut waits = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    waits.push(r.u64()?);
+                }
+                let cmd = get_command(&mut r)?;
+                WalRecord::Commit {
+                    dot,
+                    ts,
+                    cmd,
+                    waits,
+                }
+            }
+            TAG_SIBLING_STABLE => WalRecord::SiblingStable {
+                dot: get_dot(&mut r)?,
+                shard: r.u64()?,
+            },
+            TAG_STABLE => WalRecord::Stable(r.u64()?),
+            t => return Err(DecodeError::BadTag(t)),
+        };
+        Ok(record)
+    }
+
+    /// Encodes the record as a complete frame: `[len][crc][payload]`.
+    pub fn encode_frame(&self) -> Vec<u8> {
+        frame(&self.encode())
+    }
+}
+
+/// Frames a payload as `[len: u32][crc32: u32][payload]`.
+pub(crate) fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Reads one frame starting at `bytes[offset..]`, returning the payload slice and the
+/// offset just past the frame.
+pub(crate) fn read_frame(bytes: &[u8], offset: usize) -> Result<(&[u8], usize), DecodeError> {
+    let mut r = Reader::new(&bytes[offset..]);
+    let len = r.u32()? as usize;
+    let crc = r.u32()?;
+    if r.remaining() < len {
+        return Err(DecodeError::Truncated);
+    }
+    let start = offset + 8;
+    let payload = &bytes[start..start + len];
+    if crc32(payload) != crc {
+        return Err(DecodeError::BadChecksum);
+    }
+    Ok((payload, start + len))
+}
+
+/// The outcome of replaying a WAL byte stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Replay {
+    /// The records of the valid prefix, in append order.
+    pub records: Vec<WalRecord>,
+    /// Length in bytes of the valid prefix (magic included). Bytes past it are a torn
+    /// tail and must be truncated before appending again.
+    pub valid_len: usize,
+}
+
+/// Replays a WAL byte stream: decodes frames until the first torn or corrupt one.
+///
+/// A stream too short to hold the magic — or holding the wrong magic — replays as empty
+/// with `valid_len` 0 (the caller rewrites the header). Errors are never returned:
+/// a damaged suffix is, by definition, the part of the log that was not yet durable.
+pub fn replay(bytes: &[u8]) -> Replay {
+    if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Replay {
+            records: Vec::new(),
+            valid_len: 0,
+        };
+    }
+    let mut records = Vec::new();
+    let mut offset = WAL_MAGIC.len();
+    while offset < bytes.len() {
+        let Ok((payload, next)) = read_frame(bytes, offset) else {
+            break;
+        };
+        let Ok(record) = WalRecord::decode(payload) else {
+            break;
+        };
+        records.push(record);
+        offset = next;
+    }
+    Replay {
+        records,
+        valid_len: offset,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::ClockFloor(64),
+            WalRecord::Ballot {
+                dot: Dot::new(2, 9),
+                bal: 7,
+            },
+            WalRecord::Accept {
+                dot: Dot::new(2, 9),
+                ts: 13,
+                bal: 7,
+            },
+            WalRecord::Commit {
+                dot: Dot::new(1, 1),
+                ts: 5,
+                cmd: Command::new(
+                    Rifl::new(3, 4),
+                    vec![
+                        (0, 42, KVOp::Put(7)),
+                        (1, 9, KVOp::Add(2)),
+                        (1, 10, KVOp::Get),
+                    ],
+                    16,
+                ),
+                waits: vec![1],
+            },
+            WalRecord::SiblingStable {
+                dot: Dot::new(1, 1),
+                shard: 1,
+            },
+            WalRecord::Stable(5),
+        ]
+    }
+
+    #[test]
+    fn records_roundtrip() {
+        for record in sample_records() {
+            let bytes = record.encode();
+            assert_eq!(WalRecord::decode(&bytes).unwrap(), record);
+        }
+    }
+
+    #[test]
+    fn replay_roundtrips_a_stream() {
+        let mut stream = WAL_MAGIC.to_vec();
+        for record in sample_records() {
+            stream.extend_from_slice(&record.encode_frame());
+        }
+        let replayed = replay(&stream);
+        assert_eq!(replayed.records, sample_records());
+        assert_eq!(replayed.valid_len, stream.len());
+    }
+
+    #[test]
+    fn replay_of_garbage_is_empty() {
+        assert_eq!(replay(b"").records.len(), 0);
+        assert_eq!(replay(b"XX").valid_len, 0);
+        assert_eq!(replay(b"NOPE....").valid_len, 0);
+    }
+
+    #[test]
+    fn corrupt_byte_stops_replay_at_the_previous_record() {
+        let mut stream = WAL_MAGIC.to_vec();
+        let records = sample_records();
+        let mut boundaries = Vec::new();
+        for record in &records {
+            stream.extend_from_slice(&record.encode_frame());
+            boundaries.push(stream.len());
+        }
+        // Flip a byte inside the third record's payload: replay keeps the first two and
+        // truncates there.
+        let mut corrupt = stream.clone();
+        let in_third = boundaries[1] + 9;
+        corrupt[in_third] ^= 0xFF;
+        let replayed = replay(&corrupt);
+        assert_eq!(replayed.records, records[..2].to_vec());
+        assert_eq!(replayed.valid_len, boundaries[1]);
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The canonical IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+}

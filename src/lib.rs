@@ -10,7 +10,8 @@
 //! * [`planet`] — EC2 regions and the Table 2 latency matrix,
 //! * [`tempo`] — the Tempo protocol (the paper's contribution),
 //! * [`atlas`], [`fpaxos`], [`caesar`], [`janus`] — the baselines of §6,
-//! * [`sim`] — the discrete-event simulator,
+//! * [`sim`] — the discrete-event simulator (with the fault plane),
+//! * [`store`] — durable replica state: WAL + snapshots behind the `Store` trait,
 //! * [`runtime`] — the threaded cluster runtime,
 //! * [`workload`] — microbenchmark, YCSB+T and batching workloads.
 //!
@@ -41,7 +42,7 @@
 //! ```
 //!
 //! To drive a protocol from your own scheduler, wrap it in a
-//! [`Driver`](kernel::Driver) directly — see the `tempo-kernel` crate docs and
+//! [`kernel::Driver`] directly — see the `tempo-kernel` crate docs and
 //! `DESIGN.md` ("Protocol API v2") for the full `Action`/`Driver`/timer contract.
 
 #![forbid(unsafe_code)]
@@ -55,4 +56,5 @@ pub use tempo_kernel as kernel;
 pub use tempo_planet as planet;
 pub use tempo_runtime as runtime;
 pub use tempo_sim as sim;
+pub use tempo_store as store;
 pub use tempo_workload as workload;
