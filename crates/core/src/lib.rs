@@ -40,7 +40,10 @@
 //!   recovery protocols, plus the protocol-owned timers (promise broadcast, liveness
 //!   scan),
 //! * [`executor`] — the [`TempoExecutor`] *execution* stage: stability-ordered
-//!   execution, fed with commit/stability events and independently testable.
+//!   execution, fed with commit/stability events and independently testable,
+//! * [`wire`] — the `tempo-net` [`Wire`](tempo_net::Wire) codec for the full message
+//!   set (what the TCP-backed cluster runtime ships over sockets), with the canonical
+//!   per-variant fixture in [`wire_fixture`] pinned by `tests/wire_golden.rs`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -52,6 +55,8 @@ pub mod info;
 pub mod messages;
 pub mod promises;
 pub mod protocol;
+pub mod wire;
+pub mod wire_fixture;
 
 pub use executor::{ExecutionInfo, TempoExecutor};
 pub use gc::GcTracker;

@@ -75,6 +75,12 @@ pub struct TempoOptions {
     /// covers the next `clock_floor_chunk` proposals, and a restart skips at most that
     /// many unused timestamps (it can never reuse a promised one).
     pub clock_floor_chunk: u64,
+    /// Persist dot floors in chunks of this many sequences (mirroring
+    /// `clock_floor_chunk`): one `DotFloor` record covers the next
+    /// `dot_floor_chunk` submissions, so dot uniqueness across store-backed restarts
+    /// holds by replay alone — without relying on the incarnation bands
+    /// (`incarnation << 48`) that diskless rejoins need.
+    pub dot_floor_chunk: u64,
 }
 
 impl Default for TempoOptions {
@@ -90,6 +96,7 @@ impl Default for TempoOptions {
             state_transfer: true,
             snapshot_every_appends: 256,
             clock_floor_chunk: 64,
+            dot_floor_chunk: 64,
         }
     }
 }
@@ -156,6 +163,9 @@ pub struct Tempo {
     /// The highest `ClockFloor` persisted to the WAL. Floors are persisted in chunks
     /// ahead of the live clock, so most proposals append nothing.
     persisted_clock: u64,
+    /// The highest `DotFloor` persisted to the WAL (chunked like the clock floor, so
+    /// most submissions append nothing).
+    persisted_dot_floor: u64,
     /// The store's append count as of the last snapshot (snapshot pacing).
     appends_at_snapshot: u64,
     /// Whether this instance was restored from a non-empty store. Like a restarted
@@ -222,6 +232,7 @@ impl Tempo {
             rejoin_acks: BTreeSet::new(),
             store: None,
             persisted_clock: 0,
+            persisted_dot_floor: 0,
             appends_at_snapshot: 0,
             recovered: false,
             awaiting_state: false,
@@ -544,6 +555,24 @@ impl Tempo {
         }
     }
 
+    /// Keeps the durable dot floor ahead of the live generator, in chunks: whenever a
+    /// freshly generated dot passes the persisted floor, one `DotFloor` record
+    /// reserves the next `dot_floor_chunk` sequences. The driver's persist hook syncs
+    /// the append before the submission's messages leave, so no dot is ever visible
+    /// to a peer without a durable floor covering it — a clean restart replays the
+    /// floor and can never re-issue a dot, independent of incarnation bands.
+    fn wal_log_dot_floor(&mut self) {
+        if self.store.is_none() {
+            return;
+        }
+        let generated = self.dot_gen.generated();
+        if generated > self.persisted_dot_floor {
+            let floor = generated + self.options.dot_floor_chunk;
+            self.wal_append(WalRecord::DotFloor(floor));
+            self.persisted_dot_floor = floor;
+        }
+    }
+
     /// Restores this instance from its store's snapshot and WAL suffix (called from
     /// [`Tempo::with_store`], before the instance handles anything).
     ///
@@ -585,6 +614,7 @@ impl Tempo {
         for record in wal {
             match record {
                 WalRecord::ClockFloor(floor) => self.clock.bump(floor),
+                WalRecord::DotFloor(floor) => self.dot_gen.skip_to(floor),
                 WalRecord::Ballot { dot, bal } => {
                     let info = self.info_mut(dot, 0);
                     info.bal = info.bal.max(bal);
@@ -617,6 +647,7 @@ impl Tempo {
         let _ = self.clock.take_detached();
         let _ = self.clock.take_attached();
         self.persisted_clock = self.clock.value();
+        self.persisted_dot_floor = self.dot_gen.generated();
         if let Some(store) = &self.store {
             self.appends_at_snapshot = store.metrics().wal_appends;
         }
@@ -740,8 +771,10 @@ impl Tempo {
         let store = self.store.as_mut().expect("checked above");
         store.install_snapshot(&snapshot);
         self.appends_at_snapshot = store.metrics().wal_appends;
-        // The snapshot carries the exact clock; the next floor chunk starts there.
+        // The snapshot carries the exact clock and dot position; the next floor
+        // chunks start there.
         self.persisted_clock = self.clock.value();
+        self.persisted_dot_floor = self.dot_gen.generated();
     }
 
     // ---------------------------------------------------------- state transfer
@@ -2149,6 +2182,9 @@ impl Protocol for Tempo {
             "commands must be submitted at a process replicating one of their shards"
         );
         let dot = self.dot_gen.next_id();
+        // Write-ahead: a durable floor must cover this dot before the submission's
+        // messages leave (the driver syncs the append in its persist hook).
+        self.wal_log_dot_floor();
         let mut quorums = Quorums::new();
         for shard in cmd.shards() {
             quorums.insert(

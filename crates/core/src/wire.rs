@@ -1,0 +1,451 @@
+//! [`Wire`] codec for Tempo's full message set.
+//!
+//! Every [`Message`] variant encodes as a tag byte followed by its fields in
+//! declaration order, using the shared little-endian primitives of
+//! `tempo-store::wal` — the same `Writer`/`Reader`/CRC path the WAL and snapshots
+//! run, so a message that crosses a socket and a record that crosses a crash are
+//! covered by the same golden fixtures and torn-byte batteries
+//! (`tests/wire_golden.rs` pins the exact bytes).
+//!
+//! Decoding never panics and never trusts a length prefix beyond the buffer:
+//! sequence counts are bounded by the remaining bytes before any allocation, and
+//! semantic validation (promise ranges with `start >= 1`, `start <= end`) returns
+//! [`DecodeError::Invalid`] instead of tripping the constructors' asserts.
+
+use crate::messages::{Message, PromiseBundle, RecPhase};
+use crate::promises::PromiseRange;
+use tempo_kernel::id::Dot;
+use tempo_net::wire::{get_process_map, put_process_map, DecodeError, Wire};
+use tempo_store::wal::{
+    get_command, get_dot, get_pairs, put_command, put_dot, put_pairs, Reader, Writer,
+};
+
+const TAG_SUBMIT: u8 = 1;
+const TAG_PROPOSE: u8 = 2;
+const TAG_PAYLOAD: u8 = 3;
+const TAG_PROPOSE_ACK: u8 = 4;
+const TAG_COMMIT: u8 = 5;
+const TAG_CONSENSUS: u8 = 6;
+const TAG_CONSENSUS_ACK: u8 = 7;
+const TAG_BUMP: u8 = 8;
+const TAG_PROMISES: u8 = 9;
+const TAG_STABLE: u8 = 10;
+const TAG_REC: u8 = 11;
+const TAG_REC_ACK: u8 = 12;
+const TAG_REC_NACK: u8 = 13;
+const TAG_COMMIT_REQUEST: u8 = 14;
+const TAG_COMMIT_INFO: u8 = 15;
+const TAG_PROMISE_REQUEST: u8 = 16;
+const TAG_PROMISE_REPAIR: u8 = 17;
+const TAG_REJOIN: u8 = 18;
+const TAG_REJOIN_ACK: u8 = 19;
+const TAG_STATE_REQUEST: u8 = 20;
+const TAG_STATE: u8 = 21;
+
+fn put_range(w: &mut Writer, range: &PromiseRange) {
+    w.put_u64(range.start);
+    w.put_u64(range.end);
+}
+
+fn get_range(r: &mut Reader<'_>) -> Result<PromiseRange, DecodeError> {
+    let start = r.u64()?;
+    let end = r.u64()?;
+    if start < 1 || start > end {
+        return Err(DecodeError::Invalid("promise range"));
+    }
+    Ok(PromiseRange::new(start, end))
+}
+
+fn put_ranges(w: &mut Writer, ranges: &[PromiseRange]) {
+    w.put_u32(ranges.len() as u32);
+    for range in ranges {
+        put_range(w, range);
+    }
+}
+
+fn get_ranges(r: &mut Reader<'_>) -> Result<Vec<PromiseRange>, DecodeError> {
+    let n = r.u32()?;
+    let n = r.checked_len(n, 16)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(get_range(r)?);
+    }
+    Ok(out)
+}
+
+fn put_bundle(w: &mut Writer, bundle: &PromiseBundle) {
+    put_pairs(
+        w,
+        &bundle
+            .attached
+            .iter()
+            .map(|(p, ts)| (*p, *ts))
+            .collect::<Vec<_>>(),
+    );
+    w.put_u32(bundle.detached.len() as u32);
+    for (process, range) in &bundle.detached {
+        w.put_u64(*process);
+        put_range(w, range);
+    }
+}
+
+fn get_bundle(r: &mut Reader<'_>) -> Result<PromiseBundle, DecodeError> {
+    let attached = get_pairs(r)?;
+    let n = r.u32()?;
+    let n = r.checked_len(n, 24)?;
+    let mut detached = Vec::with_capacity(n);
+    for _ in 0..n {
+        let process = r.u64()?;
+        detached.push((process, get_range(r)?));
+    }
+    Ok(PromiseBundle { attached, detached })
+}
+
+fn put_dot_ts(w: &mut Writer, pairs: &[(Dot, u64)]) {
+    w.put_u32(pairs.len() as u32);
+    for (dot, ts) in pairs {
+        put_dot(w, *dot);
+        w.put_u64(*ts);
+    }
+}
+
+fn get_dot_ts(r: &mut Reader<'_>) -> Result<Vec<(Dot, u64)>, DecodeError> {
+    let n = r.u32()?;
+    let n = r.checked_len(n, 24)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let dot = get_dot(r)?;
+        out.push((dot, r.u64()?));
+    }
+    Ok(out)
+}
+
+fn put_rec_phase(w: &mut Writer, phase: RecPhase) {
+    w.put_u8(match phase {
+        RecPhase::RecoverP => 0,
+        RecPhase::RecoverR => 1,
+    });
+}
+
+fn get_rec_phase(r: &mut Reader<'_>) -> Result<RecPhase, DecodeError> {
+    match r.u8()? {
+        0 => Ok(RecPhase::RecoverP),
+        1 => Ok(RecPhase::RecoverR),
+        t => Err(DecodeError::BadTag(t)),
+    }
+}
+
+impl Wire for Message {
+    fn encode_into(&self, w: &mut Writer) {
+        match self {
+            Message::MSubmit { dot, cmd, quorums } => {
+                w.put_u8(TAG_SUBMIT);
+                put_dot(w, *dot);
+                put_command(w, cmd);
+                put_process_map(w, quorums);
+            }
+            Message::MPropose {
+                dot,
+                cmd,
+                quorums,
+                ts,
+            } => {
+                w.put_u8(TAG_PROPOSE);
+                put_dot(w, *dot);
+                put_command(w, cmd);
+                put_process_map(w, quorums);
+                w.put_u64(*ts);
+            }
+            Message::MPayload { dot, cmd, quorums } => {
+                w.put_u8(TAG_PAYLOAD);
+                put_dot(w, *dot);
+                put_command(w, cmd);
+                put_process_map(w, quorums);
+            }
+            Message::MProposeAck { dot, ts, detached } => {
+                w.put_u8(TAG_PROPOSE_ACK);
+                put_dot(w, *dot);
+                w.put_u64(*ts);
+                put_ranges(w, detached);
+            }
+            Message::MCommit {
+                dot,
+                shard,
+                ts,
+                promises,
+            } => {
+                w.put_u8(TAG_COMMIT);
+                put_dot(w, *dot);
+                w.put_u64(*shard);
+                w.put_u64(*ts);
+                put_bundle(w, promises);
+            }
+            Message::MConsensus { dot, ts, ballot } => {
+                w.put_u8(TAG_CONSENSUS);
+                put_dot(w, *dot);
+                w.put_u64(*ts);
+                w.put_u64(*ballot);
+            }
+            Message::MConsensusAck { dot, ballot } => {
+                w.put_u8(TAG_CONSENSUS_ACK);
+                put_dot(w, *dot);
+                w.put_u64(*ballot);
+            }
+            Message::MBump { dot, ts } => {
+                w.put_u8(TAG_BUMP);
+                put_dot(w, *dot);
+                w.put_u64(*ts);
+            }
+            Message::MPromises {
+                detached,
+                attached,
+                executed,
+                frontier,
+            } => {
+                w.put_u8(TAG_PROMISES);
+                put_ranges(w, detached);
+                put_dot_ts(w, attached);
+                put_pairs(w, executed);
+                w.put_u64(*frontier);
+            }
+            Message::MStable { dot } => {
+                w.put_u8(TAG_STABLE);
+                put_dot(w, *dot);
+            }
+            Message::MRec { dot, ballot } => {
+                w.put_u8(TAG_REC);
+                put_dot(w, *dot);
+                w.put_u64(*ballot);
+            }
+            Message::MRecAck {
+                dot,
+                ts,
+                phase,
+                abal,
+                ballot,
+            } => {
+                w.put_u8(TAG_REC_ACK);
+                put_dot(w, *dot);
+                w.put_u64(*ts);
+                put_rec_phase(w, *phase);
+                w.put_u64(*abal);
+                w.put_u64(*ballot);
+            }
+            Message::MRecNAck { dot, ballot } => {
+                w.put_u8(TAG_REC_NACK);
+                put_dot(w, *dot);
+                w.put_u64(*ballot);
+            }
+            Message::MCommitRequest { dot } => {
+                w.put_u8(TAG_COMMIT_REQUEST);
+                put_dot(w, *dot);
+            }
+            Message::MCommitInfo { dot, cmd, ts } => {
+                w.put_u8(TAG_COMMIT_INFO);
+                put_dot(w, *dot);
+                put_command(w, cmd);
+                w.put_u64(*ts);
+            }
+            Message::MPromiseRequest => {
+                w.put_u8(TAG_PROMISE_REQUEST);
+            }
+            Message::MPromiseRepair { clock, pending } => {
+                w.put_u8(TAG_PROMISE_REPAIR);
+                w.put_u64(*clock);
+                w.put_u32(pending.len() as u32);
+                for (ts, dot) in pending {
+                    w.put_u64(*ts);
+                    put_dot(w, *dot);
+                }
+            }
+            Message::MRejoin => {
+                w.put_u8(TAG_REJOIN);
+            }
+            Message::MRejoinAck {
+                clock,
+                your_highest,
+                prefixes,
+            } => {
+                w.put_u8(TAG_REJOIN_ACK);
+                w.put_u64(*clock);
+                w.put_u64(*your_highest);
+                put_pairs(w, prefixes);
+            }
+            Message::MStateRequest => {
+                w.put_u8(TAG_STATE_REQUEST);
+            }
+            Message::MState {
+                floor_ts,
+                floor_dot,
+                kv,
+                watermarks,
+            } => {
+                w.put_u8(TAG_STATE);
+                w.put_u64(*floor_ts);
+                put_dot(w, *floor_dot);
+                put_pairs(w, kv);
+                put_pairs(w, watermarks);
+            }
+        }
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let msg = match r.u8()? {
+            TAG_SUBMIT => Message::MSubmit {
+                dot: get_dot(r)?,
+                cmd: get_command(r)?,
+                quorums: get_process_map(r)?,
+            },
+            TAG_PROPOSE => Message::MPropose {
+                dot: get_dot(r)?,
+                cmd: get_command(r)?,
+                quorums: get_process_map(r)?,
+                ts: r.u64()?,
+            },
+            TAG_PAYLOAD => Message::MPayload {
+                dot: get_dot(r)?,
+                cmd: get_command(r)?,
+                quorums: get_process_map(r)?,
+            },
+            TAG_PROPOSE_ACK => Message::MProposeAck {
+                dot: get_dot(r)?,
+                ts: r.u64()?,
+                detached: get_ranges(r)?,
+            },
+            TAG_COMMIT => Message::MCommit {
+                dot: get_dot(r)?,
+                shard: r.u64()?,
+                ts: r.u64()?,
+                promises: get_bundle(r)?,
+            },
+            TAG_CONSENSUS => Message::MConsensus {
+                dot: get_dot(r)?,
+                ts: r.u64()?,
+                ballot: r.u64()?,
+            },
+            TAG_CONSENSUS_ACK => Message::MConsensusAck {
+                dot: get_dot(r)?,
+                ballot: r.u64()?,
+            },
+            TAG_BUMP => Message::MBump {
+                dot: get_dot(r)?,
+                ts: r.u64()?,
+            },
+            TAG_PROMISES => Message::MPromises {
+                detached: get_ranges(r)?,
+                attached: get_dot_ts(r)?,
+                executed: get_pairs(r)?,
+                frontier: r.u64()?,
+            },
+            TAG_STABLE => Message::MStable { dot: get_dot(r)? },
+            TAG_REC => Message::MRec {
+                dot: get_dot(r)?,
+                ballot: r.u64()?,
+            },
+            TAG_REC_ACK => Message::MRecAck {
+                dot: get_dot(r)?,
+                ts: r.u64()?,
+                phase: get_rec_phase(r)?,
+                abal: r.u64()?,
+                ballot: r.u64()?,
+            },
+            TAG_REC_NACK => Message::MRecNAck {
+                dot: get_dot(r)?,
+                ballot: r.u64()?,
+            },
+            TAG_COMMIT_REQUEST => Message::MCommitRequest { dot: get_dot(r)? },
+            TAG_COMMIT_INFO => Message::MCommitInfo {
+                dot: get_dot(r)?,
+                cmd: get_command(r)?,
+                ts: r.u64()?,
+            },
+            TAG_PROMISE_REQUEST => Message::MPromiseRequest,
+            TAG_PROMISE_REPAIR => {
+                let clock = r.u64()?;
+                let n = r.u32()?;
+                let n = r.checked_len(n, 24)?;
+                let mut pending = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let ts = r.u64()?;
+                    pending.push((ts, get_dot(r)?));
+                }
+                Message::MPromiseRepair { clock, pending }
+            }
+            TAG_REJOIN => Message::MRejoin,
+            TAG_REJOIN_ACK => Message::MRejoinAck {
+                clock: r.u64()?,
+                your_highest: r.u64()?,
+                prefixes: get_pairs(r)?,
+            },
+            TAG_STATE_REQUEST => Message::MStateRequest,
+            TAG_STATE => Message::MState {
+                floor_ts: r.u64()?,
+                floor_dot: get_dot(r)?,
+                kv: get_pairs(r)?,
+                watermarks: get_pairs(r)?,
+            },
+            t => return Err(DecodeError::BadTag(t)),
+        };
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::Quorums;
+    use tempo_kernel::command::{Command, KVOp};
+    use tempo_kernel::id::Rifl;
+
+    #[test]
+    fn every_variant_roundtrips() {
+        for msg in crate::wire_fixture::all_messages() {
+            let bytes = msg.encode();
+            assert_eq!(
+                Message::decode(&bytes).unwrap(),
+                msg,
+                "roundtrip of {msg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_promise_range_is_rejected_not_panicking() {
+        // MProposeAck with a detached range [5, 2] (start > end) and one with start 0.
+        for (start, end) in [(5u64, 2u64), (0, 3)] {
+            let mut w = Writer::new();
+            w.put_u8(TAG_PROPOSE_ACK);
+            put_dot(&mut w, Dot::new(1, 1));
+            w.put_u64(9);
+            w.put_u32(1);
+            w.put_u64(start);
+            w.put_u64(end);
+            assert_eq!(
+                Message::decode(&w.into_bytes()),
+                Err(DecodeError::Invalid("promise range"))
+            );
+        }
+    }
+
+    #[test]
+    fn wire_size_estimate_tracks_encoded_size() {
+        use tempo_kernel::protocol::WireSize;
+        // The simulator's cost-model estimate and the real encoding should agree on
+        // what dominates: a payload-carrying MPropose dwarfs a control message.
+        let cmd = Command::single(Rifl::new(1, 1), 0, 7, KVOp::Put(1), 4096);
+        let propose = Message::MPropose {
+            dot: Dot::new(0, 1),
+            cmd,
+            quorums: Quorums::from([(0, vec![0, 1, 2])]),
+            ts: 1,
+        };
+        let ack = Message::MConsensusAck {
+            dot: Dot::new(0, 1),
+            ballot: 1,
+        };
+        // The estimate counts the opaque payload which the codec does not ship as
+        // bytes (payload_size is a length field), so compare against op overhead.
+        assert!(propose.wire_size() > ack.wire_size());
+        assert!(propose.encode().len() > ack.encode().len());
+    }
+}

@@ -183,6 +183,74 @@ fn snapshots_truncate_the_wal_and_recovery_uses_them() {
     assert_eq!(recovered.executor().store().get(1), Some(1));
 }
 
+/// The durable dot floor (PR 5): a clean restart from the store must never re-issue a
+/// dot of its previous life — by WAL replay alone, without the incarnation bands
+/// (`incarnation << 48`) that diskless rejoins rely on (`Protocol::rejoin` is
+/// deliberately *not* called here, modelling a clean stop + start).
+#[test]
+fn dot_floor_makes_clean_restart_dots_unique_without_incarnation_bands() {
+    let config = Config::full(3, 1);
+    let stores = stores(config);
+    // A tiny chunk so the test exercises several floor records, and snapshots off so
+    // uniqueness rests on the WAL records alone (not the snapshot's next_dot_seq).
+    let options = TempoOptions {
+        dot_floor_chunk: 2,
+        snapshot_every_appends: u64::MAX,
+        ..TempoOptions::default()
+    };
+    let mut cluster = durable_cluster(config, &stores, options);
+    for seq in 1..=7u64 {
+        cluster.submit(
+            0,
+            Command::single(Rifl::new(1, seq), 0, seq, KVOp::Put(seq), 0),
+        );
+    }
+    cluster.tick_all(5_000);
+
+    // Clean restart: rebuild from the store, no rejoin, then submit again. Every new
+    // dot must land strictly above every pre-restart dot.
+    let mut recovered = Tempo::with_store(0, 0, config, options, Box::new(stores[&0].clone()));
+    let actions = recovered.submit(Command::single(Rifl::new(1, 8), 0, 8, KVOp::Put(8), 0), 0);
+    let new_dot = actions
+        .iter()
+        .find_map(|a| match a {
+            tempo_kernel::protocol::Action::Send {
+                msg: Message::MPropose { dot, .. },
+                ..
+            } => Some(*dot),
+            _ => None,
+        })
+        .expect("submission proposes");
+    assert_eq!(new_dot.source, 0);
+    assert!(
+        new_dot.sequence > 7,
+        "restarted generator re-issued sequence {} (7 dots were used pre-crash)",
+        new_dot.sequence
+    );
+    // The floor is chunked: at most one chunk of sequences is skipped.
+    assert!(
+        new_dot.sequence <= 7 + 2 + 1,
+        "floor must over-approximate by at most one chunk, got {}",
+        new_dot.sequence
+    );
+
+    // The amnesia baseline: without the store (and without rejoin's bands) the
+    // generator restarts at 1 — which is exactly the reuse the floor prevents.
+    let mut amnesiac = Tempo::with_options(0, 0, config, options);
+    let actions = amnesiac.submit(Command::single(Rifl::new(1, 9), 0, 9, KVOp::Put(9), 0), 0);
+    let reused = actions
+        .iter()
+        .find_map(|a| match a {
+            tempo_kernel::protocol::Action::Send {
+                msg: Message::MPropose { dot, .. },
+                ..
+            } => Some(*dot),
+            _ => None,
+        })
+        .expect("submission proposes");
+    assert_eq!(reused.sequence, 1, "the diskless baseline reuses dots");
+}
+
 #[test]
 fn recovered_instance_does_not_claim_promise_prefixes() {
     let config = Config::full(3, 1);

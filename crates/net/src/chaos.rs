@@ -1,0 +1,311 @@
+//! [`ChaosTransport`] — the fault plane of `tempo-fault`, injected under real threads.
+//!
+//! The simulator consults a [`Nemesis`] before every simulated delivery; here the same
+//! nemesis state is shared behind a [`ChaosNet`] and consulted on the *receive path*
+//! of a wrapped [`Transport`]: partitions and lossy links drop frames at delivery,
+//! delay spikes park them in a local heap until their extra latency elapsed. Fault
+//! times in the schedule are interpreted as microseconds since the [`ChaosNet`]'s
+//! epoch (wall clock), so one schedule drives both the simulator and the networked
+//! runtime — the interleavings differ (that is the point), the adversity does not.
+//!
+//! Division of labour: link-level faults (partition, drop, delay) are enforced here;
+//! *process*-level faults (`Crash`/`Restart`) are returned by [`ChaosNet::advance`]
+//! to the embedding runtime, which owns the replica lifecycle (killing driver
+//! threads, reopening stores, re-running the rejoin handshake) — mirroring how the
+//! simulator splits responsibilities with its own event loop.
+//!
+//! Only frames between *replica* ids (below [`CLIENT_ID_BASE`]) are fault-injected:
+//! client sessions and supervisor control traffic are harness plumbing, just like the
+//! simulator's client bookkeeping sits outside its modelled network.
+
+use crate::transport::{RecvError, Transport, TransportStats, CLIENT_ID_BASE};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use tempo_fault::{FaultEvent, FaultSummary, Nemesis, NemesisSchedule};
+use tempo_kernel::id::ProcessId;
+
+/// The shared chaos state of one runtime: the nemesis plus the wall-clock epoch its
+/// schedule times are measured from. One instance is shared (via `Arc`) by every
+/// [`ChaosTransport`] of the cluster and by the supervisor that acts on
+/// crash/restart events.
+#[derive(Debug)]
+pub struct ChaosNet {
+    nemesis: Mutex<Nemesis>,
+    epoch: Instant,
+}
+
+impl ChaosNet {
+    /// Creates the chaos state from a schedule; `seed` drives the per-frame
+    /// Bernoulli drop draws (as in the simulator).
+    pub fn new(schedule: NemesisSchedule, seed: u64) -> Self {
+        Self {
+            nemesis: Mutex::new(Nemesis::new(schedule, seed)),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Microseconds elapsed since this chaos clock started.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// The wall-clock instant schedule times are measured from. The embedding runtime
+    /// uses the same epoch for protocol time, so nemesis schedules and protocol
+    /// timers share one clock.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// The schedule time of the next pending fault, if any.
+    pub fn next_due_us(&self) -> Option<u64> {
+        self.nemesis.lock().expect("nemesis lock").next_due()
+    }
+
+    /// Applies every fault due by now to the link state and returns the fired events;
+    /// the caller handles `Crash`/`Restart` (process lifecycle).
+    pub fn advance(&self) -> Vec<FaultEvent> {
+        let now = self.now_us();
+        self.nemesis.lock().expect("nemesis lock").advance(now)
+    }
+
+    /// Whether `process` is currently crashed under the schedule.
+    pub fn is_down(&self, process: ProcessId) -> bool {
+        self.nemesis.lock().expect("nemesis lock").is_down(process)
+    }
+
+    /// The fault counters so far.
+    pub fn summary(&self) -> FaultSummary {
+        self.nemesis.lock().expect("nemesis lock").summary()
+    }
+
+    /// Records a frame dropped because its endpoint was crashed (called by the
+    /// runtime when it discards traffic addressed to a killed replica).
+    pub fn note_crash_drop(&self) {
+        self.nemesis.lock().expect("nemesis lock").note_crash_drop();
+    }
+
+    fn allows(&self, from: ProcessId, to: ProcessId) -> bool {
+        self.nemesis
+            .lock()
+            .expect("nemesis lock")
+            .allows_delivery(from, to)
+    }
+
+    fn extra_delay_us(&self, from: ProcessId, to: ProcessId) -> u64 {
+        self.nemesis
+            .lock()
+            .expect("nemesis lock")
+            .send_delay(from, to)
+    }
+}
+
+/// A frame held back by a delay spike.
+#[derive(Debug, PartialEq, Eq)]
+struct Delayed {
+    due: Instant,
+    seq: u64,
+    from: ProcessId,
+    payload: Vec<u8>,
+}
+
+impl PartialOrd for Delayed {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Delayed {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.seq).cmp(&(other.due, other.seq))
+    }
+}
+
+/// A [`Transport`] wrapper that injects the shared [`ChaosNet`] faults into the
+/// receive path (and suppresses sends from a replica the schedule has crashed but
+/// the supervisor has not yet killed — the window is tiny, but a dead process must
+/// not speak).
+pub struct ChaosTransport<T: Transport> {
+    inner: T,
+    net: std::sync::Arc<ChaosNet>,
+    delayed: BinaryHeap<Reverse<Delayed>>,
+    seq: u64,
+}
+
+impl<T: Transport> ChaosTransport<T> {
+    /// Wraps `inner` with the shared chaos state.
+    pub fn new(inner: T, net: std::sync::Arc<ChaosNet>) -> Self {
+        Self {
+            inner,
+            net,
+            delayed: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    fn pop_due(&mut self) -> Option<(ProcessId, Vec<u8>)> {
+        if let Some(Reverse(head)) = self.delayed.peek() {
+            if head.due <= Instant::now() {
+                let Reverse(head) = self.delayed.pop().expect("peeked");
+                return Some((head.from, head.payload));
+            }
+        }
+        None
+    }
+}
+
+impl<T: Transport> Transport for ChaosTransport<T> {
+    fn local_id(&self) -> ProcessId {
+        self.inner.local_id()
+    }
+
+    fn send(&mut self, to: ProcessId, payload: &[u8]) {
+        if self.inner.local_id() < CLIENT_ID_BASE && self.net.is_down(self.inner.local_id()) {
+            // Crashed by the schedule but not yet reaped: a dead process sends nothing.
+            self.net.note_crash_drop();
+            return;
+        }
+        self.inner.send(to, payload);
+    }
+
+    fn flush(&mut self) {
+        self.inner.flush();
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<(ProcessId, Vec<u8>), RecvError> {
+        let local = self.inner.local_id();
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(frame) = self.pop_due() {
+                return Ok(frame);
+            }
+            let now = Instant::now();
+            let mut wait = deadline.saturating_duration_since(now);
+            if let Some(Reverse(head)) = self.delayed.peek() {
+                wait = wait.min(head.due.saturating_duration_since(now));
+            }
+            match self.inner.recv_timeout(wait) {
+                Ok((from, payload)) => {
+                    if from >= CLIENT_ID_BASE || local >= CLIENT_ID_BASE {
+                        return Ok((from, payload)); // Harness traffic: never injected.
+                    }
+                    if !self.net.allows(from, local) {
+                        continue; // Partitioned or lost to a lossy link (counted).
+                    }
+                    let extra = self.net.extra_delay_us(from, local);
+                    if extra > 0 {
+                        self.seq += 1;
+                        self.delayed.push(Reverse(Delayed {
+                            due: Instant::now() + Duration::from_micros(extra),
+                            seq: self.seq,
+                            from,
+                            payload,
+                        }));
+                        continue;
+                    }
+                    return Ok((from, payload));
+                }
+                Err(RecvError::Timeout) => {
+                    // A delayed frame may have come due while we waited; it must be
+                    // delivered, never discarded — a delay spike slows frames down,
+                    // it does not lose them.
+                    if let Some(frame) = self.pop_due() {
+                        return Ok(frame);
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(RecvError::Timeout);
+                    }
+                }
+                Err(RecvError::Closed) => return Err(RecvError::Closed),
+            }
+        }
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tcp::TcpMesh;
+    use std::sync::Arc;
+
+    #[test]
+    fn partition_blocks_frames_until_heal() {
+        let schedule = NemesisSchedule::new(vec![
+            (0, FaultEvent::Partition(vec![vec![0], vec![1]])),
+            (400_000, FaultEvent::Heal),
+        ]);
+        let net = Arc::new(ChaosNet::new(schedule, 7));
+        net.advance(); // Apply the partition (due at t=0).
+        let mesh = TcpMesh::new();
+        let mut a = mesh.endpoint(0, true).unwrap();
+        let mut b = ChaosTransport::new(mesh.endpoint(1, true).unwrap(), Arc::clone(&net));
+        a.send(1, b"during-partition");
+        a.flush();
+        assert_eq!(
+            b.recv_timeout(Duration::from_millis(100)),
+            Err(RecvError::Timeout),
+            "partitioned frame must not deliver"
+        );
+        assert!(net.summary().dropped_partition >= 1);
+        // Wait out the heal, then frames flow again.
+        while net.next_due_us().is_some() {
+            std::thread::sleep(Duration::from_millis(20));
+            net.advance();
+        }
+        a.send(1, b"after-heal");
+        a.flush();
+        let (from, payload) = b.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!((from, payload.as_slice()), (0, b"after-heal".as_slice()));
+    }
+
+    #[test]
+    fn delay_spike_holds_frames_back() {
+        let schedule = NemesisSchedule::new(vec![(
+            0,
+            FaultEvent::DelaySpike {
+                from: 0,
+                to: 1,
+                extra_us: 150_000,
+            },
+        )]);
+        let net = Arc::new(ChaosNet::new(schedule, 7));
+        net.advance();
+        let mesh = TcpMesh::new();
+        let mut a = mesh.endpoint(0, true).unwrap();
+        let mut b = ChaosTransport::new(mesh.endpoint(1, true).unwrap(), Arc::clone(&net));
+        let sent_at = Instant::now();
+        a.send(1, b"slow");
+        a.flush();
+        let (_, payload) = b.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(payload, b"slow");
+        assert!(
+            sent_at.elapsed() >= Duration::from_millis(150),
+            "the spike must add latency, took {:?}",
+            sent_at.elapsed()
+        );
+        assert_eq!(net.summary().delayed, 1);
+    }
+
+    #[test]
+    fn client_frames_bypass_the_chaos() {
+        let schedule =
+            NemesisSchedule::new(vec![(0, FaultEvent::Partition(vec![vec![0], vec![1]]))]);
+        let net = Arc::new(ChaosNet::new(schedule, 7));
+        net.advance();
+        let mesh = TcpMesh::new();
+        let client_id = crate::transport::CLIENT_ID_BASE + 4;
+        let mut client = mesh.endpoint(client_id, true).unwrap();
+        let mut replica = ChaosTransport::new(mesh.endpoint(1, true).unwrap(), Arc::clone(&net));
+        client.send(1, b"submit");
+        client.flush();
+        let (from, payload) = replica.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(
+            (from, payload.as_slice()),
+            (client_id, b"submit".as_slice())
+        );
+    }
+}

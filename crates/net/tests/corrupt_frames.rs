@@ -1,0 +1,72 @@
+//! Corrupt-frame hardening for the transport-level wire types: truncating a frame at
+//! every byte offset and flipping every byte must produce a clean [`DecodeError`],
+//! never a panic and never a spurious success that changes the value silently.
+//! (`tempo-core` runs the same battery over Tempo's full message set.)
+
+use tempo_kernel::command::{Command, KVOp};
+use tempo_kernel::id::Rifl;
+use tempo_net::wire::{DecodeError, Wire};
+use tempo_net::{ClientReply, ClientRequest};
+
+fn assert_hardened<T: Wire + PartialEq + std::fmt::Debug>(value: &T) {
+    let frame = value.encode_frame();
+    // Truncation at every offset: must error (a prefix is never a valid frame).
+    for cut in 0..frame.len() {
+        let result = T::decode_frame(&frame[..cut]);
+        assert!(result.is_err(), "truncation at {cut} decoded: {result:?}");
+    }
+    // Bit flips at every byte: either a clean error (CRC or header check), or — only
+    // when the flip hits the CRC'd region in a way that still checks out, which
+    // cannot happen for a single flip — the original value.
+    for i in 0..frame.len() {
+        let mut corrupt = frame.clone();
+        corrupt[i] ^= 0x40;
+        match T::decode_frame(&corrupt) {
+            Err(_) => {}
+            Ok(decoded) => panic!(
+                "flip at byte {i} decoded successfully to {decoded:?} — CRC must catch single flips"
+            ),
+        }
+    }
+    // And the untouched frame still round-trips.
+    assert_eq!(&T::decode_frame(&frame).unwrap(), value);
+}
+
+#[test]
+fn client_request_survives_the_battery() {
+    assert_hardened(&ClientRequest {
+        cmd: Command::new(
+            Rifl::new(3, 9),
+            vec![
+                (0, 42, KVOp::Put(7)),
+                (1, 5, KVOp::Add(2)),
+                (1, 6, KVOp::Get),
+            ],
+            64,
+        ),
+    });
+}
+
+#[test]
+fn client_reply_survives_the_battery() {
+    assert_hardened(&ClientReply {
+        rifl: Rifl::new(3, 9),
+        shard: 1,
+        outputs: vec![(42, Some(7)), (43, None)],
+    });
+}
+
+#[test]
+fn command_survives_the_battery() {
+    assert_hardened(&Command::single(Rifl::new(1, 1), 0, 0, KVOp::Get, 0));
+}
+
+#[test]
+fn garbage_buffers_error_cleanly() {
+    for len in 0..64usize {
+        let garbage: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+        let result = ClientRequest::decode_frame(&garbage);
+        assert!(result.is_err(), "garbage of len {len} decoded");
+    }
+    assert_eq!(ClientRequest::decode(&[]), Err(DecodeError::Truncated));
+}

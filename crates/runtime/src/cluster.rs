@@ -1,0 +1,849 @@
+//! [`NetCluster`] — protocol replicas as OS threads over `tempo-net` transports.
+//!
+//! # Anatomy of a run
+//!
+//! * **Replicas.** Each process of the [`Config`] runs one thread owning a
+//!   [`Driver`] and a transport endpoint. The loop mirrors the simulator's event
+//!   dispatch: fire due protocol timers, otherwise block on the transport until the
+//!   next timer deadline; every driver step's sends are encoded once per message and
+//!   flushed as one batch per peer (the transport's write coalescing), and its
+//!   executions answer clients and feed the history. The driver's persist hook runs
+//!   *before* the step's output is routed, so the write-ahead guarantee of DESIGN.md
+//!   §6 carries over to real sockets and real fsyncs unchanged.
+//! * **Clients.** [`ClientSession`]s own their own endpoints (ids above
+//!   [`CLIENT_ID_BASE`]). A submission goes to the closest live replica of the
+//!   command's target shard; completion requires an execution notice from the watched
+//!   (closest live) replica of *every* accessed shard — the simulator's semantics,
+//!   including failover after a crash and timeout-then-abort for stranded commands.
+//! * **Supervisor.** With a nemesis schedule, a supervisor thread sleeps until each
+//!   fault is due and acts on it: `Crash` stops the replica thread (its endpoint dies
+//!   with it — sockets close, queued frames drop) and tells the survivors to
+//!   `suspect` it; `Restart` builds a fresh incarnation through the
+//!   [`RuntimeFactory`] (a factory that reopens the replica's `FileStore` directory
+//!   models the disk surviving the crash), whose rejoin handshake and state transfer
+//!   then run over the real transport. Link-level faults are enforced inside
+//!   [`ChaosTransport`] on the delivery path.
+//!
+//! Everything a test needs afterwards comes out of [`NetCluster::shutdown`]: per
+//! incarnation protocol metrics, aggregated transport stats, the fault summary and
+//! the recorded [`History`] for the `tempo-fault` checker.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tempo_fault::{FaultEvent, FaultSummary, History, NemesisSchedule};
+use tempo_kernel::command::{Command, Key};
+use tempo_kernel::config::Config;
+use tempo_kernel::driver::{Driver, Output};
+use tempo_kernel::id::{ClientId, ProcessId, Rifl, ShardId, SiteId};
+use tempo_kernel::membership::Membership;
+use tempo_kernel::protocol::{Protocol, ProtocolMetrics, View};
+use tempo_net::wire::{DecodeError, Reader, Wire, Writer};
+use tempo_net::{
+    ChaosNet, ChaosTransport, ClientReply, ClientRequest, RecvError, TcpMesh, Transport,
+    TransportStats, CLIENT_ID_BASE, CONTROL_ID,
+};
+use tempo_workload::Workload;
+
+/// Builds the protocol instance of one process: at boot with incarnation 0 and on
+/// every nemesis `Restart` with the 1-based restart count (same contract as the
+/// simulator's `ProtocolFactory`, plus `Send` because restarts happen on the
+/// supervisor thread). The factory decides what survives a crash — e.g. by reopening
+/// the same `FileStore` directory per incarnation.
+pub type RuntimeFactory<P> = Box<dyn FnMut(ProcessId, ShardId, Config, u64) -> P + Send>;
+
+/// Options of a networked cluster run.
+#[derive(Debug, Clone)]
+pub struct NetOpts {
+    /// Optional fault schedule, with times in microseconds since cluster start.
+    pub nemesis: Option<NemesisSchedule>,
+    /// Seed for the nemesis's per-frame drop draws.
+    pub seed: u64,
+    /// Record the client/replica [`History`] for the `tempo-fault` checker.
+    pub record_history: bool,
+    /// Transport batching: `true` coalesces each driver step's sends into one write
+    /// per peer (the default); `false` flushes every send (the bench baseline).
+    pub batch: bool,
+    /// How long a client waits for a command before aborting it (the command may
+    /// still take effect — exactly the simulator's `client_timeout_us`).
+    pub client_timeout: Duration,
+}
+
+impl Default for NetOpts {
+    fn default() -> Self {
+        Self {
+            nemesis: None,
+            seed: 1,
+            record_history: false,
+            batch: true,
+            client_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+// ------------------------------------------------------------------ envelopes
+
+// One tag namespace for everything that crosses the transport; peer traffic wraps
+// the protocol's own Wire-encoded message.
+const ENV_PEER: u8 = 1;
+const ENV_REQUEST: u8 = 2;
+const ENV_REPLY: u8 = 3;
+const ENV_SUSPECT: u8 = 4;
+const ENV_UNSUSPECT: u8 = 5;
+
+fn encode_peer<M: Wire>(msg: &M) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u8(ENV_PEER);
+    msg.encode_into(&mut w);
+    w.into_bytes()
+}
+
+fn encode_request(cmd: &Command) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u8(ENV_REQUEST);
+    cmd.encode_into(&mut w);
+    w.into_bytes()
+}
+
+fn encode_reply(reply: &ClientReply) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u8(ENV_REPLY);
+    reply.encode_into(&mut w);
+    w.into_bytes()
+}
+
+fn encode_control(tag: u8, process: ProcessId) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u8(tag);
+    w.put_u64(process);
+    w.into_bytes()
+}
+
+/// What a replica does with one inbound frame.
+enum Inbound<M> {
+    Peer(M),
+    Request(Command),
+    Suspect(ProcessId),
+    Unsuspect(ProcessId),
+}
+
+fn decode_inbound<M: Wire>(bytes: &[u8]) -> Result<Inbound<M>, DecodeError> {
+    let mut r = Reader::new(bytes);
+    let inbound = match r.u8()? {
+        ENV_PEER => Inbound::Peer(M::decode_from(&mut r)?),
+        ENV_REQUEST => Inbound::Request(ClientRequest::decode_from(&mut r)?.cmd),
+        ENV_SUSPECT => Inbound::Suspect(r.u64()?),
+        ENV_UNSUSPECT => Inbound::Unsuspect(r.u64()?),
+        t => return Err(DecodeError::BadTag(t)),
+    };
+    if r.remaining() != 0 {
+        return Err(DecodeError::Invalid("trailing bytes"));
+    }
+    Ok(inbound)
+}
+
+fn decode_reply(bytes: &[u8]) -> Option<ClientReply> {
+    let mut r = Reader::new(bytes);
+    if r.u8().ok()? != ENV_REPLY {
+        return None;
+    }
+    let reply = ClientReply::decode_from(&mut r).ok()?;
+    (r.remaining() == 0).then_some(reply)
+}
+
+// --------------------------------------------------------------- shared state
+
+/// State shared by replicas, clients and the supervisor (deliberately not generic so
+/// [`ClientSession`] stays protocol-agnostic).
+struct Shared {
+    config: Config,
+    membership: Membership,
+    /// The cluster's time origin: protocol `now_us`, nemesis schedule times and
+    /// history timestamps all measure from here.
+    epoch: Instant,
+    /// Replicas currently crashed (supervisor-maintained; clients consult it for
+    /// submission failover, like the sim's closest-live-replica rule).
+    down: Mutex<BTreeSet<ProcessId>>,
+    history: Option<Mutex<History>>,
+    client_timeout: Duration,
+}
+
+impl Shared {
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+}
+
+/// A replica thread's return value: its protocol metrics and its endpoint's traffic.
+type ReplicaExit = (ProtocolMetrics, TransportStats);
+
+struct Seat {
+    stop: Arc<AtomicBool>,
+    handle: JoinHandle<ReplicaExit>,
+}
+
+/// Replica threads poll their stop flag at least this often, which bounds both
+/// crash-injection latency and shutdown time.
+const STOP_POLL: Duration = Duration::from_millis(20);
+
+// ------------------------------------------------------------------- replicas
+
+#[allow(clippy::too_many_arguments)]
+fn spawn_replica<P>(
+    protocol: P,
+    mut transport: Box<dyn Transport>,
+    id: ProcessId,
+    shard: ShardId,
+    incarnation: u64,
+    initial_suspects: Vec<ProcessId>,
+    shared: Arc<Shared>,
+) -> Seat
+where
+    P: Protocol + Send + 'static,
+    P::Message: Wire + Send + 'static,
+{
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name(format!("replica-{id}-i{incarnation}"))
+        .spawn(move || {
+            let mut driver = Driver::from_protocol(protocol);
+            for q in initial_suspects {
+                Protocol::suspect(driver.protocol_mut(), q);
+            }
+            let view = View::trivial(shared.config, id);
+            let output = driver.start(view, shared.now_us());
+            route_output(output, &mut transport, &shared, id, shard, incarnation);
+            if incarnation > 0 {
+                let output = driver.rejoin(incarnation, shared.now_us());
+                route_output(output, &mut transport, &shared, id, shard, incarnation);
+            }
+            while !stop_flag.load(Ordering::Relaxed) {
+                let now = shared.now_us();
+                // Fire overdue timers before waiting: a busy inbox must not starve
+                // the protocol's periodic events.
+                if driver.next_timer_due().is_some_and(|due| due <= now) {
+                    let output = driver.fire_due(now);
+                    route_output(output, &mut transport, &shared, id, shard, incarnation);
+                    continue;
+                }
+                let timeout = driver
+                    .next_timer_due()
+                    .map(|due| Duration::from_micros(due.saturating_sub(now)))
+                    .unwrap_or(STOP_POLL)
+                    .min(STOP_POLL);
+                match transport.recv_timeout(timeout) {
+                    Ok((from, bytes)) => match decode_inbound::<P::Message>(&bytes) {
+                        Ok(Inbound::Peer(msg)) if from < CLIENT_ID_BASE => {
+                            let output = driver.handle(from, msg, shared.now_us());
+                            route_output(output, &mut transport, &shared, id, shard, incarnation);
+                        }
+                        Ok(Inbound::Request(cmd)) if from >= CLIENT_ID_BASE => {
+                            let output = driver.submit(cmd, shared.now_us());
+                            route_output(output, &mut transport, &shared, id, shard, incarnation);
+                        }
+                        Ok(Inbound::Suspect(p)) if from == CONTROL_ID => {
+                            Protocol::suspect(driver.protocol_mut(), p);
+                        }
+                        Ok(Inbound::Unsuspect(p)) if from == CONTROL_ID => {
+                            Protocol::unsuspect(driver.protocol_mut(), p);
+                        }
+                        // Anything else — decode failures included — is dropped: the
+                        // CRC layer already screened corruption, so this can only be
+                        // mis-addressed harness traffic.
+                        _ => {}
+                    },
+                    Err(RecvError::Timeout) => {}
+                    Err(RecvError::Closed) => break,
+                }
+            }
+            (driver.metrics(), transport.stats())
+        })
+        .expect("spawn replica thread");
+    Seat { stop, handle }
+}
+
+/// Acts on one driver step: peer sends are encoded once and fanned out, executions
+/// answer the issuing client's endpoint and feed the history, and the whole step is
+/// flushed as one batch per peer. The driver already ran the protocol's persist hook,
+/// so everything sent here is backed by durable state (write-ahead across the wire).
+fn route_output<M: Wire>(
+    output: Output<M>,
+    transport: &mut Box<dyn Transport>,
+    shared: &Shared,
+    id: ProcessId,
+    shard: ShardId,
+    incarnation: u64,
+) {
+    for send in output.sends {
+        let bytes = encode_peer(&send.msg);
+        for to in send.to {
+            debug_assert_ne!(to, id, "protocols deliver self-sends internally");
+            transport.send(to, &bytes);
+        }
+    }
+    for exec in output.executed {
+        if let Some(history) = &shared.history {
+            history.lock().expect("history lock").record_execution(
+                shard,
+                id,
+                incarnation,
+                exec.rifl,
+            );
+        }
+        let reply = ClientReply::from_result(shard, &exec.result);
+        transport.send(CLIENT_ID_BASE + exec.rifl.client, &encode_reply(&reply));
+    }
+    transport.flush();
+}
+
+// ----------------------------------------------------------------- supervisor
+
+#[allow(clippy::too_many_arguments)]
+fn supervisor_loop<P>(
+    chaos: Arc<ChaosNet>,
+    mesh: TcpMesh,
+    shared: Arc<Shared>,
+    seats: Arc<Mutex<BTreeMap<ProcessId, Seat>>>,
+    dead: Arc<Mutex<Vec<ReplicaExit>>>,
+    done: Arc<AtomicBool>,
+    mut factory: RuntimeFactory<P>,
+    batch: bool,
+) where
+    P: Protocol + Send + 'static,
+    P::Message: Wire + Send + 'static,
+{
+    let mut control = mesh
+        .endpoint(CONTROL_ID, true)
+        .expect("bind supervisor endpoint");
+    let mut incarnations: BTreeMap<ProcessId, u64> = BTreeMap::new();
+    while !done.load(Ordering::Relaxed) {
+        let Some(due) = chaos.next_due_us() else {
+            break; // Schedule exhausted: nothing left to inject.
+        };
+        let now = chaos.now_us();
+        if due > now {
+            // Sleep in slices so shutdown stays prompt.
+            std::thread::sleep(Duration::from_micros((due - now).min(20_000)));
+            continue;
+        }
+        for event in chaos.advance() {
+            match event {
+                FaultEvent::Crash(p) => {
+                    // Kill the thread; its endpoint (sockets, queued frames, inbox)
+                    // dies with it.
+                    let seat = seats.lock().expect("seats lock").remove(&p);
+                    if let Some(seat) = seat {
+                        seat.stop.store(true, Ordering::Relaxed);
+                        if let Ok(exit) = seat.handle.join() {
+                            dead.lock().expect("dead lock").push(exit);
+                        }
+                    }
+                    shared.down.lock().expect("down lock").insert(p);
+                    // Survivors suspect the crashed process (the runtime's stand-in
+                    // for Ω, exactly like the simulator's perfect failure detector).
+                    broadcast_control(&mut control, &seats, ENV_SUSPECT, p);
+                }
+                FaultEvent::Restart(p) => {
+                    let incarnation = incarnations.entry(p).and_modify(|i| *i += 1).or_insert(1);
+                    let incarnation = *incarnation;
+                    let shard = shared.membership.shard_of(p);
+                    let protocol = factory(p, shard, shared.config, incarnation);
+                    let transport = make_transport(&mesh, Some(&chaos), p, batch)
+                        .expect("bind restarted replica endpoint");
+                    let initial_suspects: Vec<ProcessId> = {
+                        let mut down = shared.down.lock().expect("down lock");
+                        down.remove(&p);
+                        down.iter().copied().collect()
+                    };
+                    let seat = spawn_replica(
+                        protocol,
+                        transport,
+                        p,
+                        shard,
+                        incarnation,
+                        initial_suspects,
+                        Arc::clone(&shared),
+                    );
+                    seats.lock().expect("seats lock").insert(p, seat);
+                    broadcast_control(&mut control, &seats, ENV_UNSUSPECT, p);
+                }
+                // Partitions, lossy links and delay spikes were absorbed into the
+                // nemesis state by `advance` and are enforced by the ChaosTransports.
+                _ => {}
+            }
+        }
+    }
+}
+
+fn broadcast_control(
+    control: &mut tempo_net::TcpTransport,
+    seats: &Arc<Mutex<BTreeMap<ProcessId, Seat>>>,
+    tag: u8,
+    about: ProcessId,
+) {
+    let bytes = encode_control(tag, about);
+    let targets: Vec<ProcessId> = seats
+        .lock()
+        .expect("seats lock")
+        .keys()
+        .copied()
+        .filter(|q| *q != about)
+        .collect();
+    for q in targets {
+        control.send(q, &bytes);
+    }
+    control.flush();
+}
+
+fn make_transport(
+    mesh: &TcpMesh,
+    chaos: Option<&Arc<ChaosNet>>,
+    id: ProcessId,
+    batch: bool,
+) -> std::io::Result<Box<dyn Transport>> {
+    let endpoint = mesh.endpoint(id, batch)?;
+    Ok(match chaos {
+        Some(net) => Box::new(ChaosTransport::new(endpoint, Arc::clone(net))),
+        None => Box::new(endpoint),
+    })
+}
+
+// -------------------------------------------------------------------- cluster
+
+/// A running networked cluster. Not generic over the protocol: the protocol type is
+/// fixed at [`NetCluster::start`] and lives inside the replica threads (and the
+/// supervisor's factory), so clients and shutdown stay protocol-agnostic.
+pub struct NetCluster {
+    shared: Arc<Shared>,
+    mesh: TcpMesh,
+    chaos: Option<Arc<ChaosNet>>,
+    seats: Arc<Mutex<BTreeMap<ProcessId, Seat>>>,
+    dead: Arc<Mutex<Vec<ReplicaExit>>>,
+    supervisor: Option<JoinHandle<()>>,
+    done: Arc<AtomicBool>,
+}
+
+/// Everything a finished run reports.
+#[derive(Debug)]
+pub struct RuntimeReport {
+    /// Per replica-incarnation protocol metrics (crashed incarnations included).
+    pub metrics: Vec<ProtocolMetrics>,
+    /// Aggregated transport traffic across all replica endpoints.
+    pub transport: TransportStats,
+    /// Faults injected and their frame-level effects (empty without a nemesis).
+    pub faults: FaultSummary,
+    /// The recorded history, when [`NetOpts::record_history`] was set.
+    pub history: Option<History>,
+    /// Wall-clock duration of the run, cluster start to shutdown.
+    pub duration: Duration,
+}
+
+impl RuntimeReport {
+    /// Field-wise sum of the per-incarnation metrics.
+    pub fn total_metrics(&self) -> ProtocolMetrics {
+        let mut total = ProtocolMetrics::default();
+        for m in &self.metrics {
+            total.fast_paths += m.fast_paths;
+            total.slow_paths += m.slow_paths;
+            total.committed += m.committed;
+            total.executed += m.executed;
+            total.recoveries_started += m.recoveries_started;
+            total.recoveries_completed += m.recoveries_completed;
+            total.gc_collected += m.gc_collected;
+            total.gc_messages += m.gc_messages;
+            total.messages_sent += m.messages_sent;
+            total.wal_appends += m.wal_appends;
+            total.wal_bytes += m.wal_bytes;
+            total.snapshots_taken += m.snapshots_taken;
+        }
+        total
+    }
+}
+
+impl NetCluster {
+    /// Starts one replica thread per process of `config`, each built by `factory`
+    /// (incarnation 0) around its own transport endpoint; with a nemesis schedule in
+    /// `opts`, also starts the supervisor that injects crashes and restarts.
+    pub fn start<P>(
+        config: Config,
+        opts: NetOpts,
+        mut factory: RuntimeFactory<P>,
+    ) -> std::io::Result<NetCluster>
+    where
+        P: Protocol + Send + 'static,
+        P::Message: Wire + Send + 'static,
+    {
+        let membership = Membership::from_config(&config);
+        let mesh = TcpMesh::new();
+        let chaos = opts
+            .nemesis
+            .clone()
+            .map(|schedule| Arc::new(ChaosNet::new(schedule, opts.seed)));
+        let epoch = chaos
+            .as_ref()
+            .map(|c| c.epoch())
+            .unwrap_or_else(Instant::now);
+        let shared = Arc::new(Shared {
+            config,
+            membership: membership.clone(),
+            epoch,
+            down: Mutex::new(BTreeSet::new()),
+            history: opts.record_history.then(|| Mutex::new(History::new())),
+            client_timeout: opts.client_timeout,
+        });
+        let seats = Arc::new(Mutex::new(BTreeMap::new()));
+        for id in membership.all_processes() {
+            let shard = membership.shard_of(id);
+            let protocol = factory(id, shard, config, 0);
+            let transport = make_transport(&mesh, chaos.as_ref(), id, opts.batch)?;
+            let seat = spawn_replica(
+                protocol,
+                transport,
+                id,
+                shard,
+                0,
+                Vec::new(),
+                Arc::clone(&shared),
+            );
+            seats.lock().expect("seats lock").insert(id, seat);
+        }
+        let dead = Arc::new(Mutex::new(Vec::new()));
+        let done = Arc::new(AtomicBool::new(false));
+        let supervisor = chaos.as_ref().map(|net| {
+            let net = Arc::clone(net);
+            let mesh = mesh.clone();
+            let shared = Arc::clone(&shared);
+            let seats = Arc::clone(&seats);
+            let dead = Arc::clone(&dead);
+            let done = Arc::clone(&done);
+            let batch = opts.batch;
+            std::thread::Builder::new()
+                .name("supervisor".to_string())
+                .spawn(move || {
+                    supervisor_loop(net, mesh, shared, seats, dead, done, factory, batch)
+                })
+                .expect("spawn supervisor thread")
+        });
+        Ok(NetCluster {
+            shared,
+            mesh,
+            chaos,
+            seats,
+            dead,
+            supervisor,
+            done,
+        })
+    }
+
+    /// The deployment configuration.
+    pub fn config(&self) -> Config {
+        self.shared.config
+    }
+
+    /// Opens a client session colocated with `site`. Commands submitted through it
+    /// must carry `Rifl`s with this `client` id (that is how execution notices find
+    /// their way back).
+    pub fn client(&self, site: SiteId, client: ClientId) -> std::io::Result<ClientSession> {
+        assert!(
+            (site as usize) < self.shared.membership.sites(),
+            "site out of range"
+        );
+        let transport = self.mesh.endpoint(CLIENT_ID_BASE + client, true)?;
+        Ok(ClientSession {
+            id: client,
+            site,
+            transport,
+            shared: Arc::clone(&self.shared),
+        })
+    }
+
+    /// Stops every replica (and the supervisor) and collects the report.
+    pub fn shutdown(mut self) -> RuntimeReport {
+        self.done.store(true, Ordering::Relaxed);
+        let mut exits: Vec<ReplicaExit> = Vec::new();
+        // Join the supervisor first so it cannot race replica teardown with a
+        // concurrent restart.
+        if let Some(handle) = self.supervisor.take() {
+            let _ = handle.join();
+        }
+        let seats = std::mem::take(&mut *self.seats.lock().expect("seats lock"));
+        for (_, seat) in seats {
+            seat.stop.store(true, Ordering::Relaxed);
+            if let Ok(exit) = seat.handle.join() {
+                exits.push(exit);
+            }
+        }
+        exits.extend(self.dead.lock().expect("dead lock").drain(..));
+        let mut transport = TransportStats::default();
+        for (_, stats) in &exits {
+            transport.merge(stats);
+        }
+        RuntimeReport {
+            metrics: exits.into_iter().map(|(m, _)| m).collect(),
+            transport,
+            faults: self.chaos.as_ref().map(|c| c.summary()).unwrap_or_default(),
+            history: self
+                .shared
+                .history
+                .as_ref()
+                .map(|h| h.lock().expect("history lock").clone()),
+            duration: self.shared.epoch.elapsed(),
+        }
+    }
+}
+
+// -------------------------------------------------------------------- clients
+
+/// A client attached to the cluster through its own transport endpoint, submitting
+/// commands synchronously with the simulator's completion semantics.
+pub struct ClientSession {
+    id: ClientId,
+    site: SiteId,
+    transport: tempo_net::TcpTransport,
+    shared: Arc<Shared>,
+}
+
+impl ClientSession {
+    /// This session's client id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// The closest live replica of `shard` from this client's site (ring distance,
+    /// crashed replicas skipped) — the replica whose execution notice completes that
+    /// shard's part of a command.
+    fn watch_replica(&self, shard: ShardId) -> Option<ProcessId> {
+        let down = self.shared.down.lock().expect("down lock");
+        let m = &self.shared.membership;
+        let sites = m.sites() as u64;
+        let site = self.site;
+        m.processes_of_shard(shard)
+            .into_iter()
+            .filter(|p| !down.contains(p))
+            .min_by_key(|p| {
+                let s = m.site_of(*p);
+                ((s + sites - site) % sites, *p)
+            })
+    }
+
+    /// Submits `cmd` and blocks until the watched replica of every accessed shard
+    /// reported execution, returning the observed per-key outputs — or `None` after
+    /// the client timeout (the command is recorded as aborted; it may still take
+    /// effect, exactly like a timed-out client in the simulator).
+    pub fn submit(&mut self, cmd: Command) -> Option<Vec<(ShardId, Key, Option<u64>)>> {
+        let rifl = cmd.rifl;
+        debug_assert_eq!(rifl.client, self.id, "command must carry this client's id");
+        if let Some(history) = &self.shared.history {
+            history.lock().expect("history lock").record_invoke(
+                rifl,
+                cmd.clone(),
+                self.shared.now_us(),
+            );
+        }
+        // Pick, per accessed shard, the replica to watch (closest live); the
+        // submission goes to the watched replica of the target shard.
+        let watchers: Option<BTreeMap<ShardId, ProcessId>> = cmd
+            .shards()
+            .map(|shard| self.watch_replica(shard).map(|p| (shard, p)))
+            .collect();
+        let Some(mut pending) = watchers else {
+            // Some accessed shard has every replica down.
+            return self.abort(rifl);
+        };
+        let target = pending[&cmd.target_shard()];
+        self.transport.send(target, &encode_request(&cmd));
+        self.transport.flush();
+
+        let deadline = Instant::now() + self.shared.client_timeout;
+        let mut outputs: Vec<(ShardId, Key, Option<u64>)> = Vec::new();
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return self.abort(rifl);
+            }
+            let slice = (deadline - now).min(Duration::from_millis(50));
+            match self.transport.recv_timeout(slice) {
+                Ok((from, bytes)) => {
+                    let Some(reply) = decode_reply(&bytes) else {
+                        continue;
+                    };
+                    // Only the watched replica's notice counts (stale replies from
+                    // earlier commands, or from unwatched replicas, are ignored).
+                    if reply.rifl != rifl || pending.get(&reply.shard) != Some(&from) {
+                        continue;
+                    }
+                    pending.remove(&reply.shard);
+                    outputs.extend(reply.outputs.iter().map(|(k, v)| (reply.shard, *k, *v)));
+                    if pending.is_empty() {
+                        if let Some(history) = &self.shared.history {
+                            history.lock().expect("history lock").record_complete(
+                                rifl,
+                                self.shared.now_us(),
+                                outputs.clone(),
+                            );
+                        }
+                        return Some(outputs);
+                    }
+                }
+                Err(RecvError::Timeout) => {}
+                Err(RecvError::Closed) => return self.abort(rifl),
+            }
+        }
+    }
+
+    fn abort(&mut self, rifl: Rifl) -> Option<Vec<(ShardId, Key, Option<u64>)>> {
+        if let Some(history) = &self.shared.history {
+            history.lock().expect("history lock").record_abort(rifl);
+        }
+        None
+    }
+}
+
+/// Per-run client accounting of [`run_workload`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkloadTally {
+    /// Commands completed across all clients.
+    pub completed: u64,
+    /// Commands aborted (client timeout or no live replica).
+    pub aborted: u64,
+}
+
+/// Runs a closed-loop workload against the cluster: `clients_per_site` client threads
+/// per site, each issuing `commands_per_client` commands from the shared `workload`
+/// through its own [`ClientSession`] — the networked analogue of the simulator's
+/// client loop.
+pub fn run_workload<W: Workload + Send + 'static>(
+    cluster: &NetCluster,
+    clients_per_site: usize,
+    commands_per_client: usize,
+    workload: W,
+) -> WorkloadTally {
+    let workload = Arc::new(Mutex::new(workload));
+    let mut threads = Vec::new();
+    let sites = cluster.shared.membership.sites() as u64;
+    let mut client_id: ClientId = 0;
+    for site in 0..sites {
+        for _ in 0..clients_per_site {
+            let mut session = cluster.client(site, client_id).expect("client endpoint");
+            let workload = Arc::clone(&workload);
+            client_id += 1;
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("client-{}", session.id()))
+                    .spawn(move || {
+                        let mut tally = WorkloadTally::default();
+                        for _ in 0..commands_per_client {
+                            let cmd = {
+                                let mut workload = workload.lock().expect("workload lock");
+                                workload.next_command(session.id())
+                            };
+                            if session.submit(cmd).is_some() {
+                                tally.completed += 1;
+                            } else {
+                                tally.aborted += 1;
+                            }
+                        }
+                        tally
+                    })
+                    .expect("spawn client thread"),
+            );
+        }
+    }
+    let mut total = WorkloadTally::default();
+    for thread in threads {
+        let tally = thread.join().expect("client thread");
+        total.completed += tally.completed;
+        total.aborted += tally.aborted;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_core::Tempo;
+    use tempo_kernel::command::KVOp;
+    use tempo_workload::ConflictWorkload;
+
+    fn tempo_factory() -> RuntimeFactory<Tempo> {
+        Box::new(|id, shard, config, _incarnation| Tempo::new(id, shard, config))
+    }
+
+    #[test]
+    fn commands_complete_over_real_sockets() {
+        let cluster = NetCluster::start(
+            Config::full(3, 1),
+            NetOpts {
+                record_history: true,
+                ..NetOpts::default()
+            },
+            tempo_factory(),
+        )
+        .expect("cluster starts");
+        let mut session = cluster.client(0, 1).expect("client");
+        for seq in 1..=10u64 {
+            let cmd = Command::single(Rifl::new(1, seq), 0, seq % 3, KVOp::Put(seq), 0);
+            let outputs = session.submit(cmd).expect("command completes");
+            assert_eq!(outputs.len(), 1, "one key, one output");
+        }
+        // A read observes the last write to its key through the real stack.
+        let outputs = session
+            .submit(Command::single(Rifl::new(1, 11), 0, 1, KVOp::Get, 0))
+            .expect("read completes");
+        assert_eq!(
+            outputs,
+            vec![(0, 1, Some(10))],
+            "Get must see Put(10) on key 1"
+        );
+        drop(session);
+        let report = cluster.shutdown();
+        let total = report.total_metrics();
+        assert!(total.committed >= 11, "commits: {total:?}");
+        assert!(
+            report.transport.frames_sent > 0 && report.transport.bytes_sent > 0,
+            "traffic must have crossed the transport: {:?}",
+            report.transport
+        );
+        report
+            .history
+            .expect("history recorded")
+            .check()
+            .expect("failure-free run passes the checker");
+    }
+
+    #[test]
+    fn concurrent_clients_from_every_site() {
+        let cluster = NetCluster::start(Config::full(3, 1), NetOpts::default(), tempo_factory())
+            .expect("cluster starts");
+        let tally = run_workload(&cluster, 2, 5, ConflictWorkload::new(0.2, 16, 7));
+        assert_eq!(
+            tally.completed,
+            3 * 2 * 5,
+            "all commands complete: {tally:?}"
+        );
+        assert_eq!(tally.aborted, 0);
+        let report = cluster.shutdown();
+        assert!(report.total_metrics().executed > 0);
+    }
+
+    #[test]
+    fn unbatched_transport_also_completes() {
+        let cluster = NetCluster::start(
+            Config::full(3, 1),
+            NetOpts {
+                batch: false,
+                ..NetOpts::default()
+            },
+            tempo_factory(),
+        )
+        .expect("cluster starts");
+        let tally = run_workload(&cluster, 1, 3, ConflictWorkload::new(0.0, 16, 9));
+        assert_eq!(tally.completed, 9);
+        let report = cluster.shutdown();
+        // Unbatched mode flushes per send: at least one flush per frame.
+        assert!(report.transport.flushes >= report.transport.frames_sent);
+    }
+}

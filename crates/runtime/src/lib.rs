@@ -1,411 +1,38 @@
-//! `tempo-runtime` — a threaded, in-process cluster runtime.
+//! `tempo-runtime` — the networked cluster runtime.
 //!
-//! This is the "cluster mode" of the evaluation framework (§6.1) scaled down to a single
-//! machine: every protocol process runs on its own OS thread, messages travel over
-//! `std::sync::mpsc` channels, and — when a [`Planet`] is supplied — a dedicated network
-//! thread delays each message by the one-way latency between the sender's and receiver's
-//! regions, emulating a wide-area deployment.
+//! This is the "cluster mode" of the evaluation framework (§6.1) made real: the same
+//! deterministic [`Protocol`](tempo_kernel::protocol::Protocol) state machines that
+//! run under the discrete-event simulator are deployed here as an actual
+//! message-passing system — one [`Driver`](tempo_kernel::driver::Driver) thread per
+//! replica, fed by `tempo-net` transport I/O threads, messages serialized through the
+//! [`Wire`](tempo_net::Wire) codec and shipped over loopback TCP sockets, durable
+//! state on a real `FileStore` fsyncing under true concurrency.
 //!
-//! The runtime drives exactly the same [`Protocol`] state machines as the discrete-event
-//! simulator (`tempo-sim`): each process thread is a thin scheduler over the kernel's
-//! generic [`Driver`] — it owns transport (channels) and time (the monotonic clock and
-//! `recv_timeout` deadlines derived from [`Driver::next_timer_due`]), while all
-//! submit/handle/timer dispatch lives in the shared driver core. Executed commands are
-//! pushed to the completion channel straight from the driver's output; there is no
-//! polling. The crate is std-only (no external channel or locking dependencies).
+//! Two runtimes:
+//!
+//! * [`NetCluster`] — the primary, transport-backed cluster. A
+//!   [`RuntimeFactory`] builds each replica (wire a `tempo-store::FileStore` per
+//!   process and restarts become kill-thread / reopen-store / rejoin + state
+//!   transfer); a [`NemesisSchedule`](tempo_fault::NemesisSchedule) turns the run
+//!   into a chaos experiment — the supervisor kills and revives replica threads while
+//!   [`ChaosTransport`](tempo_net::ChaosTransport) drops, delays and partitions
+//!   frames *under real thread interleaving*; [`ClientSession`]s submit over the
+//!   transport with timeout/failover matching the simulator's semantics, and the
+//!   recorded [`History`](tempo_fault::History) feeds the same `tempo-fault` checker
+//!   the sim runs. See DESIGN.md §7 for the networking model.
+//! * [`ThreadedCluster`] — the legacy channel-based cluster (no serialization, no
+//!   sockets), kept as the zero-copy baseline and for planet-delay experiments.
+//!
+//! The crate stays std-only: transports, framing and chaos all come from workspace
+//! crates.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
-use tempo_kernel::command::Command;
-use tempo_kernel::config::Config;
-use tempo_kernel::driver::{Driver, Output};
-use tempo_kernel::id::{ProcessId, Rifl, ShardId, SiteId};
-use tempo_kernel::membership::Membership;
-use tempo_kernel::protocol::{Protocol, ProtocolMetrics, View};
-use tempo_planet::Planet;
+pub mod cluster;
+pub mod threaded;
 
-enum Envelope<M> {
-    Message { from: ProcessId, msg: M },
-    Submit { cmd: Command },
-    Stop,
-}
-
-struct Delayed<M> {
-    due: Instant,
-    to: ProcessId,
-    from: ProcessId,
-    msg: M,
-}
-
-impl<M> PartialEq for Delayed<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.due == other.due
-    }
-}
-impl<M> Eq for Delayed<M> {}
-impl<M> PartialOrd for Delayed<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Delayed<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        other.due.cmp(&self.due)
-    }
-}
-
-/// A completion notice: `rifl` executed at a replica of `shard` at `site`.
-#[derive(Debug, Clone, Copy)]
-struct Completion {
-    rifl: Rifl,
-    shard: ShardId,
-    site: SiteId,
-}
-
-/// A running threaded cluster.
-pub struct ThreadedCluster<P: Protocol> {
-    config: Config,
-    membership: Membership,
-    inboxes: BTreeMap<ProcessId, Sender<Envelope<P::Message>>>,
-    /// The completion stream; guarded so that several client threads can wait on it.
-    completions: Mutex<Receiver<Completion>>,
-    /// Completions observed so far but not yet claimed by a waiter.
-    seen: Mutex<BTreeMap<(Rifl, SiteId), BTreeSet<ShardId>>>,
-    handles: Vec<JoinHandle<ProtocolMetrics>>,
-    network: Option<JoinHandle<()>>,
-    network_tx: Option<Sender<Option<Delayed<P::Message>>>>,
-}
-
-impl<P: Protocol + Send + 'static> ThreadedCluster<P>
-where
-    P::Message: Send + 'static,
-{
-    /// Starts one thread per process of `config`. When `planet` is provided, messages are
-    /// delayed by the corresponding one-way latencies; otherwise they are delivered
-    /// immediately (LAN mode).
-    pub fn start(config: Config, planet: Option<Planet>) -> Arc<Self> {
-        let membership = Membership::from_config(&config);
-        let start = Instant::now();
-
-        let mut inboxes = BTreeMap::new();
-        let mut receivers = BTreeMap::new();
-        for id in membership.all_processes() {
-            let (tx, rx) = channel::<Envelope<P::Message>>();
-            inboxes.insert(id, tx);
-            receivers.insert(id, rx);
-        }
-        let (completion_tx, completion_rx) = channel::<Completion>();
-
-        // Optional network thread injecting wide-area delays.
-        let (network_tx, network_handle) = if planet.is_some() {
-            let (tx, rx) = channel::<Option<Delayed<P::Message>>>();
-            let inboxes_for_net: BTreeMap<ProcessId, Sender<Envelope<P::Message>>> =
-                inboxes.clone();
-            let handle = std::thread::spawn(move || {
-                let mut heap: BinaryHeap<Delayed<P::Message>> = BinaryHeap::new();
-                loop {
-                    let timeout = heap
-                        .peek()
-                        .map(|d| d.due.saturating_duration_since(Instant::now()))
-                        .unwrap_or(Duration::from_millis(50));
-                    match rx.recv_timeout(timeout) {
-                        Ok(Some(delayed)) => heap.push(delayed),
-                        Ok(None) => break,
-                        Err(RecvTimeoutError::Timeout) => {}
-                        Err(RecvTimeoutError::Disconnected) => break,
-                    }
-                    while let Some(head) = heap.peek() {
-                        if head.due > Instant::now() {
-                            break;
-                        }
-                        let delayed = heap.pop().expect("peeked");
-                        if let Some(inbox) = inboxes_for_net.get(&delayed.to) {
-                            let _ = inbox.send(Envelope::Message {
-                                from: delayed.from,
-                                msg: delayed.msg,
-                            });
-                        }
-                    }
-                }
-            });
-            (Some(tx), Some(handle))
-        } else {
-            (None, None)
-        };
-
-        let mut handles = Vec::new();
-        for id in membership.all_processes() {
-            let shard = membership.shard_of(id);
-            let site = membership.site_of(id);
-            let rx = receivers.remove(&id).expect("receiver exists");
-            let inboxes_for_thread = inboxes.clone();
-            let completion_tx = completion_tx.clone();
-            let network_tx = network_tx.clone();
-            let planet_for_thread = planet.clone();
-            let membership_for_thread = membership.clone();
-            let handle = std::thread::Builder::new()
-                .name(format!("process-{id}"))
-                .spawn(move || {
-                    let mut driver = Driver::<P>::new(id, shard, config);
-                    // Routes one driver step: transport sends, publish completions.
-                    let route = |output: Output<P::Message>| {
-                        for send in output.sends {
-                            for target in send.to {
-                                debug_assert_ne!(target, id);
-                                match (&network_tx, &planet_for_thread) {
-                                    (Some(net), Some(planet)) => {
-                                        let delay = planet.one_way_us(
-                                            site,
-                                            membership_for_thread.site_of(target),
-                                        );
-                                        let _ = net.send(Some(Delayed {
-                                            due: Instant::now() + Duration::from_micros(delay),
-                                            to: target,
-                                            from: id,
-                                            msg: send.msg.clone(),
-                                        }));
-                                    }
-                                    _ => {
-                                        if let Some(inbox) = inboxes_for_thread.get(&target) {
-                                            let _ = inbox.send(Envelope::Message {
-                                                from: id,
-                                                msg: send.msg.clone(),
-                                            });
-                                        }
-                                    }
-                                }
-                            }
-                        }
-                        for executed in output.executed {
-                            let _ = completion_tx.send(Completion {
-                                rifl: executed.rifl,
-                                shard,
-                                site,
-                            });
-                        }
-                    };
-                    let view = match &planet_for_thread {
-                        Some(planet) => planet.view_for(config, id),
-                        None => View::trivial(config, id),
-                    };
-                    let now_us = start.elapsed().as_micros() as u64;
-                    route(driver.start(view, now_us));
-                    loop {
-                        let now_us = start.elapsed().as_micros() as u64;
-                        // Fire overdue timers before waiting for the next message:
-                        // `recv_timeout(0)` favours queued messages, so a busy inbox
-                        // must not starve the protocol's periodic events.
-                        if driver.next_timer_due().is_some_and(|due| due <= now_us) {
-                            route(driver.fire_due(now_us));
-                            continue;
-                        }
-                        // Sleep until the next protocol timer is due (or a fallback for
-                        // protocols without timers, so `Stop` is still honoured).
-                        let timeout = match driver.next_timer_due() {
-                            Some(due) => Duration::from_micros(due.saturating_sub(now_us)),
-                            None => Duration::from_millis(50),
-                        };
-                        match rx.recv_timeout(timeout) {
-                            Ok(Envelope::Message { from, msg }) => {
-                                let now_us = start.elapsed().as_micros() as u64;
-                                route(driver.handle(from, msg, now_us));
-                            }
-                            Ok(Envelope::Submit { cmd }) => {
-                                let now_us = start.elapsed().as_micros() as u64;
-                                route(driver.submit(cmd, now_us));
-                            }
-                            Ok(Envelope::Stop) => break,
-                            Err(RecvTimeoutError::Timeout) => {
-                                let now_us = start.elapsed().as_micros() as u64;
-                                route(driver.fire_due(now_us));
-                            }
-                            Err(RecvTimeoutError::Disconnected) => break,
-                        }
-                    }
-                    driver.metrics()
-                })
-                .expect("spawn process thread");
-            handles.push(handle);
-        }
-
-        Arc::new(Self {
-            config,
-            membership,
-            inboxes,
-            completions: Mutex::new(completion_rx),
-            seen: Mutex::new(BTreeMap::new()),
-            handles,
-            network: network_handle,
-            network_tx,
-        })
-    }
-
-    /// The deployment configuration.
-    pub fn config(&self) -> Config {
-        self.config
-    }
-
-    /// Submits `cmd` at `site` and blocks until it has executed at that site's replica of
-    /// every shard it accesses, returning the observed latency. Returns `None` on timeout.
-    pub fn submit_sync(&self, site: SiteId, cmd: Command, timeout: Duration) -> Option<Duration> {
-        let rifl = cmd.rifl;
-        let needed: BTreeSet<ShardId> = cmd.shards().collect();
-        let target = self.membership.process(cmd.target_shard(), site);
-        let started = Instant::now();
-        self.inboxes[&target]
-            .send(Envelope::Submit { cmd })
-            .expect("process thread alive");
-        let deadline = started + timeout;
-        loop {
-            // Check completions already recorded by other waiters.
-            {
-                let mut seen = self.seen.lock().expect("seen lock");
-                if let Some(shards) = seen.get(&(rifl, site)) {
-                    if needed.is_subset(shards) {
-                        seen.remove(&(rifl, site));
-                        return Some(started.elapsed());
-                    }
-                }
-            }
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
-                return None;
-            }
-            // Wait on the completion stream in short slices so that the receiver lock
-            // rotates between concurrent waiters.
-            let received = {
-                let completions = self.completions.lock().expect("completions lock");
-                completions.recv_timeout(remaining.min(Duration::from_millis(10)))
-            };
-            match received {
-                Ok(completion) => {
-                    let mut seen = self.seen.lock().expect("seen lock");
-                    seen.entry((completion.rifl, completion.site))
-                        .or_default()
-                        .insert(completion.shard);
-                }
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => return None,
-            }
-        }
-    }
-
-    /// Stops every thread and returns the per-process protocol metrics.
-    pub fn shutdown(mut self: Arc<Self>) -> Vec<ProtocolMetrics> {
-        for inbox in self.inboxes.values() {
-            let _ = inbox.send(Envelope::Stop);
-        }
-        let this = Arc::get_mut(&mut self).expect("all clients dropped before shutdown");
-        if let Some(tx) = this.network_tx.take() {
-            let _ = tx.send(None);
-        }
-        let mut metrics = Vec::new();
-        for handle in this.handles.drain(..) {
-            if let Ok(m) = handle.join() {
-                metrics.push(m);
-            }
-        }
-        if let Some(net) = this.network.take() {
-            let _ = net.join();
-        }
-        metrics
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use tempo_atlas::Atlas;
-    use tempo_core::Tempo;
-    use tempo_fpaxos::FPaxos;
-    use tempo_kernel::{KVOp, Rifl};
-
-    fn cmd(client: u64, seq: u64, key: u64) -> Command {
-        Command::single(Rifl::new(client, seq), 0, key, KVOp::Put(seq), 0)
-    }
-
-    #[test]
-    fn tempo_runs_on_threads_without_delays() {
-        let cluster = ThreadedCluster::<Tempo>::start(Config::full(3, 1), None);
-        for seq in 1..=10 {
-            let latency = cluster
-                .submit_sync(0, cmd(1, seq, seq % 2), Duration::from_secs(5))
-                .expect("command must complete");
-            assert!(latency < Duration::from_secs(1));
-        }
-        let metrics = Arc::clone(&cluster);
-        drop(cluster);
-        let metrics = metrics.shutdown();
-        let committed: u64 = metrics.iter().map(|m| m.committed).sum();
-        assert!(committed >= 10);
-    }
-
-    #[test]
-    fn concurrent_clients_from_different_sites() {
-        let cluster = ThreadedCluster::<Atlas>::start(Config::full(3, 1), None);
-        let mut threads = Vec::new();
-        for site in 0..3u64 {
-            let cluster = Arc::clone(&cluster);
-            threads.push(std::thread::spawn(move || {
-                let mut done = 0;
-                for seq in 1..=5 {
-                    if cluster
-                        .submit_sync(site, cmd(site + 1, seq, 0), Duration::from_secs(5))
-                        .is_some()
-                    {
-                        done += 1;
-                    }
-                }
-                done
-            }));
-        }
-        let total: u32 = threads.into_iter().map(|t| t.join().unwrap()).sum();
-        assert_eq!(total, 15);
-        cluster.shutdown();
-    }
-
-    #[test]
-    fn injected_delays_slow_down_remote_quorums() {
-        // With a 40 ms equidistant planet, a Tempo fast path needs one round trip to the
-        // closest remote replica, so latency must be at least ~40 ms.
-        let planet = Planet::equidistant(3, 40.0);
-        let cluster = ThreadedCluster::<Tempo>::start(Config::full(3, 1), Some(planet));
-        let latency = cluster
-            .submit_sync(0, cmd(1, 1, 7), Duration::from_secs(10))
-            .expect("command must complete");
-        assert!(
-            latency >= Duration::from_millis(35),
-            "expected a wide-area round trip, got {latency:?}"
-        );
-        cluster.shutdown();
-    }
-
-    #[test]
-    fn fpaxos_completes_under_the_threaded_runtime() {
-        let cluster = ThreadedCluster::<FPaxos>::start(Config::full(3, 1), None);
-        let latency = cluster.submit_sync(2, cmd(1, 1, 0), Duration::from_secs(5));
-        assert!(latency.is_some());
-        cluster.shutdown();
-    }
-
-    #[test]
-    fn messages_sent_counts_survive_shutdown() {
-        let cluster = ThreadedCluster::<Tempo>::start(Config::full(3, 1), None);
-        let _ = cluster
-            .submit_sync(0, cmd(1, 1, 0), Duration::from_secs(5))
-            .expect("command must complete");
-        let metrics = cluster.shutdown();
-        let sent: u64 = metrics.iter().map(|m| m.messages_sent).sum();
-        // One commit round involves at least a propose + acks + commits.
-        assert!(
-            sent >= 4,
-            "expected per-destination message counts, got {sent}"
-        );
-    }
-}
+pub use cluster::{
+    run_workload, ClientSession, NetCluster, NetOpts, RuntimeFactory, RuntimeReport, WorkloadTally,
+};
+pub use threaded::ThreadedCluster;

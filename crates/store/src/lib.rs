@@ -8,8 +8,8 @@
 //! is its mechanism:
 //!
 //! * [`wal`] — append-only log of [`WalRecord`]s (per-dot ballot/accept/commit state,
-//!   sibling-shard stability attestations, chunked clock floors), length+CRC-framed,
-//!   replayed on open with torn-tail truncation;
+//!   sibling-shard stability attestations, chunked clock and dot floors),
+//!   length+CRC-framed, replayed on open with torn-tail truncation;
 //! * [`snapshot`] — periodic [`Snapshot`]s of the applied state (key-value image,
 //!   execution boundary, pending queue, consensus state, GC watermarks) that truncate
 //!   the log;

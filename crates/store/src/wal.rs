@@ -41,6 +41,8 @@ pub enum DecodeError {
     BadMagic,
     /// A decoded command carried no operations (commands access at least one key).
     EmptyCommand,
+    /// A decoded value failed semantic validation (the reason names the field).
+    Invalid(&'static str),
 }
 
 impl fmt::Display for DecodeError {
@@ -51,9 +53,12 @@ impl fmt::Display for DecodeError {
             DecodeError::BadTag(t) => write!(f, "unknown tag {t}"),
             DecodeError::BadMagic => write!(f, "bad magic"),
             DecodeError::EmptyCommand => write!(f, "command with no operations"),
+            DecodeError::Invalid(what) => write!(f, "invalid value: {what}"),
         }
     }
 }
+
+impl std::error::Error for DecodeError {}
 
 /// CRC-32 (IEEE 802.3 polynomial, reflected) over `bytes`.
 pub fn crc32(bytes: &[u8]) -> u32 {
@@ -71,46 +76,58 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 // ---------------------------------------------------------------- primitives
 
 /// Little-endian byte writer over a growable buffer.
+///
+/// Public because every byte stream of the workspace — WAL records, snapshots and the
+/// `tempo-net` wire codec — shares this one encoding discipline (fixed-width
+/// little-endian integers inside length+CRC frames).
 #[derive(Debug, Default)]
-pub(crate) struct Writer {
+pub struct Writer {
     buf: Vec<u8>,
 }
 
 impl Writer {
-    pub(crate) fn new() -> Self {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
         Self::default()
     }
 
-    pub(crate) fn put_u8(&mut self, v: u8) {
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
         self.buf.push(v);
     }
 
-    pub(crate) fn put_u32(&mut self, v: u32) {
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    pub(crate) fn put_u64(&mut self, v: u64) {
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    pub(crate) fn into_bytes(self) -> Vec<u8> {
+    /// Consumes the writer, returning the accumulated bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
         self.buf
     }
 }
 
-/// Little-endian byte reader over a slice.
+/// Little-endian byte reader over a slice. The counterpart of [`Writer`]; every read
+/// reports [`DecodeError::Truncated`] instead of panicking when the input is short.
 #[derive(Debug)]
-pub(crate) struct Reader<'a> {
+pub struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    pub(crate) fn new(buf: &'a [u8]) -> Self {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
         Self { buf, pos: 0 }
     }
 
-    pub(crate) fn remaining(&self) -> usize {
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
         self.buf.len() - self.pos
     }
 
@@ -123,31 +140,48 @@ impl<'a> Reader<'a> {
         Ok(out)
     }
 
-    pub(crate) fn u8(&mut self) -> Result<u8, DecodeError> {
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
         Ok(self.take(1)?[0])
     }
 
-    pub(crate) fn u32(&mut self) -> Result<u32, DecodeError> {
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
-    pub(crate) fn u64(&mut self) -> Result<u64, DecodeError> {
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Bounds a length prefix read from untrusted bytes: the claimed element count can
+    /// never exceed `remaining / min_element_size`, so a corrupt count produces a
+    /// [`DecodeError::Truncated`] instead of a giant allocation.
+    pub fn checked_len(&self, claimed: u32, min_element_size: usize) -> Result<usize, DecodeError> {
+        let claimed = claimed as usize;
+        if claimed > self.remaining() / min_element_size.max(1) {
+            return Err(DecodeError::Truncated);
+        }
+        Ok(claimed)
     }
 }
 
 // --------------------------------------------------------------- field codecs
 
-pub(crate) fn put_dot(w: &mut Writer, dot: Dot) {
+/// Encodes a [`Dot`] (source, sequence).
+pub fn put_dot(w: &mut Writer, dot: Dot) {
     w.put_u64(dot.source);
     w.put_u64(dot.sequence);
 }
 
-pub(crate) fn get_dot(r: &mut Reader<'_>) -> Result<Dot, DecodeError> {
+/// Decodes a [`Dot`] written by [`put_dot`].
+pub fn get_dot(r: &mut Reader<'_>) -> Result<Dot, DecodeError> {
     Ok(Dot::new(r.u64()?, r.u64()?))
 }
 
-pub(crate) fn put_command(w: &mut Writer, cmd: &Command) {
+/// Encodes a [`Command`] (rifl, payload size, per-shard keyed operations).
+pub fn put_command(w: &mut Writer, cmd: &Command) {
     w.put_u64(cmd.rifl.client);
     w.put_u64(cmd.rifl.seq);
     w.put_u64(cmd.payload_size as u64);
@@ -173,14 +207,19 @@ pub(crate) fn put_command(w: &mut Writer, cmd: &Command) {
     }
 }
 
-pub(crate) fn get_command(r: &mut Reader<'_>) -> Result<Command, DecodeError> {
+/// Decodes a [`Command`] written by [`put_command`].
+pub fn get_command(r: &mut Reader<'_>) -> Result<Command, DecodeError> {
     let rifl = Rifl::new(r.u64()?, r.u64()?);
     let payload_size = r.u64()? as usize;
     let shards = r.u32()?;
+    // Shard and op counts come from untrusted bytes: bound them by what the buffer can
+    // possibly hold before looping (each shard needs >= 12 bytes, each op >= 9).
+    let shards = r.checked_len(shards, 12)?;
     let mut triples: Vec<(ShardId, Key, KVOp)> = Vec::new();
     for _ in 0..shards {
         let shard = r.u64()?;
         let ops = r.u32()?;
+        let ops = r.checked_len(ops, 9)?;
         for _ in 0..ops {
             let key = r.u64()?;
             let op = match r.u8()? {
@@ -198,7 +237,8 @@ pub(crate) fn get_command(r: &mut Reader<'_>) -> Result<Command, DecodeError> {
     Ok(Command::new(rifl, triples, payload_size))
 }
 
-pub(crate) fn put_pairs(w: &mut Writer, pairs: &[(u64, u64)]) {
+/// Encodes a length-prefixed list of `(u64, u64)` pairs.
+pub fn put_pairs(w: &mut Writer, pairs: &[(u64, u64)]) {
     w.put_u32(pairs.len() as u32);
     for (a, b) in pairs {
         w.put_u64(*a);
@@ -206,9 +246,11 @@ pub(crate) fn put_pairs(w: &mut Writer, pairs: &[(u64, u64)]) {
     }
 }
 
-pub(crate) fn get_pairs(r: &mut Reader<'_>) -> Result<Vec<(u64, u64)>, DecodeError> {
+/// Decodes a list written by [`put_pairs`].
+pub fn get_pairs(r: &mut Reader<'_>) -> Result<Vec<(u64, u64)>, DecodeError> {
     let n = r.u32()?;
-    let mut out = Vec::with_capacity(n as usize);
+    let n = r.checked_len(n, 16)?;
+    let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         out.push((r.u64()?, r.u64()?));
     }
@@ -274,6 +316,13 @@ pub enum WalRecord {
     /// watermark advances — so a recovered replica's applied image matches its
     /// pre-crash image without waiting for peers.
     Stable(u64),
+    /// The replica may have used dot sequences up to this value and must generate
+    /// future dots strictly above it. Like [`WalRecord::ClockFloor`], floors are
+    /// persisted in chunks ahead of the live generator, so a clean restart skips at
+    /// most one chunk of unused sequences but can never re-issue a dot — making dot
+    /// uniqueness after store-backed restarts independent of the incarnation bands
+    /// (`incarnation << 48`) that diskless rejoins rely on.
+    DotFloor(u64),
 }
 
 const TAG_CLOCK_FLOOR: u8 = 1;
@@ -282,6 +331,7 @@ const TAG_ACCEPT: u8 = 3;
 const TAG_COMMIT: u8 = 4;
 const TAG_SIBLING_STABLE: u8 = 5;
 const TAG_STABLE: u8 = 6;
+const TAG_DOT_FLOOR: u8 = 7;
 
 impl WalRecord {
     /// Encodes the record payload (tag + fields, no frame).
@@ -327,6 +377,10 @@ impl WalRecord {
                 w.put_u8(TAG_STABLE);
                 w.put_u64(*ts);
             }
+            WalRecord::DotFloor(floor) => {
+                w.put_u8(TAG_DOT_FLOOR);
+                w.put_u64(*floor);
+            }
         }
         w.into_bytes()
     }
@@ -366,6 +420,7 @@ impl WalRecord {
                 shard: r.u64()?,
             },
             TAG_STABLE => WalRecord::Stable(r.u64()?),
+            TAG_DOT_FLOOR => WalRecord::DotFloor(r.u64()?),
             t => return Err(DecodeError::BadTag(t)),
         };
         Ok(record)
@@ -377,8 +432,9 @@ impl WalRecord {
     }
 }
 
-/// Frames a payload as `[len: u32][crc32: u32][payload]`.
-pub(crate) fn frame(payload: &[u8]) -> Vec<u8> {
+/// Frames a payload as `[len: u32][crc32: u32][payload]` — the framing shared by the
+/// WAL, the snapshot stream and the `tempo-net` wire protocol.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(8 + payload.len());
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(&crc32(payload).to_le_bytes());
@@ -388,7 +444,7 @@ pub(crate) fn frame(payload: &[u8]) -> Vec<u8> {
 
 /// Reads one frame starting at `bytes[offset..]`, returning the payload slice and the
 /// offset just past the frame.
-pub(crate) fn read_frame(bytes: &[u8], offset: usize) -> Result<(&[u8], usize), DecodeError> {
+pub fn read_frame(bytes: &[u8], offset: usize) -> Result<(&[u8], usize), DecodeError> {
     let mut r = Reader::new(&bytes[offset..]);
     let len = r.u32()? as usize;
     let crc = r.u32()?;
@@ -478,6 +534,7 @@ mod tests {
                 shard: 1,
             },
             WalRecord::Stable(5),
+            WalRecord::DotFloor(96),
         ]
     }
 
@@ -530,5 +587,29 @@ mod tests {
     fn crc32_matches_known_vector() {
         // The canonical IEEE CRC-32 check value.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn dot_floor_pins_its_byte_encoding() {
+        // Tag 7 + u64 LE; pinned so the WAL format cannot drift silently.
+        let bytes = WalRecord::DotFloor(0x0102_0304_0506_0708).encode();
+        assert_eq!(
+            bytes,
+            vec![7, 0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01]
+        );
+    }
+
+    #[test]
+    fn corrupt_length_prefixes_error_instead_of_allocating() {
+        // A command frame whose op count is inflated far beyond the buffer must fail
+        // cleanly (Truncated), not attempt a multi-gigabyte allocation.
+        let mut w = Writer::new();
+        w.put_u64(1); // rifl.client
+        w.put_u64(1); // rifl.seq
+        w.put_u64(0); // payload_size
+        w.put_u32(u32::MAX); // shard count: absurd
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(get_command(&mut r), Err(DecodeError::Truncated));
     }
 }

@@ -48,6 +48,9 @@ fn golden_records() -> Vec<WalRecord> {
         },
         WalRecord::Stable(9),
         WalRecord::ClockFloor(128),
+        // Appended in PR 5 (tag 7, new record — existing encodings unchanged, so the
+        // magic stays at v1 and the fixture was regenerated with this record at the end).
+        WalRecord::DotFloor(67),
     ]
 }
 

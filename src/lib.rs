@@ -12,7 +12,9 @@
 //! * [`atlas`], [`fpaxos`], [`caesar`], [`janus`] — the baselines of §6,
 //! * [`sim`] — the discrete-event simulator (with the fault plane),
 //! * [`store`] — durable replica state: WAL + snapshots behind the `Store` trait,
-//! * [`runtime`] — the threaded cluster runtime,
+//! * [`net`] — wire codec + pluggable transports (TCP, chaos injection),
+//! * [`runtime`] — the cluster runtime: the networked `NetCluster` over `tempo-net`
+//!   and the legacy channel-based `ThreadedCluster`,
 //! * [`workload`] — microbenchmark, YCSB+T and batching workloads.
 //!
 //! # Quick start (API v2)
@@ -53,6 +55,7 @@ pub use tempo_core as tempo;
 pub use tempo_fpaxos as fpaxos;
 pub use tempo_janus as janus;
 pub use tempo_kernel as kernel;
+pub use tempo_net as net;
 pub use tempo_planet as planet;
 pub use tempo_runtime as runtime;
 pub use tempo_sim as sim;
