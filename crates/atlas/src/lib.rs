@@ -4,7 +4,9 @@
 //! rather than timestamps (§3.3). Commands are committed together with a dependency set
 //! and executed by collapsing the resulting graph into strongly connected components.
 //! The [`graph`] module hosts the dependency-graph executor, which is also reused by the
-//! Janus* baseline (`tempo-janus`).
+//! Janus* baseline (`tempo-janus`). The [`wire`] module gives the message set a
+//! `tempo-net` codec, so both baselines also run on the networked `NetCluster`
+//! runtime (and in the load-plane benchmarks) — not just under the simulator.
 //!
 //! # Quick start
 //!
@@ -25,6 +27,7 @@
 pub mod executor;
 pub mod graph;
 pub mod protocol;
+pub mod wire;
 
 pub use executor::{GraphExecutor, GraphInfo};
 pub use graph::{ConflictIndex, DependencyGraph};

@@ -1,13 +1,15 @@
 //! Figure 6 — latency percentiles (95th to 99.99th) with 5 sites, 2% conflicts.
+//! Emits `BENCH_fig6.json` with the shared latency-percentile block.
 //!
 //! Paper setup: 256 and 512 clients per site; the tail of Atlas/EPaxos/Caesar reaches
 //! several seconds while Tempo stays within a few hundred milliseconds (an improvement of
 //! 1.4-8x at 256 clients and 4.3-14x at 512). Scaled-down harness: 16 and 32 clients per
-//! site; the qualitative gap (dependency-based protocols have a much longer tail) is what
-//! is checked.
+//! site (8/16 in short mode); the qualitative gap (dependency-based protocols have a much
+//! longer tail) is what is checked.
 
 use tempo_atlas::{Atlas, EPaxos};
-use tempo_bench::{full_replication, header};
+use tempo_bench::json::{self, Record};
+use tempo_bench::{full_replication, header, short_mode};
 use tempo_caesar::Caesar;
 use tempo_core::Tempo;
 use tempo_kernel::metrics::Percentile;
@@ -16,7 +18,7 @@ use tempo_sim::RunReport;
 const CONFLICT: f64 = 0.02;
 const PAYLOAD: usize = 100;
 
-fn row(label: &str, report: &mut RunReport) -> f64 {
+fn row(label: &str, clients: usize, report: &mut RunReport, records: &mut Vec<Record>) -> f64 {
     let p99 = report.percentile_ms(Percentile(99.0));
     println!(
         "{:<14} {:>8.0} {:>8.0} {:>8.0} {:>9.0} {:>10.0} {}",
@@ -28,6 +30,17 @@ fn row(label: &str, report: &mut RunReport) -> f64 {
         report.percentile_ms(Percentile(99.99)),
         if report.stalled { "[STALLED]" } else { "" }
     );
+    let slug = label.to_lowercase().replace(' ', "_").replace('=', "");
+    records.push(
+        Record::new(
+            format!("fig6/{slug}_c{clients}"),
+            &[
+                ("p9999_ms", report.percentile_ms(Percentile(99.99))),
+                ("stalled", u64::from(report.stalled) as f64),
+            ],
+        )
+        .with_latency(&report.overall.summary()),
+    );
     report.percentile_ms(Percentile(99.9))
 }
 
@@ -36,24 +49,26 @@ fn main() {
         "Figure 6: latency percentiles, 5 sites, 2% conflicts",
         "Figure 6, §6.3 'Tail latency'  (paper: 256/512 clients/site; here: 16/32)",
     );
-    for clients in [16usize, 32] {
+    let client_counts = if short_mode() { [8usize, 16] } else { [16, 32] };
+    let mut records = Vec::new();
+    for clients in client_counts {
         println!("\n--- {clients} clients per site ---");
         println!(
             "{:<14} {:>8} {:>8} {:>8} {:>9} {:>10}",
             "protocol", "mean", "p95", "p99", "p99.9", "p99.99"
         );
         let mut tempo1 = full_replication::<Tempo>(1, clients, CONFLICT, PAYLOAD, None);
-        let tempo_tail = row("Tempo f=1", &mut tempo1);
+        let tempo_tail = row("Tempo f=1", clients, &mut tempo1, &mut records);
         let mut tempo2 = full_replication::<Tempo>(2, clients, CONFLICT, PAYLOAD, None);
-        row("Tempo f=2", &mut tempo2);
+        row("Tempo f=2", clients, &mut tempo2, &mut records);
         let mut atlas1 = full_replication::<Atlas>(1, clients, CONFLICT, PAYLOAD, None);
-        let atlas1_tail = row("Atlas f=1", &mut atlas1);
+        let atlas1_tail = row("Atlas f=1", clients, &mut atlas1, &mut records);
         let mut atlas2 = full_replication::<Atlas>(2, clients, CONFLICT, PAYLOAD, None);
-        let atlas2_tail = row("Atlas f=2", &mut atlas2);
+        let atlas2_tail = row("Atlas f=2", clients, &mut atlas2, &mut records);
         let mut epaxos = full_replication::<EPaxos>(2, clients, CONFLICT, PAYLOAD, None);
-        row("EPaxos", &mut epaxos);
+        row("EPaxos", clients, &mut epaxos, &mut records);
         let mut caesar = full_replication::<Caesar>(2, clients, CONFLICT, PAYLOAD, None);
-        let caesar_tail = row("Caesar", &mut caesar);
+        let caesar_tail = row("Caesar", clients, &mut caesar, &mut records);
 
         let worst_dep_tail = atlas1_tail.max(atlas2_tail).max(caesar_tail);
         println!(
@@ -65,4 +80,5 @@ fn main() {
             "dependency-based protocols should have a longer tail than Tempo"
         );
     }
+    json::write("fig6", &records);
 }

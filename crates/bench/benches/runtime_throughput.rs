@@ -48,12 +48,14 @@ fn run_once(batch: bool, clients_per_site: usize, commands_per_client: usize) ->
     let mode = if batch { "batched" } else { "unbatched" };
     let msgs_per_s = report.transport.frames_sent as f64 / elapsed;
     let bytes_per_s = report.transport.bytes_sent as f64 / elapsed;
+    let latency = tally.latency.summary();
     println!(
-        "  {mode:9} | {:7.0} cmds/s | {:8.0} msgs/s/replica | {:9.0} B/s/replica | {} flushes",
+        "  {mode:9} | {:7.0} cmds/s | {:8.0} msgs/s/replica | {:9.0} B/s/replica | {} flushes | p99 {:.2} ms",
         tally.completed as f64 / elapsed,
         msgs_per_s / replicas,
         bytes_per_s / replicas,
         report.transport.flushes,
+        latency.p99_ms,
     );
     Record::new(
         format!("runtime/{mode}_c{clients_per_site}"),
@@ -67,6 +69,7 @@ fn run_once(batch: bool, clients_per_site: usize, commands_per_client: usize) ->
             ("elapsed_s", elapsed),
         ],
     )
+    .with_latency(&latency)
 }
 
 fn main() {

@@ -8,6 +8,7 @@
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+use tempo_kernel::metrics::LatencySummary;
 
 /// One benchmark record: a stable name plus numeric fields (`("median_us", 12.3)`, ...).
 #[derive(Debug, Clone)]
@@ -26,6 +27,27 @@ impl Record {
             fields: fields.iter().map(|(k, v)| ((*k).to_string(), *v)).collect(),
         }
     }
+
+    /// Appends the shared latency-percentile block (builder style).
+    pub fn with_latency(mut self, summary: &LatencySummary) -> Self {
+        self.fields.extend(latency_fields(summary));
+        self
+    }
+}
+
+/// The shared latency-percentile block: the same field names in every latency-bearing
+/// `BENCH_*.json` (`BENCH_load.json`, `BENCH_runtime.json`, `BENCH_fig6.json`), so
+/// tail-latency trajectories are comparable across harnesses.
+pub fn latency_fields(summary: &LatencySummary) -> Vec<(String, f64)> {
+    vec![
+        ("lat_samples".to_string(), summary.samples as f64),
+        ("lat_mean_ms".to_string(), summary.mean_ms),
+        ("lat_p50_ms".to_string(), summary.p50_ms),
+        ("lat_p95_ms".to_string(), summary.p95_ms),
+        ("lat_p99_ms".to_string(), summary.p99_ms),
+        ("lat_p999_ms".to_string(), summary.p999_ms),
+        ("lat_max_ms".to_string(), summary.max_ms),
+    ]
 }
 
 fn escape(s: &str) -> String {

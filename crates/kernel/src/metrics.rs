@@ -116,6 +116,194 @@ impl Histogram {
     }
 }
 
+/// The shared percentile block reported by every latency-measuring harness
+/// (`BENCH_load.json`, `BENCH_runtime.json`, the fig6 simulator bench): one schema,
+/// whether the samples came from an exact [`Histogram`] or a streaming
+/// [`LogHistogram`]. All latencies are milliseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples the block summarizes.
+    pub samples: u64,
+    /// Mean latency.
+    pub mean_ms: f64,
+    /// Median.
+    pub p50_ms: f64,
+    /// 95th percentile.
+    pub p95_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// 99.9th percentile.
+    pub p999_ms: f64,
+    /// Largest sample.
+    pub max_ms: f64,
+}
+
+/// Sub-bucket resolution of [`LogHistogram`]: 2^6 = 64 sub-buckets per octave, i.e. a
+/// relative quantile error of at most 1/64 (~1.6%).
+const LOG_SUB_BITS: u32 = 6;
+const LOG_SUBS: usize = 1 << LOG_SUB_BITS;
+/// Values at or above 2^40 microseconds (~12.7 days) saturate into the last bucket.
+const LOG_MAX_BITS: u32 = 40;
+const LOG_BUCKETS: usize = ((LOG_MAX_BITS - LOG_SUB_BITS) as usize + 1) * LOG_SUBS;
+
+/// A streaming, HDR-style log-bucketed latency histogram.
+///
+/// Unlike [`Histogram`] (which keeps every sample and answers exact percentiles),
+/// this records into a fixed array of log-spaced buckets: [`LogHistogram::record`] is
+/// an index computation plus a counter increment — no allocation, no sorting — so it
+/// can sit on the hot path of an open-loop load generator recording every operation.
+/// Values below 64 µs are exact; above that, each power of two is split into 64
+/// sub-buckets, bounding the relative quantile error by 1/64 (~1.6%). Quantiles
+/// report the midpoint of the answering bucket.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_us: u128,
+    max_us: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram (the bucket array is the only allocation it will
+    /// ever make).
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; LOG_BUCKETS],
+            count: 0,
+            sum_us: 0,
+            max_us: 0,
+        }
+    }
+
+    fn index(v: u64) -> usize {
+        if v < LOG_SUBS as u64 {
+            v as usize
+        } else {
+            let msb = 63 - v.leading_zeros();
+            let group = (msb - LOG_SUB_BITS + 1) as usize;
+            let sub = ((v >> (msb - LOG_SUB_BITS)) & (LOG_SUBS as u64 - 1)) as usize;
+            (group * LOG_SUBS + sub).min(LOG_BUCKETS - 1)
+        }
+    }
+
+    /// The value range `[lo, hi)` covered by bucket `i` (midpoint is what quantile
+    /// queries report).
+    fn bucket_bounds(i: usize) -> (u64, u64) {
+        let group = i / LOG_SUBS;
+        let sub = (i % LOG_SUBS) as u64;
+        if group == 0 {
+            (sub, sub + 1)
+        } else {
+            let shift = (group - 1) as u32;
+            let lo = (LOG_SUBS as u64 + sub) << shift;
+            (lo, lo + (1 << shift))
+        }
+    }
+
+    /// Records one latency sample, in microseconds. O(1), allocation-free.
+    pub fn record(&mut self, sample_us: u64) {
+        let v = sample_us.min((1 << LOG_MAX_BITS) - 1);
+        self.buckets[Self::index(v)] += 1;
+        self.count += 1;
+        self.sum_us += u128::from(sample_us);
+        self.max_us = self.max_us.max(sample_us);
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no sample was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The largest recorded sample, in microseconds (exact, not bucketed).
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// Mean of the recorded samples, in microseconds (exact, not bucketed).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+
+    /// Adds every bucket of `other` into this histogram.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) in microseconds, by nearest rank over the
+    /// buckets; the answering bucket's midpoint is returned (its width bounds the
+    /// error). 0 when empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let (lo, hi) = Self::bucket_bounds(i);
+                // The true max is tracked exactly; use it to tighten the last
+                // occupied bucket (p100 == max).
+                return ((lo + hi) / 2).min(self.max_us);
+            }
+        }
+        self.max_us
+    }
+
+    /// A percentile in milliseconds (same query surface as [`Histogram`]).
+    pub fn percentile_ms(&self, p: Percentile) -> f64 {
+        self.quantile_us(p.0 / 100.0) as f64 / 1000.0
+    }
+
+    /// The shared percentile block of this histogram.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            samples: self.count,
+            mean_ms: self.mean_us() / 1000.0,
+            p50_ms: self.percentile_ms(Percentile(50.0)),
+            p95_ms: self.percentile_ms(Percentile(95.0)),
+            p99_ms: self.percentile_ms(Percentile(99.0)),
+            p999_ms: self.percentile_ms(Percentile(99.9)),
+            max_ms: self.max_us as f64 / 1000.0,
+        }
+    }
+}
+
+impl Histogram {
+    /// The shared percentile block of this histogram (exact, from the raw samples).
+    pub fn summary(&mut self) -> LatencySummary {
+        LatencySummary {
+            samples: self.len() as u64,
+            mean_ms: self.mean_ms(),
+            p50_ms: self.percentile_ms(Percentile(50.0)),
+            p95_ms: self.percentile_ms(Percentile(95.0)),
+            p99_ms: self.percentile_ms(Percentile(99.0)),
+            p999_ms: self.percentile_ms(Percentile(99.9)),
+            max_ms: self.max_ms(),
+        }
+    }
+}
+
 /// Throughput accounting for a run: completed commands over a time window.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Throughput {
@@ -215,5 +403,110 @@ mod tests {
     fn figure6_percentile_list() {
         assert_eq!(Percentile::FIGURE6.len(), 5);
         assert_eq!(format!("{}", Percentile(99.9)), "p99.9");
+    }
+
+    #[test]
+    fn log_histogram_empty_is_zero() {
+        let h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile_us(0.5), 0);
+        assert_eq!(h.mean_us(), 0.0);
+        assert_eq!(h.summary(), LatencySummary::default());
+    }
+
+    #[test]
+    fn log_histogram_small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..64u64 {
+            h.record(v);
+        }
+        // Below 64 µs every value has its own bucket: quantiles are exact
+        // (nearest rank 32 of the sorted values 0..=63 is the value 31).
+        assert_eq!(h.quantile_us(0.5), 31);
+        assert_eq!(h.quantile_us(1.0), 63);
+        assert_eq!(h.max_us(), 63);
+    }
+
+    /// The satellite bar: log-bucketed quantiles must agree with the exact
+    /// sorted-sample percentiles of the same data within the bucketing tolerance
+    /// (half a bucket width, i.e. ~1/128 relative).
+    #[test]
+    fn log_histogram_quantiles_match_exact_percentiles() {
+        let mut exact = Histogram::new();
+        let mut log = LogHistogram::new();
+        // A deterministic long-tailed sequence spanning ~4 decades (100 µs .. 1 s).
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for _ in 0..50_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let base = 100 + x % 30_000; // bulk: 0.1-30 ms
+            let sample = if x.is_multiple_of(100) {
+                base + 100_000 + x % 900_000 // 1% tail: 0.1-1 s
+            } else {
+                base
+            };
+            exact.record(sample);
+            log.record(sample);
+        }
+        for p in [50.0, 90.0, 95.0, 99.0, 99.9, 99.99] {
+            let want = exact.percentile_ms(Percentile(p));
+            let got = log.percentile_ms(Percentile(p));
+            let tolerance = want / 64.0 + 1e-3;
+            assert!(
+                (got - want).abs() <= tolerance,
+                "p{p}: log-bucketed {got}ms vs exact {want}ms (tolerance {tolerance}ms)"
+            );
+        }
+        assert!((log.mean_us() / 1000.0 - exact.mean_ms()).abs() < 1e-9);
+        assert_eq!(log.max_us() as f64 / 1000.0, exact.max_ms());
+        assert_eq!(log.summary().samples, exact.len() as u64);
+    }
+
+    #[test]
+    fn log_histogram_merge_equals_single_recording() {
+        let mut all = LogHistogram::new();
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for i in 0..10_000u64 {
+            let v = (i * 7919) % 1_000_003;
+            all.record(v);
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.len(), all.len());
+        assert_eq!(a.max_us(), all.max_us());
+        for q in [0.5, 0.95, 0.99, 0.999] {
+            assert_eq!(a.quantile_us(q), all.quantile_us(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn log_histogram_saturates_instead_of_panicking() {
+        let mut h = LogHistogram::new();
+        h.record(u64::MAX);
+        h.record(1 << 50);
+        assert_eq!(h.len(), 2);
+        // Bucketed quantiles clamp to 2^40 µs; max stays exact.
+        assert_eq!(h.max_us(), u64::MAX);
+        assert!(h.quantile_us(0.5) <= h.max_us());
+    }
+
+    #[test]
+    fn exact_histogram_summary_matches_percentile_queries() {
+        let mut h = Histogram::new();
+        for ms in 1..=1000u64 {
+            h.record(ms * 1000);
+        }
+        let s = h.summary();
+        assert_eq!(s.samples, 1000);
+        assert_eq!(s.p50_ms, 500.0);
+        assert_eq!(s.p99_ms, 990.0);
+        assert!((999.0..=1000.0).contains(&s.p999_ms), "p999 {}", s.p999_ms);
+        assert_eq!(s.max_ms, 1000.0);
     }
 }

@@ -1,0 +1,152 @@
+//! Open-loop arrival schedules.
+//!
+//! A closed-loop client submits its next command when the previous one returns, so a
+//! slow system quietly slows its own load generator down and the measured latencies
+//! hide queueing (*coordinated omission*). An open-loop generator instead fixes the
+//! *intended* submission times up front — a monotone stream of microsecond
+//! timestamps — and measures every operation from its intended time, whether or not
+//! the system kept up. [`Arrivals`] produces that stream, either at a fixed rate
+//! (deterministic spacing) or as a Poisson process (exponential interarrivals, the
+//! standard model for the aggregate of many independent users).
+
+use tempo_kernel::rand::Rng;
+
+/// How interarrival gaps are drawn.
+#[derive(Debug, Clone)]
+enum Spacing {
+    /// Every gap is exactly `1/rate`: arrival *k* is at `k/rate`.
+    Fixed,
+    /// Exponential gaps with mean `1/rate`, drawn from a seeded PRNG.
+    Poisson(Rng),
+}
+
+/// An unbounded, monotone stream of intended arrival times, in microseconds from the
+/// start of the run. Deterministic given its construction parameters (and seed, for
+/// the Poisson variant).
+#[derive(Debug, Clone)]
+pub struct Arrivals {
+    rate_per_s: f64,
+    spacing: Spacing,
+    /// Arrivals produced so far (fixed spacing derives times from this, avoiding
+    /// floating-point drift over long runs).
+    count: u64,
+    /// Accumulated time of the last Poisson arrival, in (fractional) microseconds.
+    elapsed_us: f64,
+}
+
+impl Arrivals {
+    /// A fixed-rate schedule: arrival `k` is intended at `k / rate` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate_per_s` is positive and finite.
+    pub fn fixed(rate_per_s: f64) -> Self {
+        assert!(
+            rate_per_s > 0.0 && rate_per_s.is_finite(),
+            "arrival rate must be positive, got {rate_per_s}"
+        );
+        Self {
+            rate_per_s,
+            spacing: Spacing::Fixed,
+            count: 0,
+            elapsed_us: 0.0,
+        }
+    }
+
+    /// A Poisson schedule with mean rate `rate_per_s`: interarrival gaps are i.i.d.
+    /// exponential with mean `1/rate`. Equal seeds produce equal schedules.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate_per_s` is positive and finite.
+    pub fn poisson(rate_per_s: f64, seed: u64) -> Self {
+        assert!(
+            rate_per_s > 0.0 && rate_per_s.is_finite(),
+            "arrival rate must be positive, got {rate_per_s}"
+        );
+        Self {
+            rate_per_s,
+            spacing: Spacing::Poisson(Rng::new(seed)),
+            count: 0,
+            elapsed_us: 0.0,
+        }
+    }
+
+    /// The configured mean rate, in arrivals per second.
+    pub fn rate_per_s(&self) -> f64 {
+        self.rate_per_s
+    }
+
+    /// The intended time of the next arrival, in microseconds from the run start.
+    /// Nondecreasing across calls; the first call returns the first gap (the stream
+    /// starts *after* time zero, so a run never front-loads an arrival at t=0).
+    pub fn next_us(&mut self) -> u64 {
+        self.count += 1;
+        match &mut self.spacing {
+            Spacing::Fixed => (self.count as f64 * 1_000_000.0 / self.rate_per_s) as u64,
+            Spacing::Poisson(rng) => {
+                // Inverse-CDF: gap = -ln(1-U)/rate. `1 - next_f64()` is in (0, 1],
+                // so ln() is finite.
+                let u = 1.0 - rng.next_f64();
+                let gap_us = -u.ln() / self.rate_per_s * 1_000_000.0;
+                self.elapsed_us += gap_us;
+                self.elapsed_us as u64
+            }
+        }
+    }
+}
+
+impl Iterator for Arrivals {
+    type Item = u64;
+
+    /// The stream never ends; callers bound it by time or count.
+    fn next(&mut self) -> Option<u64> {
+        Some(self.next_us())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_rate_spacing_is_exact() {
+        let mut a = Arrivals::fixed(1000.0); // 1 per ms
+        assert_eq!(a.next_us(), 1000);
+        assert_eq!(a.next_us(), 2000);
+        assert_eq!(a.next_us(), 3000);
+        // No drift over long horizons: arrival 1e6 is at exactly 1e9 µs.
+        let mut b = Arrivals::fixed(1000.0);
+        let last = b.nth(999_999).unwrap();
+        assert_eq!(last, 1_000_000_000);
+    }
+
+    #[test]
+    fn poisson_same_seed_same_schedule() {
+        let a: Vec<u64> = Arrivals::poisson(5000.0, 42).take(10_000).collect();
+        let b: Vec<u64> = Arrivals::poisson(5000.0, 42).take(10_000).collect();
+        assert_eq!(a, b);
+        let c: Vec<u64> = Arrivals::poisson(5000.0, 43).take(10_000).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn poisson_is_monotone_with_correct_mean_rate() {
+        let times: Vec<u64> = Arrivals::poisson(2000.0, 7).take(100_000).collect();
+        for w in times.windows(2) {
+            assert!(w[0] <= w[1], "arrival times must be nondecreasing");
+        }
+        // 100k arrivals at 2k/s should span ~50 s; allow 2% for sampling noise.
+        let span_s = *times.last().unwrap() as f64 / 1_000_000.0;
+        assert!(
+            (span_s - 50.0).abs() < 1.0,
+            "100k arrivals at 2000/s spanned {span_s}s, expected ~50s"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_panics() {
+        let _ = Arrivals::fixed(0.0);
+    }
+}

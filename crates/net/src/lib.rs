@@ -22,6 +22,10 @@
 //!   threads, reader threads feeding a single inbox, and lazy reconnection through a
 //!   shared address book so a restarted process (fresh listener, fresh port) is
 //!   reachable again without any coordination.
+//! * [`planet`] — [`PlanetTransport`], a wrapper over any transport that injects the
+//!   `tempo-planet` one-way region latencies (Table 2) on the receive path, so that
+//!   load and latency measurements run on real sockets across *emulated* wide-area
+//!   regions. Replicas and client endpoints both live in regions; see DESIGN.md §8.
 //! * [`chaos`] — [`ChaosTransport`], a wrapper over any transport that consumes the
 //!   *same* `tempo-fault::Nemesis` schedules the simulator runs: partitions and lossy
 //!   links drop frames at delivery, delay spikes hold them back, and the shared
@@ -40,11 +44,13 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod planet;
 pub mod tcp;
 pub mod transport;
 pub mod wire;
 
 pub use chaos::{ChaosNet, ChaosTransport};
+pub use planet::{PlanetNet, PlanetTransport};
 pub use tcp::{TcpMesh, TcpTransport};
 pub use transport::{RecvError, Transport, TransportStats, CLIENT_ID_BASE, CONTROL_ID};
 pub use wire::{ClientReply, ClientRequest, Wire, MAX_FRAME_LEN};

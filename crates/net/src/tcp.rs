@@ -7,10 +7,12 @@
 //! and from then on:
 //!
 //! * an **accept thread** polls the listener and spawns one **reader thread** per
-//!   inbound connection; the reader validates a hello (`b"TNET"` + sender id), then
-//!   decodes `[len][crc][payload]` frames and feeds them into the endpoint's single
-//!   inbox channel — any malformed or checksum-failing frame closes the connection
-//!   (it can only mean corruption; the peer will reconnect);
+//!   inbound connection; the reader validates a hello (`b"TNET"` + sender id +
+//!   sender incarnation — a connection from an incarnation the book has replaced is
+//!   closed before any frame surfaces), then decodes `[len][crc][payload]` frames
+//!   and feeds them into the endpoint's single inbox channel — any malformed or
+//!   checksum-failing frame closes the connection (it can only mean corruption; the
+//!   peer will reconnect);
 //! * one **writer thread per peer** is created lazily on first send. It owns the
 //!   outbound connection, dials the peer's *current* address from the book when
 //!   disconnected (rate-limited), and writes whole batches. The queue between
@@ -31,9 +33,13 @@
 //! Dropping an endpoint closes its listener and shuts down every accepted socket:
 //! peers' readers see EOF, their writers start failing and drop frames — exactly
 //! "connections die with their process". A restarted process obtains a *fresh*
-//! endpoint (new port) whose address replaces the old one in the book; peers' writers
-//! re-dial lazily and traffic resumes. No frame is ever delivered twice; frames
-//! buffered toward a dead peer are dropped and counted.
+//! endpoint (new port, incremented *incarnation*) whose book entry replaces the old
+//! one; peers' writers re-dial lazily and traffic resumes. No frame is ever
+//! delivered twice, and no frame ever crosses incarnations: outbound blobs are
+//! stamped with the destination incarnation they were addressed to and dropped by
+//! the writer if the book has moved on ([`TransportStats::frames_dropped_stale`]),
+//! while inbound connections carrying a stale *sender* incarnation are refused at
+//! the hello — the same hygiene the simulator enforces with its incarnation tags.
 
 use crate::transport::{RecvError, Transport, TransportStats};
 use crate::wire::MAX_FRAME_LEN;
@@ -48,8 +54,12 @@ use std::time::{Duration, Instant};
 use tempo_kernel::id::ProcessId;
 use tempo_store::wal::crc32;
 
-/// Connection hello: magic + sender id, written once per outbound connection.
+/// Connection hello: magic + sender id + sender incarnation, written once per
+/// outbound connection.
 const HELLO_MAGIC: &[u8; 4] = b"TNET";
+
+/// Hello length on the wire: 4-byte magic, 8-byte sender id, 8-byte incarnation.
+const HELLO_LEN: usize = 20;
 
 /// Minimum wait between failed dial attempts to one peer (a crashed peer must not
 /// turn its writers into hot connect loops).
@@ -70,6 +80,7 @@ struct AtomicStats {
     frames_received: AtomicU64,
     bytes_received: AtomicU64,
     frames_dropped: AtomicU64,
+    frames_dropped_stale: AtomicU64,
     flushes: AtomicU64,
 }
 
@@ -81,12 +92,23 @@ impl AtomicStats {
             frames_received: self.frames_received.load(Ordering::Relaxed),
             bytes_received: self.bytes_received.load(Ordering::Relaxed),
             frames_dropped: self.frames_dropped.load(Ordering::Relaxed),
+            frames_dropped_stale: self.frames_dropped_stale.load(Ordering::Relaxed),
             flushes: self.flushes.load(Ordering::Relaxed),
         }
     }
 }
 
-type Book = Arc<Mutex<BTreeMap<ProcessId, SocketAddr>>>;
+/// One address-book entry: where a process currently listens, and which incarnation
+/// of it that is. The incarnation bumps every time the process re-registers (i.e. on
+/// restart), so both ends of a connection can tell live traffic from a ghost of the
+/// previous life.
+#[derive(Debug, Clone, Copy)]
+struct BookEntry {
+    addr: SocketAddr,
+    incarnation: u64,
+}
+
+type Book = Arc<Mutex<BTreeMap<ProcessId, BookEntry>>>;
 
 /// The deployment mesh: the shared address book endpoints register with and dial
 /// through. Cloning is cheap (one `Arc`).
@@ -108,10 +130,12 @@ impl TcpMesh {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
-        self.book
-            .lock()
-            .expect("address book lock")
-            .insert(id, addr);
+        let incarnation = {
+            let mut book = self.book.lock().expect("address book lock");
+            let incarnation = book.get(&id).map_or(1, |e| e.incarnation + 1);
+            book.insert(id, BookEntry { addr, incarnation });
+            incarnation
+        };
 
         let stats = Arc::new(AtomicStats::default());
         let stop = Arc::new(AtomicBool::new(false));
@@ -123,14 +147,16 @@ impl TcpMesh {
             let accepted = Arc::clone(&accepted);
             let stats = Arc::clone(&stats);
             let inbox_tx = inbox_tx.clone();
+            let book = self.book.clone();
             std::thread::Builder::new()
                 .name(format!("tnet-accept-{id}"))
-                .spawn(move || accept_loop(listener, stop, accepted, inbox_tx, stats))
+                .spawn(move || accept_loop(listener, stop, accepted, inbox_tx, stats, book))
                 .expect("spawn accept thread")
         };
 
         Ok(TcpTransport {
             local: id,
+            incarnation,
             book: self.book.clone(),
             inbox: inbox_rx,
             writers: BTreeMap::new(),
@@ -150,6 +176,7 @@ fn accept_loop(
     accepted: Arc<Mutex<Vec<TcpStream>>>,
     inbox: Sender<(ProcessId, Vec<u8>)>,
     stats: Arc<AtomicStats>,
+    book: Book,
 ) {
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
@@ -161,9 +188,10 @@ fn accept_loop(
                 }
                 let inbox = inbox.clone();
                 let stats = Arc::clone(&stats);
+                let book = book.clone();
                 let _ = std::thread::Builder::new()
                     .name("tnet-reader".to_string())
-                    .spawn(move || reader_loop(stream, inbox, stats));
+                    .spawn(move || reader_loop(stream, inbox, stats, book));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(ACCEPT_POLL);
@@ -180,12 +208,30 @@ fn reader_loop(
     mut stream: TcpStream,
     inbox: Sender<(ProcessId, Vec<u8>)>,
     stats: Arc<AtomicStats>,
+    book: Book,
 ) {
-    let mut hello = [0u8; 12];
+    let mut hello = [0u8; HELLO_LEN];
     if stream.read_exact(&mut hello).is_err() || &hello[..4] != HELLO_MAGIC {
         return;
     }
-    let from = u64::from_le_bytes(hello[4..12].try_into().expect("12-byte hello"));
+    let from = u64::from_le_bytes(hello[4..12].try_into().expect("sender id"));
+    let from_incarnation = u64::from_le_bytes(hello[12..20].try_into().expect("incarnation"));
+    // Restart-reconnect hygiene: a connection from an incarnation the book has
+    // already replaced is a ghost of the sender's previous life — close it before a
+    // single frame crosses over. Incarnation 0 is the wildcard for raw peers that
+    // never registered (the book then has no opinion either).
+    if from_incarnation != 0 {
+        let current = book
+            .lock()
+            .expect("address book lock")
+            .get(&from)
+            .map(|e| e.incarnation);
+        if let Some(current) = current {
+            if from_incarnation < current {
+                return;
+            }
+        }
+    }
     loop {
         let mut header = [0u8; 8];
         if stream.read_exact(&mut header).is_err() {
@@ -213,9 +259,11 @@ fn reader_loop(
     }
 }
 
-/// One blob handed from `flush` to a peer writer: coalesced frame bytes plus the
-/// frame count (for drop accounting when the peer is unreachable).
-type Blob = (Vec<u8>, u64);
+/// One blob handed from `flush` to a peer writer: coalesced frame bytes, the frame
+/// count (for drop accounting when the peer is unreachable), and the incarnation of
+/// the destination these frames were addressed to (0 = unknown peer, deliver to
+/// whoever answers).
+type Blob = (Vec<u8>, u64, u64);
 
 struct PeerWriter {
     tx: SyncSender<Blob>,
@@ -223,6 +271,7 @@ struct PeerWriter {
 
 fn writer_loop(
     local: ProcessId,
+    local_incarnation: u64,
     to: ProcessId,
     book: Book,
     rx: Receiver<Blob>,
@@ -236,17 +285,45 @@ fn writer_loop(
         while let Ok(more) = rx.try_recv() {
             blobs.push(more);
         }
+        // Restart-reconnect hygiene: frames queued toward an incarnation the book has
+        // since replaced must not deliver to its successor — drop them here, exactly
+        // where the sim's nemesis counts crash drops.
+        let current = book
+            .lock()
+            .expect("address book lock")
+            .get(&to)
+            .map(|e| e.incarnation);
+        if let Some(current) = current {
+            blobs.retain(|(_, frames, incarnation)| {
+                if *incarnation != 0 && *incarnation != current {
+                    stats.frames_dropped.fetch_add(*frames, Ordering::Relaxed);
+                    stats
+                        .frames_dropped_stale
+                        .fetch_add(*frames, Ordering::Relaxed);
+                    false
+                } else {
+                    true
+                }
+            });
+            if blobs.is_empty() {
+                continue;
+            }
+        }
         if stream.is_none() && last_fail.is_none_or(|at| at.elapsed() >= DIAL_BACKOFF) {
-            let addr = book.lock().expect("address book lock").get(&to).copied();
-            stream = addr.and_then(|addr| dial(local, addr));
+            let addr = book
+                .lock()
+                .expect("address book lock")
+                .get(&to)
+                .map(|e| e.addr);
+            stream = addr.and_then(|addr| dial(local, local_incarnation, addr));
             if stream.is_none() {
                 last_fail = Some(Instant::now());
             }
         }
         match &mut stream {
             Some(s) => {
-                let mut buf = Vec::with_capacity(blobs.iter().map(|(b, _)| b.len()).sum());
-                for (bytes, _) in &blobs {
+                let mut buf = Vec::with_capacity(blobs.iter().map(|(b, _, _)| b.len()).sum());
+                for (bytes, _, _) in &blobs {
                     buf.extend_from_slice(bytes);
                 }
                 if s.write_all(&buf).is_err() {
@@ -254,24 +331,25 @@ fn writer_loop(
                     // next batch re-dials (the peer may have restarted elsewhere).
                     stream = None;
                     last_fail = Some(Instant::now());
-                    let frames: u64 = blobs.iter().map(|(_, n)| *n).sum();
+                    let frames: u64 = blobs.iter().map(|(_, n, _)| *n).sum();
                     stats.frames_dropped.fetch_add(frames, Ordering::Relaxed);
                 }
             }
             None => {
-                let frames: u64 = blobs.iter().map(|(_, n)| *n).sum();
+                let frames: u64 = blobs.iter().map(|(_, n, _)| *n).sum();
                 stats.frames_dropped.fetch_add(frames, Ordering::Relaxed);
             }
         }
     }
 }
 
-fn dial(local: ProcessId, addr: SocketAddr) -> Option<TcpStream> {
+fn dial(local: ProcessId, local_incarnation: u64, addr: SocketAddr) -> Option<TcpStream> {
     let stream = TcpStream::connect_timeout(&addr, Duration::from_millis(250)).ok()?;
     let _ = stream.set_nodelay(true);
-    let mut hello = Vec::with_capacity(12);
+    let mut hello = Vec::with_capacity(HELLO_LEN);
     hello.extend_from_slice(HELLO_MAGIC);
     hello.extend_from_slice(&local.to_le_bytes());
+    hello.extend_from_slice(&local_incarnation.to_le_bytes());
     let mut stream = stream;
     stream.write_all(&hello).ok()?;
     Some(stream)
@@ -280,6 +358,9 @@ fn dial(local: ProcessId, addr: SocketAddr) -> Option<TcpStream> {
 /// A connected TCP endpoint of the mesh. See the module docs for the thread layout.
 pub struct TcpTransport {
     local: ProcessId,
+    /// Which life of `local` this endpoint is (1 on first registration, +1 per
+    /// restart); carried in the hello of every outbound connection.
+    incarnation: u64,
     book: Book,
     inbox: Receiver<(ProcessId, Vec<u8>)>,
     writers: BTreeMap<ProcessId, PeerWriter>,
@@ -302,15 +383,22 @@ impl std::fmt::Debug for TcpTransport {
 }
 
 impl TcpTransport {
+    /// This endpoint's incarnation (1-based; bumps on every re-registration of the
+    /// same id in the mesh).
+    pub fn incarnation(&self) -> u64 {
+        self.incarnation
+    }
+
     fn writer(&mut self, to: ProcessId) -> &PeerWriter {
         let local = self.local;
+        let local_incarnation = self.incarnation;
         let book = self.book.clone();
         let stats = Arc::clone(&self.stats);
         self.writers.entry(to).or_insert_with(|| {
             let (tx, rx) = sync_channel::<Blob>(WRITER_QUEUE_BLOBS);
             let _ = std::thread::Builder::new()
                 .name(format!("tnet-writer-{local}-{to}"))
-                .spawn(move || writer_loop(local, to, book, rx, stats));
+                .spawn(move || writer_loop(local, local_incarnation, to, book, rx, stats));
             PeerWriter { tx }
         })
     }
@@ -326,7 +414,18 @@ impl Transport for TcpTransport {
             payload.len() <= MAX_FRAME_LEN,
             "frame exceeds MAX_FRAME_LEN"
         );
-        let (buf, count) = self.pending.entry(to).or_default();
+        let (buf, count, incarnation) = self.pending.entry(to).or_default();
+        if buf.is_empty() {
+            // Stamp the blob with the destination's incarnation *now*: if the peer
+            // restarts between this send and the writer's dial, the frames belong to
+            // the dead incarnation and must be dropped, not delivered to its heir.
+            *incarnation = self
+                .book
+                .lock()
+                .expect("address book lock")
+                .get(&to)
+                .map_or(0, |e| e.incarnation);
+        }
         buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         buf.extend_from_slice(&crc32(payload).to_le_bytes());
         buf.extend_from_slice(payload);
@@ -478,15 +577,13 @@ mod tests {
     fn corrupt_frames_close_the_connection_without_reaching_the_inbox() {
         let mesh = TcpMesh::new();
         let mut b = mesh.endpoint(31, true).unwrap();
-        let addr = {
-            let book = mesh.book.lock().unwrap();
-            *book.get(&31).unwrap()
-        };
+        let addr = mesh.book.lock().unwrap().get(&31).unwrap().addr;
         // A raw connection speaking the hello, then a frame whose CRC is wrong.
         let mut raw = TcpStream::connect(addr).unwrap();
         let mut hello = Vec::new();
         hello.extend_from_slice(HELLO_MAGIC);
         hello.extend_from_slice(&30u64.to_le_bytes());
+        hello.extend_from_slice(&0u64.to_le_bytes()); // wildcard incarnation
         raw.write_all(&hello).unwrap();
         let payload = b"corrupt";
         raw.write_all(&(payload.len() as u32).to_le_bytes())
@@ -518,14 +615,106 @@ mod tests {
     }
 
     #[test]
+    fn frames_queued_toward_a_dead_incarnation_never_reach_its_heir() {
+        let mesh = TcpMesh::new();
+        let mut a = mesh.endpoint(50, true).unwrap();
+        let b = mesh.endpoint(51, true).unwrap();
+        assert_eq!(b.incarnation(), 1);
+        // Queue a frame addressed to incarnation 1 — but do not flush yet, so the
+        // blob sits in `pending` with its incarnation stamp while the peer dies and
+        // is reborn.
+        a.send(51, b"for-the-dead");
+        drop(b);
+        let mut b2 = mesh.endpoint(51, true).unwrap();
+        assert_eq!(b2.incarnation(), 2);
+        a.flush();
+        // The stale blob must be dropped by the writer, not delivered to b2.
+        assert_eq!(
+            b2.recv_timeout(Duration::from_millis(300)),
+            Err(RecvError::Timeout),
+            "a frame addressed to incarnation 1 must not reach incarnation 2"
+        );
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while a.stats().frames_dropped_stale < 1 {
+            assert!(Instant::now() < deadline, "stale drop never counted");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(a.stats().frames_dropped >= a.stats().frames_dropped_stale);
+        // Fresh sends are stamped with incarnation 2 and flow normally.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            a.send(51, b"for-the-living");
+            a.flush();
+            match b2.recv_timeout(Duration::from_millis(100)) {
+                Ok((from, payload)) => {
+                    assert_eq!(
+                        (from, payload.as_slice()),
+                        (50, b"for-the-living".as_slice())
+                    );
+                    break;
+                }
+                Err(RecvError::Timeout) if Instant::now() < deadline => continue,
+                Err(e) => panic!("reborn peer never reachable: {e:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn connections_from_a_stale_sender_incarnation_are_refused() {
+        let mesh = TcpMesh::new();
+        let mut b = mesh.endpoint(61, true).unwrap();
+        // Register sender 60 twice: the book now says incarnation 2.
+        let first = mesh.endpoint(60, true).unwrap();
+        assert_eq!(first.incarnation(), 1);
+        drop(first);
+        let second = mesh.endpoint(60, true).unwrap();
+        assert_eq!(second.incarnation(), 2);
+        // A raw connection claiming to be incarnation 1 of sender 60: the reader
+        // must close it at the hello, frames and all.
+        let addr = mesh.book.lock().unwrap().get(&61).unwrap().addr;
+        let mut raw = TcpStream::connect(addr).unwrap();
+        let mut hello = Vec::new();
+        hello.extend_from_slice(HELLO_MAGIC);
+        hello.extend_from_slice(&60u64.to_le_bytes());
+        hello.extend_from_slice(&1u64.to_le_bytes()); // stale incarnation
+        raw.write_all(&hello).unwrap();
+        let payload = b"ghost";
+        raw.write_all(&(payload.len() as u32).to_le_bytes())
+            .unwrap();
+        raw.write_all(&crc32(payload).to_le_bytes()).unwrap();
+        raw.write_all(payload).unwrap();
+        assert_eq!(
+            b.recv_timeout(Duration::from_millis(300)),
+            Err(RecvError::Timeout),
+            "frames from a stale incarnation must never surface"
+        );
+        let mut buf = [0u8; 1];
+        raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(raw.read(&mut buf).unwrap_or(0), 0, "must be closed");
+        // The *current* incarnation is accepted.
+        let mut ok = TcpStream::connect(addr).unwrap();
+        let mut hello = Vec::new();
+        hello.extend_from_slice(HELLO_MAGIC);
+        hello.extend_from_slice(&60u64.to_le_bytes());
+        hello.extend_from_slice(&2u64.to_le_bytes());
+        ok.write_all(&hello).unwrap();
+        ok.write_all(&(payload.len() as u32).to_le_bytes()).unwrap();
+        ok.write_all(&crc32(payload).to_le_bytes()).unwrap();
+        ok.write_all(payload).unwrap();
+        let (from, got) = b.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!((from, got.as_slice()), (60, payload.as_slice()));
+    }
+
+    #[test]
     fn oversized_length_prefix_closes_the_connection() {
         let mesh = TcpMesh::new();
         let mut b = mesh.endpoint(41, true).unwrap();
-        let addr = *mesh.book.lock().unwrap().get(&41).unwrap();
+        let addr = mesh.book.lock().unwrap().get(&41).unwrap().addr;
         let mut raw = TcpStream::connect(addr).unwrap();
         let mut hello = Vec::new();
         hello.extend_from_slice(HELLO_MAGIC);
         hello.extend_from_slice(&40u64.to_le_bytes());
+        hello.extend_from_slice(&0u64.to_le_bytes()); // wildcard incarnation
         raw.write_all(&hello).unwrap();
         raw.write_all(&(u32::MAX).to_le_bytes()).unwrap(); // absurd length
         raw.write_all(&0u32.to_le_bytes()).unwrap();

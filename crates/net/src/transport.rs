@@ -60,6 +60,10 @@ pub struct TransportStats {
     pub bytes_received: u64,
     /// Frames dropped before reaching the peer (unreachable, disconnected, or chaos).
     pub frames_dropped: u64,
+    /// The subset of `frames_dropped` discarded because they were addressed to a peer
+    /// incarnation that has since been replaced (restart-reconnect hygiene): a frame
+    /// queued toward incarnation *k* must never deliver to incarnation *k+1*.
+    pub frames_dropped_stale: u64,
     /// Flush calls that performed I/O handoff.
     pub flushes: u64,
 }
@@ -72,7 +76,28 @@ impl TransportStats {
         self.frames_received += other.frames_received;
         self.bytes_received += other.bytes_received;
         self.frames_dropped += other.frames_dropped;
+        self.frames_dropped_stale += other.frames_dropped_stale;
         self.flushes += other.flushes;
+    }
+}
+
+/// Boxed transports are transports, so delay/chaos shims (each generic over an inner
+/// `T: Transport`) can be stacked in any combination at runtime.
+impl Transport for Box<dyn Transport> {
+    fn local_id(&self) -> ProcessId {
+        (**self).local_id()
+    }
+    fn send(&mut self, to: ProcessId, payload: &[u8]) {
+        (**self).send(to, payload)
+    }
+    fn flush(&mut self) {
+        (**self).flush()
+    }
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<(ProcessId, Vec<u8>), RecvError> {
+        (**self).recv_timeout(timeout)
+    }
+    fn stats(&self) -> TransportStats {
+        (**self).stats()
     }
 }
 

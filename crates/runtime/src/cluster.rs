@@ -39,12 +39,14 @@ use tempo_kernel::config::Config;
 use tempo_kernel::driver::{Driver, Output};
 use tempo_kernel::id::{ClientId, ProcessId, Rifl, ShardId, SiteId};
 use tempo_kernel::membership::Membership;
+use tempo_kernel::metrics::LogHistogram;
 use tempo_kernel::protocol::{Protocol, ProtocolMetrics, View};
 use tempo_net::wire::{DecodeError, Reader, Wire, Writer};
 use tempo_net::{
-    ChaosNet, ChaosTransport, ClientReply, ClientRequest, RecvError, TcpMesh, Transport,
-    TransportStats, CLIENT_ID_BASE, CONTROL_ID,
+    ChaosNet, ChaosTransport, ClientReply, ClientRequest, PlanetNet, PlanetTransport, RecvError,
+    TcpMesh, Transport, TransportStats, CLIENT_ID_BASE, CONTROL_ID,
 };
+use tempo_planet::Planet;
 use tempo_workload::Workload;
 
 /// Builds the protocol instance of one process: at boot with incarnation 0 and on
@@ -69,6 +71,12 @@ pub struct NetOpts {
     /// How long a client waits for a command before aborting it (the command may
     /// still take effect — exactly the simulator's `client_timeout_us`).
     pub client_timeout: Duration,
+    /// WAN emulation: with a [`Planet`], every endpoint (replica *and* client) is
+    /// placed in its site's region, frames are held back by the matrix's one-way
+    /// latencies ([`PlanetTransport`]), and replicas sort their quorum views by
+    /// geographic distance (`Planet::view_for`) instead of ring order — so fig6/fig7
+    /// measurements run on real sockets across emulated regions.
+    pub planet: Option<Planet>,
 }
 
 impl Default for NetOpts {
@@ -79,6 +87,7 @@ impl Default for NetOpts {
             record_history: false,
             batch: true,
             client_timeout: Duration::from_secs(10),
+            planet: None,
         }
     }
 }
@@ -100,7 +109,7 @@ fn encode_peer<M: Wire>(msg: &M) -> Vec<u8> {
     w.into_bytes()
 }
 
-fn encode_request(cmd: &Command) -> Vec<u8> {
+pub(crate) fn encode_request(cmd: &Command) -> Vec<u8> {
     let mut w = Writer::new();
     w.put_u8(ENV_REQUEST);
     cmd.encode_into(&mut w);
@@ -144,7 +153,7 @@ fn decode_inbound<M: Wire>(bytes: &[u8]) -> Result<Inbound<M>, DecodeError> {
     Ok(inbound)
 }
 
-fn decode_reply(bytes: &[u8]) -> Option<ClientReply> {
+pub(crate) fn decode_reply(bytes: &[u8]) -> Option<ClientReply> {
     let mut r = Reader::new(bytes);
     if r.u8().ok()? != ENV_REPLY {
         return None;
@@ -156,24 +165,49 @@ fn decode_reply(bytes: &[u8]) -> Option<ClientReply> {
 // --------------------------------------------------------------- shared state
 
 /// State shared by replicas, clients and the supervisor (deliberately not generic so
-/// [`ClientSession`] stays protocol-agnostic).
-struct Shared {
-    config: Config,
-    membership: Membership,
+/// [`ClientSession`] stays protocol-agnostic). `pub(crate)` so the open-loop
+/// [`LoadDriver`](crate::load) shares the watch/failover machinery.
+pub(crate) struct Shared {
+    pub(crate) config: Config,
+    pub(crate) membership: Membership,
     /// The cluster's time origin: protocol `now_us`, nemesis schedule times and
     /// history timestamps all measure from here.
-    epoch: Instant,
+    pub(crate) epoch: Instant,
     /// Replicas currently crashed (supervisor-maintained; clients consult it for
     /// submission failover, like the sim's closest-live-replica rule).
-    down: Mutex<BTreeSet<ProcessId>>,
-    history: Option<Mutex<History>>,
-    client_timeout: Duration,
+    pub(crate) down: Mutex<BTreeSet<ProcessId>>,
+    pub(crate) history: Option<Mutex<History>>,
+    pub(crate) client_timeout: Duration,
+    /// The WAN geography, when [`NetOpts::planet`] was set (drives quorum views).
+    pub(crate) planet: Option<Planet>,
 }
 
 impl Shared {
-    fn now_us(&self) -> u64 {
+    pub(crate) fn now_us(&self) -> u64 {
         self.epoch.elapsed().as_micros() as u64
     }
+}
+
+/// The closest live replica of `shard` as seen from `site`: geographic distance when
+/// a planet is configured, ring distance otherwise, crashed replicas skipped — the
+/// replica whose execution notice completes that shard's part of a command (shared
+/// by [`ClientSession`] and the load driver's pumps).
+pub(crate) fn watch_replica(shared: &Shared, site: SiteId, shard: ShardId) -> Option<ProcessId> {
+    let down = shared.down.lock().expect("down lock");
+    let m = &shared.membership;
+    let sites = m.sites() as u64;
+    shared
+        .membership
+        .processes_of_shard(shard)
+        .into_iter()
+        .filter(|p| !down.contains(p))
+        .min_by_key(|p| {
+            let s = m.site_of(*p);
+            match &shared.planet {
+                Some(planet) => (planet.one_way_us(site, s), *p),
+                None => ((s + sites - site) % sites, *p),
+            }
+        })
 }
 
 /// A replica thread's return value: its protocol metrics and its endpoint's traffic.
@@ -213,7 +247,12 @@ where
             for q in initial_suspects {
                 Protocol::suspect(driver.protocol_mut(), q);
             }
-            let view = View::trivial(shared.config, id);
+            let view = match &shared.planet {
+                // Geographic views: fast quorums are the *closest* replicas, which is
+                // what makes WAN emulation meaningful (and matches the simulator).
+                Some(planet) => planet.view_for(shared.config, id),
+                None => View::trivial(shared.config, id),
+            };
             let output = driver.start(view, shared.now_us());
             route_output(output, &mut transport, &shared, id, shard, incarnation);
             if incarnation > 0 {
@@ -305,6 +344,7 @@ fn route_output<M: Wire>(
 fn supervisor_loop<P>(
     chaos: Arc<ChaosNet>,
     mesh: TcpMesh,
+    planet: Option<Arc<PlanetNet>>,
     shared: Arc<Shared>,
     seats: Arc<Mutex<BTreeMap<ProcessId, Seat>>>,
     dead: Arc<Mutex<Vec<ReplicaExit>>>,
@@ -351,7 +391,7 @@ fn supervisor_loop<P>(
                     let incarnation = *incarnation;
                     let shard = shared.membership.shard_of(p);
                     let protocol = factory(p, shard, shared.config, incarnation);
-                    let transport = make_transport(&mesh, Some(&chaos), p, batch)
+                    let transport = make_transport(&mesh, Some(&chaos), planet.as_ref(), p, batch)
                         .expect("bind restarted replica endpoint");
                     let initial_suspects: Vec<ProcessId> = {
                         let mut down = shared.down.lock().expect("down lock");
@@ -401,14 +441,18 @@ fn broadcast_control(
 fn make_transport(
     mesh: &TcpMesh,
     chaos: Option<&Arc<ChaosNet>>,
+    planet: Option<&Arc<PlanetNet>>,
     id: ProcessId,
     batch: bool,
 ) -> std::io::Result<Box<dyn Transport>> {
-    let endpoint = mesh.endpoint(id, batch)?;
-    Ok(match chaos {
-        Some(net) => Box::new(ChaosTransport::new(endpoint, Arc::clone(net))),
-        None => Box::new(endpoint),
-    })
+    let mut transport: Box<dyn Transport> = Box::new(mesh.endpoint(id, batch)?);
+    if let Some(net) = planet {
+        transport = Box::new(PlanetTransport::new(transport, Arc::clone(net)));
+    }
+    if let Some(net) = chaos {
+        transport = Box::new(ChaosTransport::new(transport, Arc::clone(net)));
+    }
+    Ok(transport)
 }
 
 // -------------------------------------------------------------------- cluster
@@ -417,8 +461,9 @@ fn make_transport(
 /// fixed at [`NetCluster::start`] and lives inside the replica threads (and the
 /// supervisor's factory), so clients and shutdown stay protocol-agnostic.
 pub struct NetCluster {
-    shared: Arc<Shared>,
+    pub(crate) shared: Arc<Shared>,
     mesh: TcpMesh,
+    planet_net: Option<Arc<PlanetNet>>,
     chaos: Option<Arc<ChaosNet>>,
     seats: Arc<Mutex<BTreeMap<ProcessId, Seat>>>,
     dead: Arc<Mutex<Vec<ReplicaExit>>>,
@@ -486,6 +531,21 @@ impl NetCluster {
             .as_ref()
             .map(|c| c.epoch())
             .unwrap_or_else(Instant::now);
+        if let Some(planet) = &opts.planet {
+            assert!(
+                planet.len() >= membership.sites(),
+                "the planet has {} regions but the config needs {} sites",
+                planet.len(),
+                membership.sites()
+            );
+        }
+        let planet_net = opts.planet.as_ref().map(|planet| {
+            let net = Arc::new(PlanetNet::new(planet.clone()));
+            for id in membership.all_processes() {
+                net.register(id, membership.site_of(id));
+            }
+            net
+        });
         let shared = Arc::new(Shared {
             config,
             membership: membership.clone(),
@@ -493,12 +553,14 @@ impl NetCluster {
             down: Mutex::new(BTreeSet::new()),
             history: opts.record_history.then(|| Mutex::new(History::new())),
             client_timeout: opts.client_timeout,
+            planet: opts.planet.clone(),
         });
         let seats = Arc::new(Mutex::new(BTreeMap::new()));
         for id in membership.all_processes() {
             let shard = membership.shard_of(id);
             let protocol = factory(id, shard, config, 0);
-            let transport = make_transport(&mesh, chaos.as_ref(), id, opts.batch)?;
+            let transport =
+                make_transport(&mesh, chaos.as_ref(), planet_net.as_ref(), id, opts.batch)?;
             let seat = spawn_replica(
                 protocol,
                 transport,
@@ -515,6 +577,7 @@ impl NetCluster {
         let supervisor = chaos.as_ref().map(|net| {
             let net = Arc::clone(net);
             let mesh = mesh.clone();
+            let planet = planet_net.clone();
             let shared = Arc::clone(&shared);
             let seats = Arc::clone(&seats);
             let dead = Arc::clone(&dead);
@@ -523,13 +586,14 @@ impl NetCluster {
             std::thread::Builder::new()
                 .name("supervisor".to_string())
                 .spawn(move || {
-                    supervisor_loop(net, mesh, shared, seats, dead, done, factory, batch)
+                    supervisor_loop(net, mesh, planet, shared, seats, dead, done, factory, batch)
                 })
                 .expect("spawn supervisor thread")
         });
         Ok(NetCluster {
             shared,
             mesh,
+            planet_net,
             chaos,
             seats,
             dead,
@@ -543,15 +607,30 @@ impl NetCluster {
         self.shared.config
     }
 
-    /// Opens a client session colocated with `site`. Commands submitted through it
-    /// must carry `Rifl`s with this `client` id (that is how execution notices find
-    /// their way back).
-    pub fn client(&self, site: SiteId, client: ClientId) -> std::io::Result<ClientSession> {
+    /// Builds a client-side transport endpoint colocated with `site`: planet-wrapped
+    /// (clients live in regions too) but chaos-exempt, like the simulator's client
+    /// bookkeeping. Shared by [`ClientSession`] and the load driver's pumps.
+    pub(crate) fn client_transport(
+        &self,
+        site: SiteId,
+        client: ClientId,
+    ) -> std::io::Result<Box<dyn Transport>> {
         assert!(
             (site as usize) < self.shared.membership.sites(),
             "site out of range"
         );
-        let transport = self.mesh.endpoint(CLIENT_ID_BASE + client, true)?;
+        let id = CLIENT_ID_BASE + client;
+        if let Some(net) = &self.planet_net {
+            net.register(id, site);
+        }
+        make_transport(&self.mesh, None, self.planet_net.as_ref(), id, true)
+    }
+
+    /// Opens a client session colocated with `site`. Commands submitted through it
+    /// must carry `Rifl`s with this `client` id (that is how execution notices find
+    /// their way back).
+    pub fn client(&self, site: SiteId, client: ClientId) -> std::io::Result<ClientSession> {
+        let transport = self.client_transport(site, client)?;
         Ok(ClientSession {
             id: client,
             site,
@@ -581,10 +660,15 @@ impl NetCluster {
         for (_, stats) in &exits {
             transport.merge(stats);
         }
+        let mut faults = self.chaos.as_ref().map(|c| c.summary()).unwrap_or_default();
+        // Frames the transport layer discarded because their destination incarnation
+        // had been replaced are crash casualties: count them where the simulator
+        // counts frames lost to a crashed process.
+        faults.dropped_crash += transport.frames_dropped_stale;
         RuntimeReport {
             metrics: exits.into_iter().map(|(m, _)| m).collect(),
             transport,
-            faults: self.chaos.as_ref().map(|c| c.summary()).unwrap_or_default(),
+            faults,
             history: self
                 .shared
                 .history
@@ -602,7 +686,7 @@ impl NetCluster {
 pub struct ClientSession {
     id: ClientId,
     site: SiteId,
-    transport: tempo_net::TcpTransport,
+    transport: Box<dyn Transport>,
     shared: Arc<Shared>,
 }
 
@@ -610,23 +694,6 @@ impl ClientSession {
     /// This session's client id.
     pub fn id(&self) -> ClientId {
         self.id
-    }
-
-    /// The closest live replica of `shard` from this client's site (ring distance,
-    /// crashed replicas skipped) — the replica whose execution notice completes that
-    /// shard's part of a command.
-    fn watch_replica(&self, shard: ShardId) -> Option<ProcessId> {
-        let down = self.shared.down.lock().expect("down lock");
-        let m = &self.shared.membership;
-        let sites = m.sites() as u64;
-        let site = self.site;
-        m.processes_of_shard(shard)
-            .into_iter()
-            .filter(|p| !down.contains(p))
-            .min_by_key(|p| {
-                let s = m.site_of(*p);
-                ((s + sites - site) % sites, *p)
-            })
     }
 
     /// Submits `cmd` and blocks until the watched replica of every accessed shard
@@ -647,7 +714,7 @@ impl ClientSession {
         // submission goes to the watched replica of the target shard.
         let watchers: Option<BTreeMap<ShardId, ProcessId>> = cmd
             .shards()
-            .map(|shard| self.watch_replica(shard).map(|p| (shard, p)))
+            .map(|shard| watch_replica(&self.shared, self.site, shard).map(|p| (shard, p)))
             .collect();
         let Some(mut pending) = watchers else {
             // Some accessed shard has every replica down.
@@ -703,12 +770,15 @@ impl ClientSession {
 }
 
 /// Per-run client accounting of [`run_workload`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct WorkloadTally {
     /// Commands completed across all clients.
     pub completed: u64,
     /// Commands aborted (client timeout or no live replica).
     pub aborted: u64,
+    /// Per-command completion latency across all clients, in microseconds (measured
+    /// submit-to-completion — closed-loop, so there is no intended-arrival time).
+    pub latency: LogHistogram,
 }
 
 /// Runs a closed-loop workload against the cluster: `clients_per_site` client threads
@@ -740,8 +810,10 @@ pub fn run_workload<W: Workload + Send + 'static>(
                                 let mut workload = workload.lock().expect("workload lock");
                                 workload.next_command(session.id())
                             };
+                            let submitted = Instant::now();
                             if session.submit(cmd).is_some() {
                                 tally.completed += 1;
+                                tally.latency.record(submitted.elapsed().as_micros() as u64);
                             } else {
                                 tally.aborted += 1;
                             }
@@ -757,6 +829,7 @@ pub fn run_workload<W: Workload + Send + 'static>(
         let tally = thread.join().expect("client thread");
         total.completed += tally.completed;
         total.aborted += tally.aborted;
+        total.latency.merge(&tally.latency);
     }
     total
 }
@@ -827,6 +900,21 @@ mod tests {
         assert_eq!(tally.aborted, 0);
         let report = cluster.shutdown();
         assert!(report.total_metrics().executed > 0);
+    }
+
+    /// The Atlas baseline (dependency-based, graph executor) must run on the same
+    /// networked stack as Tempo — that is what puts it on the load-plane plots.
+    #[test]
+    fn atlas_baseline_completes_over_real_sockets() {
+        use tempo_atlas::Atlas;
+        let factory: RuntimeFactory<Atlas> =
+            Box::new(|id, shard, config, _incarnation| Atlas::new(id, shard, config));
+        let cluster = NetCluster::start(Config::full(3, 1), NetOpts::default(), factory)
+            .expect("cluster starts");
+        let tally = run_workload(&cluster, 2, 5, ConflictWorkload::new(0.3, 16, 11));
+        assert_eq!(tally.completed, 3 * 2 * 5, "all complete: {tally:?}");
+        let report = cluster.shutdown();
+        assert!(report.total_metrics().fast_paths > 0, "fast paths taken");
     }
 
     #[test]

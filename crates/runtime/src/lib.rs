@@ -19,7 +19,13 @@
 //!   frames *under real thread interleaving*; [`ClientSession`]s submit over the
 //!   transport with timeout/failover matching the simulator's semantics, and the
 //!   recorded [`History`](tempo_fault::History) feeds the same `tempo-fault` checker
-//!   the sim runs. See DESIGN.md §7 for the networking model.
+//!   the sim runs. See DESIGN.md §7 for the networking model. With a
+//!   [`Planet`](tempo_planet::Planet) in [`NetOpts`], the whole deployment runs
+//!   across emulated wide-area regions (latency injection on every endpoint,
+//!   geographic quorum views).
+//! * [`run_load`] — the open-loop load driver over a [`NetCluster`]: seeded arrival
+//!   schedules from `tempo-load`, thousands of logical sessions over a few sockets,
+//!   tail latency measured from intended arrival times (DESIGN.md §8).
 //! * [`ThreadedCluster`] — the legacy channel-based cluster (no serialization, no
 //!   sockets), kept as the zero-copy baseline and for planet-delay experiments.
 //!
@@ -30,9 +36,11 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod load;
 pub mod threaded;
 
 pub use cluster::{
     run_workload, ClientSession, NetCluster, NetOpts, RuntimeFactory, RuntimeReport, WorkloadTally,
 };
+pub use load::{run_load, LoadOpts, LoadReport};
 pub use threaded::ThreadedCluster;

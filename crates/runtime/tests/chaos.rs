@@ -14,7 +14,7 @@
 use std::path::PathBuf;
 use std::time::Duration;
 use tempo_core::{Tempo, TempoOptions};
-use tempo_fault::{FaultEvent, NemesisSchedule};
+use tempo_fault::{FaultEvent, NemesisSchedule, RandomNemesisOpts};
 use tempo_kernel::config::Config;
 use tempo_runtime::{run_workload, NetCluster, NetOpts, RuntimeFactory, RuntimeReport};
 use tempo_workload::RwConflict;
@@ -128,6 +128,32 @@ fn coordinator_crash_without_restart_still_completes() {
         total.recoveries_started > 0,
         "orphaned commands must go through recovery: {total:?}"
     );
+}
+
+/// The simulator's seeded random-nemesis battery, ported to the networked stack: a
+/// generated schedule of non-overlapping incidents (crash/restart, partition-and-
+/// heal, lossy window, delay spike) per seed, injected under real thread
+/// interleaving against TCP + `FileStore` replicas, every history through the
+/// checker. The schedule generator guarantees liveness returns before the horizon,
+/// so the workload must always finish.
+#[test]
+fn random_nemesis_battery_passes_the_checker_on_five_seeds() {
+    for seed in 31..=35u64 {
+        let schedule = NemesisSchedule::random(&RandomNemesisOpts {
+            config: Config::full(3, 1),
+            horizon_us: 800_000,
+            incidents: 3,
+            seed,
+        });
+        let scheduled = schedule.events().len() as u64;
+        assert!(scheduled > 0, "seed {seed}: schedule must not be empty");
+        let report = run_chaos(seed, "random", schedule);
+        assert!(
+            report.faults.events() > 0,
+            "seed {seed}: the scheduled incidents must actually have been injected: {:?}",
+            report.faults
+        );
+    }
 }
 
 /// Split brain and heal: the minority site is cut off (frames dropped at delivery by

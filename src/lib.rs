@@ -15,7 +15,9 @@
 //! * [`net`] — wire codec + pluggable transports (TCP, chaos injection),
 //! * [`runtime`] — the cluster runtime: the networked `NetCluster` over `tempo-net`
 //!   and the legacy channel-based `ThreadedCluster`,
-//! * [`workload`] — microbenchmark, YCSB+T and batching workloads.
+//! * [`workload`] — microbenchmark, YCSB+T and batching workloads,
+//! * [`load`] — open-loop load generation: arrival schedules, Zipf/YCSB mixes and
+//!   the latency-measurement conventions of BENCH_load.json.
 //!
 //! # Quick start (API v2)
 //!
@@ -55,6 +57,7 @@ pub use tempo_core as tempo;
 pub use tempo_fpaxos as fpaxos;
 pub use tempo_janus as janus;
 pub use tempo_kernel as kernel;
+pub use tempo_load as load;
 pub use tempo_net as net;
 pub use tempo_planet as planet;
 pub use tempo_runtime as runtime;
