@@ -248,7 +248,12 @@ impl ConflictIndex {
     /// Returns the dependencies of a command over `keys`, then records the command.
     ///
     /// `is_read` marks the command as read-only: reads only pick up writes as
-    /// dependencies and are only picked up by writes.
+    /// dependencies and are only picked up by writes — except that a read always
+    /// depends on *its own process's* previous read of the same key. Without that
+    /// edge the per-process compression is unsound: a write that conflicts with two
+    /// reads from the same process only learns the newest one, and if reads never
+    /// depended on reads the older read would be left with no dependency path to the
+    /// write, so replicas would execute the conflicting pair in arrival order.
     pub fn dependencies(&mut self, dot: Dot, keys: &[u64], is_read: bool) -> BTreeSet<Dot> {
         let mut deps = BTreeSet::new();
         for key in keys {
@@ -263,6 +268,9 @@ impl ConflictIndex {
                         deps.insert(Dot::new(*process, *seq));
                     }
                 }
+            } else if let Some(seq) = self.reads.get(key).and_then(|r| r.get(&dot.source)) {
+                // Chain to the read this one shadows in the compressed index.
+                deps.insert(Dot::new(dot.source, *seq));
             }
         }
         deps.remove(&dot);
@@ -381,16 +389,43 @@ mod tests {
     }
 
     #[test]
-    fn conflict_index_reads_do_not_depend_on_reads() {
+    fn conflict_index_reads_do_not_depend_on_other_reads() {
         let mut index = ConflictIndex::new();
         let r1 = index.dependencies(dot(1, 1), &[7], true);
         assert!(r1.is_empty());
         let r2 = index.dependencies(dot(2, 1), &[7], true);
-        assert!(r2.is_empty(), "reads do not depend on reads");
+        assert!(
+            r2.is_empty(),
+            "reads do not depend on other processes' reads"
+        );
         let w1 = index.dependencies(dot(3, 1), &[7], false);
         assert_eq!(w1, deps(&[dot(1, 1), dot(2, 1)]), "writes depend on reads");
         let r3 = index.dependencies(dot(1, 2), &[7], true);
-        assert_eq!(r3, deps(&[dot(3, 1)]), "reads depend on writes only");
+        assert_eq!(
+            r3,
+            deps(&[dot(3, 1), dot(1, 1)]),
+            "reads depend on writes plus their own process's previous read"
+        );
+    }
+
+    #[test]
+    fn conflict_index_shadowed_reads_stay_reachable_through_the_chain() {
+        // Two reads from process 1 on the same key, then a conflicting write from
+        // process 2. The write only learns the newest read (compression), so the older
+        // read must be reachable through the read-to-own-previous-read edge — otherwise
+        // the (write, old read) pair has no dependency path and replicas order it by
+        // arrival, diverging.
+        let mut index = ConflictIndex::new();
+        assert!(index.dependencies(dot(1, 1), &[7], true).is_empty());
+        let r2 = index.dependencies(dot(1, 2), &[7], true);
+        assert_eq!(
+            r2,
+            deps(&[dot(1, 1)]),
+            "shadowing read chains to the shadowed one"
+        );
+        let w = index.dependencies(dot(2, 1), &[7], false);
+        assert_eq!(w, deps(&[dot(1, 2)]), "the write only sees the newest read");
+        // Path: write -> (1,2) -> (1,1): the shadowed read is transitively ordered.
     }
 
     #[test]

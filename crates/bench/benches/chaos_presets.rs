@@ -10,12 +10,15 @@
 //! argues recovery correctness analytically (§5, Algorithm 4); here the claim is
 //! exercised mechanically.
 
+use std::time::Duration;
 use tempo_bench::json::{self, Record};
 use tempo_bench::{header, short_mode};
 use tempo_core::Tempo;
-use tempo_fault::{NemesisSchedule, RandomNemesisOpts};
-use tempo_kernel::Config;
+use tempo_fault::{DetectorOpts, FaultEvent, NemesisSchedule, RandomNemesisOpts};
+use tempo_kernel::{Config, Protocol};
+use tempo_load::ZipfMix;
 use tempo_planet::Planet;
+use tempo_runtime::{run_load, LoadOpts, NetCluster, NetOpts, RuntimeFactory};
 use tempo_sim::{run, RunReport, SimOpts};
 use tempo_workload::{ConflictWorkload, RwConflict, Workload};
 
@@ -25,6 +28,36 @@ fn chaos_run<W: Workload>(
     schedule: NemesisSchedule,
     seed: u64,
     workload: W,
+) -> RunReport {
+    chaos_run_with(label, config, schedule, seed, workload, None)
+}
+
+/// Same run with the oracle off: replicas suspect each other through the simulated
+/// failure detector instead of being told.
+fn chaos_run_detector<W: Workload>(
+    label: &str,
+    config: Config,
+    schedule: NemesisSchedule,
+    seed: u64,
+    workload: W,
+) -> RunReport {
+    chaos_run_with(
+        label,
+        config,
+        schedule,
+        seed,
+        workload,
+        Some(DetectorOpts::default()),
+    )
+}
+
+fn chaos_run_with<W: Workload>(
+    label: &str,
+    config: Config,
+    schedule: NemesisSchedule,
+    seed: u64,
+    workload: W,
+    detector: Option<DetectorOpts>,
 ) -> RunReport {
     let clients = if short_mode() { 2 } else { 4 };
     let commands = if short_mode() { 5 } else { 10 };
@@ -38,6 +71,7 @@ fn chaos_run<W: Workload>(
             nemesis: Some(schedule),
             client_timeout_us: Some(15_000_000),
             record_history: true,
+            detector,
             ..SimOpts::default()
         },
         workload,
@@ -59,6 +93,74 @@ fn chaos_run<W: Workload>(
         ),
         Err(violation) => panic!("{label}: SAFETY VIOLATION: {violation}"),
     }
+    report
+}
+
+/// When the crash lands in the load-under-nemesis run: inside the measured window in
+/// both short and full modes.
+const FAULT_AT_US: u64 = 500_000;
+
+/// One open-loop load window against a detector-mode networked cluster, with an
+/// optional nemesis schedule (times relative to cluster start, like the tests).
+fn load_under_nemesis(label: &str, nemesis: Option<NemesisSchedule>) -> tempo_runtime::LoadReport {
+    let factory: RuntimeFactory<Tempo> =
+        Box::new(|id, shard, config, _incarnation| Tempo::new(id, shard, config));
+    let cluster = NetCluster::start(
+        Config::full(3, 1),
+        NetOpts {
+            nemesis,
+            seed: 42,
+            detector: Some(DetectorOpts::default()),
+            ..NetOpts::default()
+        },
+        factory,
+    )
+    .expect("cluster starts");
+    let (warmup, measure, rate, sessions) = if short_mode() {
+        (
+            Duration::from_millis(200),
+            Duration::from_millis(1_300),
+            600.0,
+            128,
+        )
+    } else {
+        (
+            Duration::from_millis(400),
+            Duration::from_secs(2),
+            1_500.0,
+            256,
+        )
+    };
+    let report = run_load(
+        &cluster,
+        LoadOpts {
+            sessions,
+            sockets_per_site: 1,
+            rate_per_s: rate,
+            warmup,
+            measure,
+            poisson: true,
+            seed: 42,
+            op_timeout: Duration::from_secs(2),
+        },
+        |pump| ZipfMix::new(4_096, 0.5, 0.5, 42 + pump as u64).with_payload(16),
+    );
+    cluster.shutdown();
+    assert!(
+        report.completed > 0,
+        "{label}: the load window must complete work: {report:?}"
+    );
+    let s = report.summary();
+    println!(
+        "  {label:13} | {:7.0} offered | {:7.0} achieved | {:6} done {:5} aborted | p50 {:7.1} ms  p99 {:8.1} ms  p99.9 {:8.1} ms",
+        report.offered_rate,
+        report.achieved_rate(),
+        report.completed,
+        report.aborted,
+        s.p50_ms,
+        s.p99_ms,
+        s.p999_ms,
+    );
     report
 }
 
@@ -155,6 +257,95 @@ fn main() {
             "random-{seed}: no fault ever fired"
         );
         record(&mut records, &format!("random_seed_{seed}"), &report);
+    }
+
+    // ----------------------------------------------------------- gray failures (§9)
+    // Fault model v2: failures that are partial. A slow node is not a dead node,
+    // duplicated/reordered frames test handler idempotence, and with the detector on
+    // (oracle off) suspicion itself becomes fallible.
+
+    let slow = chaos_run(
+        "slow-node+lossy",
+        config,
+        {
+            let mut s = NemesisSchedule::slow_node(4, 500_000, 100_000, 2_000_000);
+            s.merge(NemesisSchedule::lossy_link_soak(config, 0.05, 0, 2_000_000));
+            s
+        },
+        19,
+        RwConflict::new(0.3, 0.5, 16, 19),
+    );
+    assert!(slow.faults.slowed > 0, "the slow-node window must fire");
+    record(&mut records, "slow_node_lossy", &slow);
+
+    let soak = chaos_run(
+        "dup-reorder-soak",
+        config,
+        NemesisSchedule::duplicate_reorder_soak(config, 0.4, 0, 3_000_000),
+        23,
+        RwConflict::new(0.3, 0.5, 16, 23),
+    );
+    assert!(
+        soak.faults.duplicated > 0 && soak.faults.reordered > 0,
+        "the duplicate/reorder soak must fire"
+    );
+    record(&mut records, "dup_reorder_soak", &soak);
+
+    let detector = chaos_run_detector(
+        "detector-rolling",
+        config,
+        NemesisSchedule::rolling_crashes(config, 300_000, 500_000),
+        29,
+        RwConflict::new(0.3, 0.5, 16, 29),
+    );
+    assert!(
+        detector.detector.suspicions > 0,
+        "detector mode must produce real suspicions"
+    );
+    records.push(Record::new(
+        "chaos/detector_rolling".to_string(),
+        &[
+            ("completed", detector.completed as f64),
+            ("aborted", detector.aborted as f64),
+            ("suspicions", detector.detector.suspicions as f64),
+            (
+                "wrong_suspicions",
+                detector.detector.wrong_suspicions as f64,
+            ),
+            ("heartbeats", detector.detector.heartbeats as f64),
+            ("mean_ms", detector.mean_latency_ms()),
+        ],
+    ));
+
+    // --------------------------------------------- load under nemesis (availability)
+    // The load plane against the detector-mode networked cluster: one clean window,
+    // one window with a crash + detector-driven recovery landing inside it. The
+    // difference between the two latency blocks is the availability cost of the
+    // fault window (tail latency during crash/suspicion, not just mean).
+    println!("\nload under nemesis (open-loop, detector mode):");
+    let baseline = load_under_nemesis("baseline", None);
+    let crashed = load_under_nemesis(
+        "crash-window",
+        Some(NemesisSchedule::new(vec![
+            (FAULT_AT_US, FaultEvent::Crash(0)),
+            (FAULT_AT_US + 400_000, FaultEvent::Restart(0)),
+        ])),
+    );
+    for (name, report) in [("baseline", &baseline), ("crash_window", &crashed)] {
+        let s = report.summary();
+        records.push(Record::new(
+            format!("load_nemesis/{name}"),
+            &[
+                ("offered_per_s", report.offered_rate),
+                ("achieved_per_s", report.achieved_rate()),
+                ("completed", report.completed as f64),
+                ("aborted", report.aborted as f64),
+                ("p50_ms", s.p50_ms),
+                ("p99_ms", s.p99_ms),
+                ("p999_ms", s.p999_ms),
+                ("max_ms", s.max_ms),
+            ],
+        ));
     }
 
     println!("\nEvery history passed the checker: linearizable per key, replicas agree on");

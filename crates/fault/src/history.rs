@@ -13,7 +13,9 @@
 //! 2. **Replica agreement** — for every shard, any two replica incarnations that both
 //!    executed a pair of *conflicting* commands executed them in the same order (the
 //!    paper's Property 1/2: conflicting commands execute in timestamp order, and
-//!    committed timestamps agree across replicas).
+//!    committed timestamps agree across replicas). Conflicting means sharing a key on
+//!    which at least one of the pair writes: read-read pairs commute, and
+//!    dependency-based protocols execute them in replica-local order by design.
 //! 3. **Per-key linearizability** — for every `(shard, key)`, the completed client
 //!    operations form a linearizable history of a register supporting `Get`/`Put`/`Add`
 //!    (with `Add` returning the new value, i.e. a read-modify-write). Aborted and
@@ -283,6 +285,21 @@ impl History {
             .unwrap_or_default()
     }
 
+    /// Keys a command *writes* on `shard` (`Put`/`Add`; `Get`s are excluded).
+    fn write_keys_on(&self, rifl: Rifl, shard: ShardId) -> BTreeSet<Key> {
+        self.invocations
+            .get(&rifl)
+            .map(|inv| {
+                inv.cmd
+                    .ops_of(shard)
+                    .iter()
+                    .filter(|(_, op)| !matches!(op, KVOp::Get))
+                    .map(|(key, _)| *key)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
     fn check_replica_agreement(&self) -> Result<(), Violation> {
         type ShardLogs<'a> = Vec<(&'a (ShardId, ProcessId, u64), &'a ExecutionLog)>;
         // Group execution logs per shard.
@@ -291,13 +308,23 @@ impl History {
             by_shard.entry(key.0).or_default().push((key, log));
         }
         for (shard, logs) in by_shard {
-            // Pre-project every executed command onto this shard's keys once.
+            // Pre-project every executed command onto this shard's keys once. A pair
+            // only *conflicts* (and must therefore execute in the same order
+            // everywhere) if the commands share a key on which at least one of them
+            // writes: read-read pairs commute, and dependency-based protocols
+            // (Atlas/EPaxos) legitimately execute them in different orders on
+            // different replicas. Tempo happens to order them anyway (per-key
+            // timestamp order), but the checker must accept both behaviours.
             let mut keys_of: BTreeMap<Rifl, BTreeSet<Key>> = BTreeMap::new();
+            let mut write_keys_of: BTreeMap<Rifl, BTreeSet<Key>> = BTreeMap::new();
             for (_, log) in &logs {
                 for rifl in &log.order {
                     keys_of
                         .entry(*rifl)
                         .or_insert_with(|| self.keys_on(*rifl, shard));
+                    write_keys_of
+                        .entry(*rifl)
+                        .or_insert_with(|| self.write_keys_on(*rifl, shard));
                 }
             }
             for (i, (ka, a)) in logs.iter().enumerate() {
@@ -313,9 +340,9 @@ impl History {
                         .collect();
                     for (x, &first) in common.iter().enumerate() {
                         for &second in common.iter().skip(x + 1) {
-                            if pos_b[&second] < pos_b[&first]
-                                && !keys_of[&first].is_disjoint(&keys_of[&second])
-                            {
+                            let conflicting = !write_keys_of[&first].is_disjoint(&keys_of[&second])
+                                || !keys_of[&first].is_disjoint(&write_keys_of[&second]);
+                            if pos_b[&second] < pos_b[&first] && conflicting {
                                 return Err(Violation::OrderDivergence {
                                     shard,
                                     a: (ka.1, ka.2),
@@ -610,6 +637,40 @@ mod tests {
         h.record_execution(0, 1, 0, y);
         h.record_execution(0, 1, 0, x);
         assert!(matches!(h.check(), Err(Violation::OrderDivergence { .. })));
+    }
+
+    #[test]
+    fn divergent_read_read_order_is_allowed() {
+        // Two `Get`s on the same key commute; replicas may execute them in either
+        // order (Atlas/EPaxos do exactly that).
+        let mut h = History::new();
+        let x = Rifl::new(1, 1);
+        let y = Rifl::new(2, 1);
+        h.record_invoke(x, cmd_get(x, 5), 0);
+        h.record_invoke(y, cmd_get(y, 5), 0);
+        h.record_execution(0, 0, 0, x);
+        h.record_execution(0, 0, 0, y);
+        h.record_execution(0, 1, 0, y);
+        h.record_execution(0, 1, 0, x);
+        assert!(h.check().is_ok());
+    }
+
+    #[test]
+    fn divergent_read_write_order_is_caught() {
+        // A `Get` and a `Put` on the same key do conflict: divergent order is real.
+        let mut h = History::new();
+        let x = Rifl::new(1, 1);
+        let y = Rifl::new(2, 1);
+        h.record_invoke(x, cmd_get(x, 5), 0);
+        h.record_invoke(y, cmd_put(y, 5, 9), 0);
+        h.record_execution(0, 0, 0, x);
+        h.record_execution(0, 0, 0, y);
+        h.record_execution(0, 1, 0, y);
+        h.record_execution(0, 1, 0, x);
+        assert!(matches!(
+            h.check(),
+            Err(Violation::OrderDivergence { shard: 0, .. })
+        ));
     }
 
     #[test]

@@ -12,7 +12,10 @@
 //!   and heal, lossy-link soak);
 //! * [`history`] — a concurrent history of client invocations/responses and per-replica
 //!   execution sequences, with a checker for per-key linearizability, cross-replica
-//!   agreement on the order of conflicting commands, and at-most-once execution.
+//!   agreement on the order of conflicting commands, and at-most-once execution;
+//! * [`detector`] — a timeout-based, heartbeat-fed failure detector that replaces the
+//!   perfect suspicion oracle of earlier PRs: wrong suspicions become possible, which
+//!   is precisely the adversity the recovery ballot races must absorb.
 //!
 //! Everything is deterministic given a seed, so a failing schedule replays exactly.
 //!
@@ -40,8 +43,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod detector;
 pub mod history;
 pub mod nemesis;
 
+pub use detector::{DetectorEvent, DetectorOpts, DetectorStats, FailureDetector};
 pub use history::{CheckSummary, History, Violation};
 pub use nemesis::{FaultEvent, FaultSummary, Nemesis, NemesisSchedule, RandomNemesisOpts};

@@ -52,6 +52,40 @@ pub enum FaultEvent {
         /// Additional one-way latency, in microseconds.
         extra_us: u64,
     },
+    /// Gray failure: the process stays alive and correct but *answers* at a crawl —
+    /// every frame it sends gains `extra_us` of latency (typically ~100× the normal
+    /// RTT). To a timeout-based detector this is indistinguishable from a crash until
+    /// the late frames land, so it provokes suspect/unsuspect flapping. Cleared by
+    /// [`FaultEvent::Heal`].
+    SlowNode {
+        /// The slow process.
+        process: ProcessId,
+        /// Extra one-way latency on every frame it sends, in microseconds.
+        extra_us: u64,
+    },
+    /// The directed link `from → to` delivers each frame a second time with
+    /// probability `p` (the duplicate arrives immediately after the original).
+    /// Protocol handlers must be idempotent for this to be harmless. Cleared by
+    /// [`FaultEvent::Heal`].
+    DuplicateFrame {
+        /// Sending process.
+        from: ProcessId,
+        /// Receiving process.
+        to: ProcessId,
+        /// Per-frame duplication probability.
+        p: f64,
+    },
+    /// The directed link `from → to` holds each frame back with probability `p`,
+    /// releasing it after a short extra delay — later frames overtake it, so the
+    /// link is no longer FIFO. Cleared by [`FaultEvent::Heal`].
+    ReorderFrame {
+        /// Sending process.
+        from: ProcessId,
+        /// Receiving process.
+        to: ProcessId,
+        /// Per-frame holdback probability.
+        p: f64,
+    },
 }
 
 /// Counters of injected faults and of their message-level effects, reported alongside
@@ -70,6 +104,12 @@ pub struct FaultSummary {
     pub link_faults: u64,
     /// `DelaySpike` events applied.
     pub delay_spikes: u64,
+    /// `SlowNode` events applied.
+    pub slow_nodes: u64,
+    /// `DuplicateFrame` events applied.
+    pub dup_links: u64,
+    /// `ReorderFrame` events applied.
+    pub reorder_links: u64,
     /// Messages dropped because an endpoint was crashed (or the sender had restarted
     /// since sending: its connections died with the old incarnation).
     pub dropped_crash: u64,
@@ -79,6 +119,12 @@ pub struct FaultSummary {
     pub dropped_link: u64,
     /// Messages that crossed a delay-spiked link.
     pub delayed: u64,
+    /// Messages delayed because their sender was a `SlowNode`.
+    pub slowed: u64,
+    /// Messages delivered twice by a `DuplicateFrame` draw.
+    pub duplicated: u64,
+    /// Messages held back (delivered out of order) by a `ReorderFrame` draw.
+    pub reordered: u64,
 }
 
 impl FaultSummary {
@@ -90,6 +136,9 @@ impl FaultSummary {
             + self.heals
             + self.link_faults
             + self.delay_spikes
+            + self.slow_nodes
+            + self.dup_links
+            + self.reorder_links
     }
 
     /// Total messages dropped, for any reason.
@@ -125,6 +174,14 @@ impl NemesisSchedule {
     /// Whether the schedule is empty.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
+    }
+
+    /// Folds `other`'s events into this schedule, keeping time order (composes
+    /// presets — e.g. a slow node *and* a lossy soak in one run). Ties keep their
+    /// relative order, `self` before `other`.
+    pub fn merge(&mut self, other: NemesisSchedule) {
+        self.events.extend(other.events);
+        self.events.sort_by_key(|(t, _)| *t);
     }
 
     /// The distinct event times, ascending (the simulator registers one wake-up per
@@ -200,11 +257,46 @@ impl NemesisSchedule {
         Self::new(events)
     }
 
+    /// Preset: gray failure — `process` stays alive but answers at `extra_us` extra
+    /// latency (typically ~100× the healthy RTT) between `at_us` and `until_us`. A
+    /// timeout-based detector must eventually suspect it, the protocol must keep
+    /// committing around it, and the heal must let it rejoin the quorums.
+    pub fn slow_node(process: ProcessId, extra_us: u64, at_us: u64, until_us: u64) -> Self {
+        assert!(until_us > at_us, "slow window must be non-empty");
+        Self::new(vec![
+            (at_us, FaultEvent::SlowNode { process, extra_us }),
+            (until_us, FaultEvent::Heal),
+        ])
+    }
+
+    /// Preset: duplicate/reorder soak — every directed link both duplicates and holds
+    /// back frames with probability `p` between `from_us` and `until_us`. Exercises
+    /// handler idempotence and the protocol's tolerance of non-FIFO links.
+    pub fn duplicate_reorder_soak(config: Config, p: f64, from_us: u64, until_us: u64) -> Self {
+        assert!(until_us > from_us, "soak window must be non-empty");
+        let membership = Membership::from_config(&config);
+        let all = membership.all_processes();
+        let mut events = Vec::new();
+        for &from in &all {
+            for &to in &all {
+                if from != to {
+                    events.push((from_us, FaultEvent::DuplicateFrame { from, to, p }));
+                    events.push((from_us, FaultEvent::ReorderFrame { from, to, p }));
+                }
+            }
+        }
+        events.push((until_us, FaultEvent::Heal));
+        Self::new(events)
+    }
+
     /// A seeded random schedule: a handful of non-overlapping incidents (crash with
-    /// optional restart, partition-and-heal, lossy window, delay-spike window) placed
-    /// over the horizon. Crash budgets respect `f` per shard — counting a restarted
-    /// process as spent, since it comes back with volatile state lost — and every
-    /// network incident heals before the horizon, so a run always regains liveness.
+    /// optional restart, partition-and-heal, lossy window, delay-spike window, slow
+    /// node, duplicate/reorder window) placed over the horizon. Crash budgets respect
+    /// `f` per shard — counting a restarted process as spent, since it comes back with
+    /// volatile state lost — and every network incident heals before the horizon, so a
+    /// run always regains liveness. Link-level incidents only ever target processes
+    /// that are still up at that point in the schedule: a `DelaySpike` (or lossy link,
+    /// or gray fault) aimed at a crashed process would be a wasted event.
     pub fn random(opts: &RandomNemesisOpts) -> Self {
         let mut rng = Rng::new(opts.seed);
         let membership = Membership::from_config(&opts.config);
@@ -214,6 +306,15 @@ impl NemesisSchedule {
         // Per-site crash budget: crashing a site spends one unit of every shard's
         // budget at once (one process per shard lives there), so `f` sites total.
         let mut crash_budget = f;
+        // Sites crashed without a scheduled restart: permanently down for the rest of
+        // the schedule, so later incidents must not target their processes.
+        let mut down_sites: BTreeSet<u64> = BTreeSet::new();
+        let alive = |down: &BTreeSet<u64>| -> Vec<ProcessId> {
+            (0..sites)
+                .filter(|s| !down.contains(s))
+                .flat_map(|s| membership.processes_of_site(s))
+                .collect()
+        };
         let incidents = opts.incidents.max(1) as u64;
         let segment = opts.horizon_us / (incidents + 1);
         for i in 0..incidents {
@@ -222,13 +323,19 @@ impl NemesisSchedule {
             // `gen_range(0)`, it just loses the jitter.
             let start = base + rng.gen_range((segment / 4).max(1));
             let end = start + segment / 2;
-            match rng.gen_range(4) {
-                0 if crash_budget > 0 => {
+            match rng.gen_range(6) {
+                0 if crash_budget > 0 && down_sites.len() < sites as usize => {
                     crash_budget -= 1;
-                    let site = rng.gen_range(sites);
+                    // Pick among the sites still up — crashing a dead site is a no-op.
+                    let up: Vec<u64> = (0..sites).filter(|s| !down_sites.contains(s)).collect();
+                    let site = up[rng.gen_range(up.len() as u64) as usize];
+                    let restarts = rng.gen_bool(0.5);
+                    if !restarts {
+                        down_sites.insert(site);
+                    }
                     for p in membership.processes_of_site(site) {
                         events.push((start, FaultEvent::Crash(p)));
-                        if rng.gen_bool(0.5) {
+                        if restarts {
                             events.push((end, FaultEvent::Restart(p)));
                         }
                     }
@@ -247,18 +354,51 @@ impl NemesisSchedule {
                 2 => {
                     let p = 0.05 + rng.next_f64() * 0.15;
                     let links = 1 + rng.gen_range(4);
-                    let all = membership.all_processes();
+                    let up = alive(&down_sites);
+                    if up.len() < 2 {
+                        continue;
+                    }
                     for _ in 0..links {
-                        let (from, to) = distinct_pair(&mut rng, &all);
+                        let (from, to) = distinct_pair(&mut rng, &up);
                         events.push((start, FaultEvent::DropLink { from, to, p }));
                     }
                     events.push((end, FaultEvent::Heal));
                 }
-                _ => {
-                    let all = membership.all_processes();
-                    let (from, to) = distinct_pair(&mut rng, &all);
+                3 => {
+                    let up = alive(&down_sites);
+                    if up.len() < 2 {
+                        continue;
+                    }
+                    let (from, to) = distinct_pair(&mut rng, &up);
                     let extra_us = 10_000 + rng.gen_range(200_000);
                     events.push((start, FaultEvent::DelaySpike { from, to, extra_us }));
+                    events.push((end, FaultEvent::Heal));
+                }
+                4 => {
+                    let up = alive(&down_sites);
+                    if up.is_empty() {
+                        continue;
+                    }
+                    let process = up[rng.gen_range(up.len() as u64) as usize];
+                    let extra_us = 100_000 + rng.gen_range(400_000);
+                    events.push((start, FaultEvent::SlowNode { process, extra_us }));
+                    events.push((end, FaultEvent::Heal));
+                }
+                _ => {
+                    let up = alive(&down_sites);
+                    if up.len() < 2 {
+                        continue;
+                    }
+                    let p = 0.1 + rng.next_f64() * 0.3;
+                    let links = 1 + rng.gen_range(4);
+                    for _ in 0..links {
+                        let (from, to) = distinct_pair(&mut rng, &up);
+                        if rng.gen_bool(0.5) {
+                            events.push((start, FaultEvent::DuplicateFrame { from, to, p }));
+                        } else {
+                            events.push((start, FaultEvent::ReorderFrame { from, to, p }));
+                        }
+                    }
                     events.push((end, FaultEvent::Heal));
                 }
             }
@@ -303,6 +443,9 @@ pub struct Nemesis {
     groups: Option<BTreeMap<ProcessId, usize>>,
     link_drop: BTreeMap<(ProcessId, ProcessId), f64>,
     link_delay: BTreeMap<(ProcessId, ProcessId), u64>,
+    slow: BTreeMap<ProcessId, u64>,
+    link_dup: BTreeMap<(ProcessId, ProcessId), f64>,
+    link_reorder: BTreeMap<(ProcessId, ProcessId), f64>,
     summary: FaultSummary,
 }
 
@@ -316,6 +459,9 @@ impl Nemesis {
             groups: None,
             link_drop: BTreeMap::new(),
             link_delay: BTreeMap::new(),
+            slow: BTreeMap::new(),
+            link_dup: BTreeMap::new(),
+            link_reorder: BTreeMap::new(),
             summary: FaultSummary::default(),
         }
     }
@@ -355,6 +501,9 @@ impl Nemesis {
                     self.groups = None;
                     self.link_drop.clear();
                     self.link_delay.clear();
+                    self.slow.clear();
+                    self.link_dup.clear();
+                    self.link_reorder.clear();
                     self.summary.heals += 1;
                 }
                 FaultEvent::DropLink { from, to, p } => {
@@ -364,6 +513,18 @@ impl Nemesis {
                 FaultEvent::DelaySpike { from, to, extra_us } => {
                     self.link_delay.insert((*from, *to), *extra_us);
                     self.summary.delay_spikes += 1;
+                }
+                FaultEvent::SlowNode { process, extra_us } => {
+                    self.slow.insert(*process, *extra_us);
+                    self.summary.slow_nodes += 1;
+                }
+                FaultEvent::DuplicateFrame { from, to, p } => {
+                    self.link_dup.insert((*from, *to), *p);
+                    self.summary.dup_links += 1;
+                }
+                FaultEvent::ReorderFrame { from, to, p } => {
+                    self.link_reorder.insert((*from, *to), *p);
+                    self.summary.reorder_links += 1;
                 }
             }
             fired.push(event);
@@ -376,16 +537,51 @@ impl Nemesis {
         self.down.contains(&process)
     }
 
-    /// Extra one-way latency of `from → to` under the active delay spikes (applied at
-    /// send time, like the serialization delay it models).
+    /// Extra one-way latency of `from → to` under the active delay spikes and slow
+    /// nodes (applied at send time, like the serialization delay it models). A
+    /// `SlowNode` slows everything its victim *sends* — its answers — which is what a
+    /// heartbeat-fed detector at the receiving end actually observes.
     pub fn send_delay(&mut self, from: ProcessId, to: ProcessId) -> u64 {
-        match self.link_delay.get(&(from, to)) {
-            Some(extra) => {
-                self.summary.delayed += 1;
-                *extra
-            }
-            None => 0,
+        let mut total = 0;
+        if let Some(extra) = self.link_delay.get(&(from, to)) {
+            self.summary.delayed += 1;
+            total += *extra;
         }
+        if let Some(extra) = self.slow.get(&from) {
+            self.summary.slowed += 1;
+            total += *extra;
+        }
+        total
+    }
+
+    /// Consulted at delivery time: whether this frame should additionally be delivered
+    /// a second time (an active `DuplicateFrame` link whose Bernoulli draw fired).
+    pub fn should_duplicate(&mut self, from: ProcessId, to: ProcessId) -> bool {
+        if let Some(p) = self.link_dup.get(&(from, to)).copied() {
+            if self.rng.gen_bool(p) {
+                self.summary.duplicated += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Consulted at delivery time: if an active `ReorderFrame` link's draw fires,
+    /// returns the extra holdback delay (in microseconds) the frame must wait before
+    /// delivery — later frames overtake it, breaking FIFO on the link.
+    pub fn reorder_delay(&mut self, from: ProcessId, to: ProcessId) -> Option<u64> {
+        if let Some(p) = self.link_reorder.get(&(from, to)).copied() {
+            if self.rng.gen_bool(p) {
+                self.summary.reordered += 1;
+                return Some(500 + self.rng.gen_range(5_000));
+            }
+        }
+        None
+    }
+
+    /// Whether `process` is currently a `SlowNode` victim, and by how much.
+    pub fn slow_node_extra(&self, process: ProcessId) -> Option<u64> {
+        self.slow.get(&process).copied()
     }
 
     /// Consulted at delivery time: whether the message may be delivered given the
@@ -534,6 +730,108 @@ mod tests {
             soak.events().last(),
             Some((100, FaultEvent::Heal))
         ));
+    }
+
+    #[test]
+    fn slow_node_delays_only_its_sends_until_heal() {
+        let s = NemesisSchedule::slow_node(1, 300_000, 10, 100);
+        let mut n = Nemesis::new(s, 1);
+        n.advance(10);
+        assert_eq!(n.send_delay(1, 0), 300_000, "the slow node answers late");
+        assert_eq!(n.send_delay(0, 1), 0, "traffic *to* it is unaffected");
+        assert_eq!(n.slow_node_extra(1), Some(300_000));
+        n.advance(100);
+        assert_eq!(n.send_delay(1, 0), 0, "heal clears the gray fault");
+        assert_eq!(n.summary().slow_nodes, 1);
+        assert_eq!(n.summary().slowed, 1);
+    }
+
+    #[test]
+    fn duplicate_and_reorder_draws_fire_roughly_p() {
+        let s = NemesisSchedule::new(vec![
+            (
+                0,
+                FaultEvent::DuplicateFrame {
+                    from: 0,
+                    to: 1,
+                    p: 0.3,
+                },
+            ),
+            (
+                0,
+                FaultEvent::ReorderFrame {
+                    from: 1,
+                    to: 0,
+                    p: 0.3,
+                },
+            ),
+        ]);
+        let mut n = Nemesis::new(s, 11);
+        n.advance(0);
+        let mut dups = 0;
+        let mut reorders = 0;
+        for _ in 0..10_000 {
+            if n.should_duplicate(0, 1) {
+                dups += 1;
+            }
+            assert!(!n.should_duplicate(1, 0), "only the configured link");
+            if let Some(extra) = n.reorder_delay(1, 0) {
+                assert!(extra >= 500, "holdback must be non-zero");
+                reorders += 1;
+            }
+            assert!(n.reorder_delay(0, 1).is_none());
+        }
+        for (name, count) in [("dup", dups), ("reorder", reorders)] {
+            let rate = count as f64 / 10_000.0;
+            assert!((0.25..0.35).contains(&rate), "{name} rate off: {rate}");
+        }
+        assert_eq!(n.summary().duplicated, dups);
+        assert_eq!(n.summary().reordered, reorders);
+        // Heal clears both.
+        let mut healed = Nemesis::new(NemesisSchedule::new(vec![(5, FaultEvent::Heal)]), 1);
+        healed.advance(5);
+        assert!(!healed.should_duplicate(0, 1));
+    }
+
+    /// The random generator never aims a link-level incident (lossy link, delay spike,
+    /// slow node, duplicate/reorder) at a process that is crashed-without-restart at
+    /// that point in the schedule, and never re-crashes a dead site.
+    #[test]
+    fn random_never_targets_a_crashed_process() {
+        for seed in 0..200 {
+            let s = NemesisSchedule::random(&RandomNemesisOpts {
+                config: Config::full(5, 2),
+                horizon_us: 20_000_000,
+                incidents: 8,
+                seed,
+            });
+            let mut dead: BTreeSet<ProcessId> = BTreeSet::new();
+            for (_, e) in s.events() {
+                match e {
+                    FaultEvent::Crash(p) => {
+                        assert!(!dead.contains(p), "seed {seed}: re-crashed dead {p}");
+                        dead.insert(*p);
+                    }
+                    FaultEvent::Restart(p) => {
+                        dead.remove(p);
+                    }
+                    FaultEvent::DropLink { from, to, .. }
+                    | FaultEvent::DelaySpike { from, to, .. }
+                    | FaultEvent::DuplicateFrame { from, to, .. }
+                    | FaultEvent::ReorderFrame { from, to, .. } => {
+                        assert!(!dead.contains(from), "seed {seed}: link from dead {from}");
+                        assert!(!dead.contains(to), "seed {seed}: link to dead {to}");
+                    }
+                    FaultEvent::SlowNode { process, .. } => {
+                        assert!(
+                            !dead.contains(process),
+                            "seed {seed}: slowed dead {process}"
+                        );
+                    }
+                    FaultEvent::Partition(_) | FaultEvent::Heal => {}
+                }
+            }
+        }
     }
 
     #[test]

@@ -218,3 +218,121 @@ fn restarted_replica_rejoins_and_serves_new_commands() {
     );
     assert_eq!(report.faults.restarts, 1);
 }
+
+// ------------------------------------------------------------- gray failures (§9)
+
+/// Generic twin of `checked_run` for the cross-protocol conformance scenarios: same
+/// accounting and history bar, any protocol.
+fn checked_run_as<P: tempo_kernel::protocol::Protocol, W: Workload>(
+    config: Config,
+    schedule: NemesisSchedule,
+    seed: u64,
+    workload: W,
+) -> RunReport {
+    let report = tempo_sim::run::<P, _>(
+        config,
+        Planet::equidistant(config.n(), 50.0),
+        chaos_opts(schedule, seed),
+        workload,
+    );
+    assert!(
+        !report.stalled,
+        "{} seed {seed}: run stalled ({})",
+        report.protocol,
+        report.summary()
+    );
+    assert_eq!(
+        report.completed + report.aborted,
+        (config.n() * 2 * 5) as u64,
+        "{} seed {seed}: every command must be accounted for",
+        report.protocol
+    );
+    let history = report.history.as_ref().expect("history recorded");
+    if let Err(violation) = history.check() {
+        panic!(
+            "{} seed {seed}: history check failed: {violation}\n{}",
+            report.protocol,
+            report.summary()
+        );
+    }
+    report
+}
+
+/// Duplicate + reorder soak, cross-protocol: every link duplicates and reorders frames
+/// for the whole run. Idempotent handlers and FIFO-independence are *protocol*
+/// obligations, so Tempo, Atlas and FPaxos must all ride it out with full completion —
+/// degradation under this failure mode is extra messages, never lost safety.
+#[test]
+fn duplicate_and_reorder_soak_is_safe_across_protocols() {
+    let config = Config::full(5, 1);
+    fn soak<P: tempo_kernel::protocol::Protocol>(config: Config, seed: u64) {
+        let schedule = NemesisSchedule::duplicate_reorder_soak(config, 0.4, 0, 3_000_000);
+        let report =
+            checked_run_as::<P, _>(config, schedule, seed, RwConflict::new(0.3, 0.5, 16, seed));
+        assert!(
+            report.faults.duplicated > 0 && report.faults.reordered > 0,
+            "{} seed {seed}: the soak must actually fire: {:?}",
+            report.protocol,
+            report.faults
+        );
+        assert_eq!(
+            report.aborted, 0,
+            "{} seed {seed}: duplicates/reorders alone must not cost completions",
+            report.protocol
+        );
+    }
+    soak::<Tempo>(config, 41);
+    soak::<tempo_atlas::Atlas>(config, 42);
+    soak::<tempo_fpaxos::FPaxos>(config, 43);
+}
+
+/// A slow node is not a dead node: 100×-latency on one replica's sends while a lossy
+/// link chews at everyone else. Tempo must keep committing (its quorums route around
+/// the slow replica) and the run must stay safe — the degradation is tail latency,
+/// measured by the load plane, not correctness.
+#[test]
+fn slow_node_with_lossy_links_stays_safe() {
+    let config = Config::full(5, 1);
+    for seed in [51u64, 52, 53] {
+        let mut schedule = NemesisSchedule::slow_node(4, 500_000, 100_000, 2_000_000);
+        schedule.merge(NemesisSchedule::lossy_link_soak(config, 0.05, 0, 2_000_000));
+        let report = checked_run(config, schedule, seed, RwConflict::new(0.3, 0.5, 16, seed));
+        assert!(
+            report.faults.slowed > 0,
+            "seed {seed}: the slow node must have delayed frames: {:?}",
+            report.faults
+        );
+        assert!(report.completed > 0, "seed {seed}");
+    }
+}
+
+/// Detector-mode rolling crashes: no oracle — survivors must *notice* each crash from
+/// heartbeat silence before recovery can start, and the restarted replica is welcomed
+/// back by arriving frames, not by decree. Five seeds, checker on every history.
+#[test]
+fn detector_mode_rolling_crashes_pass_the_checker_on_five_seeds() {
+    let config = Config::full(5, 1);
+    for seed in 61..=65u64 {
+        let schedule = NemesisSchedule::rolling_crashes(config, 300_000, 500_000);
+        let report = tempo_sim::run::<Tempo, _>(
+            config,
+            Planet::equidistant(config.n(), 50.0),
+            SimOpts {
+                detector: Some(tempo_fault::DetectorOpts::default()),
+                ..chaos_opts(schedule, seed)
+            },
+            RwConflict::new(0.2, 0.4, 16, seed),
+        );
+        assert!(!report.stalled, "seed {seed}: {}", report.summary());
+        let history = report.history.as_ref().expect("history recorded");
+        if let Err(violation) = history.check() {
+            panic!("seed {seed}: detector-mode history failed: {violation}");
+        }
+        assert!(
+            report.detector.suspicions > 0,
+            "seed {seed}: the crash must have been detected: {:?}",
+            report.detector
+        );
+        assert!(report.completed > 0, "seed {seed}");
+    }
+}

@@ -31,7 +31,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use tempo_kernel::command::Command;
 use tempo_kernel::config::Config;
-use tempo_kernel::id::{ProcessId, ShardId};
+use tempo_kernel::id::{ProcessId, Rifl, ShardId};
 use tempo_kernel::kvstore::KVStore;
 use tempo_kernel::membership::Membership;
 use tempo_kernel::protocol::{
@@ -169,6 +169,10 @@ pub struct FPaxos {
     next_slot: u64,
     /// Leader state: in-flight proposals (slot -> (command, acks)).
     proposals: BTreeMap<u64, (Command, BTreeSet<ProcessId>)>,
+    /// Leader state: commands already assigned a slot. The network can duplicate an
+    /// `MForward` frame; without this, the leader would propose the same command into
+    /// two slots and every replica would execute it twice.
+    proposed: BTreeSet<Rifl>,
     /// The execution stage: the slot-ordered log executor.
     executor: SlotExecutor,
     metrics: ProtocolMetrics,
@@ -237,6 +241,11 @@ impl FPaxos {
 
     fn leader_propose(&mut self, cmd: Command, now_us: u64, out: &mut Vec<Action<Message>>) {
         debug_assert!(self.is_leader());
+        if !self.proposed.insert(cmd.rifl) {
+            // Duplicate submission (a re-forwarded or network-duplicated frame): the
+            // command already owns a slot.
+            return;
+        }
         let slot = self.next_slot;
         self.next_slot += 1;
         self.proposals.insert(slot, (cmd.clone(), BTreeSet::new()));
@@ -350,6 +359,7 @@ impl Protocol for FPaxos {
             ballot: 1,
             next_slot: 0,
             proposals: BTreeMap::new(),
+            proposed: BTreeSet::new(),
             executor: SlotExecutor::new(process, shard, config),
             metrics: ProtocolMetrics::default(),
         }
@@ -482,6 +492,19 @@ mod tests {
         cluster.submit(0, cmd(1, 1, 0));
         assert_eq!(cluster.process(2).metrics().fast_paths, 1);
         assert_eq!(cluster.executed(0).len(), 1);
+    }
+
+    #[test]
+    fn duplicated_forwards_are_proposed_once() {
+        // The network can duplicate frames: the same MForward arriving twice must not
+        // open a second slot (the command would execute twice at every replica).
+        let config = Config::full(3, 1);
+        let mut leader = FPaxos::new(0, 0, config);
+        let c = cmd(6, 2, 0);
+        let first = leader.handle(1, Message::MForward { cmd: c.clone() }, 0);
+        let second = leader.handle(1, Message::MForward { cmd: c }, 0);
+        assert!(!first.is_empty(), "first forward proposes");
+        assert!(second.is_empty(), "duplicate forward is suppressed");
     }
 
     #[test]

@@ -494,16 +494,19 @@ mod tests {
 
     #[test]
     fn write_heavy_workloads_produce_more_dependencies_than_read_only() {
+        // Two coordinators, so dependency compression can tell the workloads apart:
+        // a read chains only to the *same* coordinator's previous read, while a write
+        // depends on the latest read/write from *every* coordinator.
         let config = Config::new(3, 1, 2);
         let run = |write: bool| {
             let mut cluster = LocalCluster::<Janus>::new(config);
             for seq in 1..=10u64 {
                 let op = if write { KVOp::Add(1) } else { KVOp::Get };
                 let cmd = Command::new(Rifl::new(0, seq), vec![(0, 0, op), (1, 0, op)], 0);
-                cluster.submit(0, cmd);
+                cluster.submit((seq - 1) % 2, cmd);
             }
             cluster.tick_all(5_000);
-            let last = Dot::new(0, 10);
+            let last = Dot::new(1, 5);
             cluster.process(0).committed_deps(last).unwrap().len()
         };
         let read_only = run(false);

@@ -3,7 +3,9 @@
 //! The simulator consults a [`Nemesis`] before every simulated delivery; here the same
 //! nemesis state is shared behind a [`ChaosNet`] and consulted on the *receive path*
 //! of a wrapped [`Transport`]: partitions and lossy links drop frames at delivery,
-//! delay spikes park them in a local heap until their extra latency elapsed. Fault
+//! delay spikes (and slow-node gray faults) park them in a local heap until their
+//! extra latency elapsed, duplicate draws deliver a trailing copy, and reorder draws
+//! hold a frame back so later frames overtake it. Fault
 //! times in the schedule are interpreted as microseconds since the [`ChaosNet`]'s
 //! epoch (wall clock), so one schedule drives both the simulator and the networked
 //! runtime — the interleavings differ (that is the point), the adversity does not.
@@ -99,6 +101,20 @@ impl ChaosNet {
             .expect("nemesis lock")
             .send_delay(from, to)
     }
+
+    fn should_duplicate(&self, from: ProcessId, to: ProcessId) -> bool {
+        self.nemesis
+            .lock()
+            .expect("nemesis lock")
+            .should_duplicate(from, to)
+    }
+
+    fn reorder_delay_us(&self, from: ProcessId, to: ProcessId) -> Option<u64> {
+        self.nemesis
+            .lock()
+            .expect("nemesis lock")
+            .reorder_delay(from, to)
+    }
 }
 
 /// A frame held back by a delay spike.
@@ -192,7 +208,24 @@ impl<T: Transport> Transport for ChaosTransport<T> {
                     if !self.net.allows(from, local) {
                         continue; // Partitioned or lost to a lossy link (counted).
                     }
-                    let extra = self.net.extra_delay_us(from, local);
+                    // Delay spikes and slow-node gray faults stretch the frame; a
+                    // reorder draw additionally holds it back so later frames
+                    // overtake it (the link stops being FIFO).
+                    let mut extra = self.net.extra_delay_us(from, local);
+                    if let Some(hold) = self.net.reorder_delay_us(from, local) {
+                        extra += hold;
+                    }
+                    if self.net.should_duplicate(from, local) {
+                        // At-least-once links: park a copy that trails the original
+                        // through the same delay, exercising handler idempotence.
+                        self.seq += 1;
+                        self.delayed.push(Reverse(Delayed {
+                            due: Instant::now() + Duration::from_micros(extra + 1),
+                            seq: self.seq,
+                            from,
+                            payload: payload.clone(),
+                        }));
+                    }
                     if extra > 0 {
                         self.seq += 1;
                         self.delayed.push(Reverse(Delayed {
@@ -288,6 +321,74 @@ mod tests {
             sent_at.elapsed()
         );
         assert_eq!(net.summary().delayed, 1);
+    }
+
+    #[test]
+    fn duplicate_link_delivers_the_frame_twice() {
+        let schedule = NemesisSchedule::new(vec![(
+            0,
+            FaultEvent::DuplicateFrame {
+                from: 0,
+                to: 1,
+                p: 1.0,
+            },
+        )]);
+        let net = Arc::new(ChaosNet::new(schedule, 7));
+        net.advance();
+        let mesh = TcpMesh::new();
+        let mut a = mesh.endpoint(0, true).unwrap();
+        let mut b = ChaosTransport::new(mesh.endpoint(1, true).unwrap(), Arc::clone(&net));
+        a.send(1, b"twice");
+        a.flush();
+        let (_, first) = b.recv_timeout(Duration::from_secs(5)).unwrap();
+        let (_, second) = b.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(first, b"twice");
+        assert_eq!(second, b"twice");
+        assert_eq!(net.summary().duplicated, 1);
+    }
+
+    #[test]
+    fn slow_node_stretches_its_answers() {
+        let schedule = NemesisSchedule::slow_node(0, 150_000, 0, 10_000_000);
+        let net = Arc::new(ChaosNet::new(schedule, 7));
+        net.advance();
+        let mesh = TcpMesh::new();
+        let mut a = mesh.endpoint(0, true).unwrap();
+        let mut b = ChaosTransport::new(mesh.endpoint(1, true).unwrap(), Arc::clone(&net));
+        let sent_at = Instant::now();
+        a.send(1, b"sluggish");
+        a.flush();
+        let (_, payload) = b.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(payload, b"sluggish");
+        assert!(
+            sent_at.elapsed() >= Duration::from_millis(150),
+            "the slow node's answer must be late, took {:?}",
+            sent_at.elapsed()
+        );
+        assert_eq!(net.summary().slowed, 1);
+    }
+
+    #[test]
+    fn reorder_lets_later_frames_overtake() {
+        let schedule = NemesisSchedule::new(vec![(
+            0,
+            FaultEvent::ReorderFrame {
+                from: 0,
+                to: 1,
+                p: 1.0,
+            },
+        )]);
+        let net = Arc::new(ChaosNet::new(schedule, 7));
+        net.advance();
+        let mesh = TcpMesh::new();
+        let mut a = mesh.endpoint(0, true).unwrap();
+        let mut b = ChaosTransport::new(mesh.endpoint(1, true).unwrap(), Arc::clone(&net));
+        a.send(1, b"held");
+        a.flush();
+        // Every frame on the link is held back, but none may be lost.
+        let (_, first) = b.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(first, b"held");
+        assert!(net.summary().reordered >= 1);
     }
 
     #[test]

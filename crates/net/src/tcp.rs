@@ -81,6 +81,7 @@ struct AtomicStats {
     bytes_received: AtomicU64,
     frames_dropped: AtomicU64,
     frames_dropped_stale: AtomicU64,
+    frames_corrupt: AtomicU64,
     flushes: AtomicU64,
 }
 
@@ -93,6 +94,7 @@ impl AtomicStats {
             bytes_received: self.bytes_received.load(Ordering::Relaxed),
             frames_dropped: self.frames_dropped.load(Ordering::Relaxed),
             frames_dropped_stale: self.frames_dropped_stale.load(Ordering::Relaxed),
+            frames_corrupt: self.frames_corrupt.load(Ordering::Relaxed),
             flushes: self.flushes.load(Ordering::Relaxed),
         }
     }
@@ -203,7 +205,10 @@ fn accept_loop(
 
 /// Reads frames off one inbound connection until EOF or the first malformed frame
 /// (truncated header, oversized length, checksum mismatch) — corruption closes the
-/// connection cleanly, it never panics and never reaches the inbox.
+/// connection cleanly, it never panics and never reaches the inbox. Every malformed
+/// frame is counted in `frames_corrupt` before the connection dies: the reader does
+/// not die silently, it leaves a visible mark that feeds detector suspicion (a peer
+/// whose traffic keeps corrupting stops proving its liveness).
 fn reader_loop(
     mut stream: TcpStream,
     inbox: Sender<(ProcessId, Vec<u8>)>,
@@ -240,14 +245,18 @@ fn reader_loop(
         let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
         let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
         if len > MAX_FRAME_LEN {
-            return; // A corrupt length: close rather than allocate it.
+            // A corrupt length: close rather than allocate it.
+            stats.frames_corrupt.fetch_add(1, Ordering::Relaxed);
+            return;
         }
         let mut payload = vec![0u8; len];
         if stream.read_exact(&mut payload).is_err() {
             return;
         }
         if crc32(&payload) != crc {
-            return; // Corrupt frame: the stream can no longer be trusted.
+            // Corrupt frame: the stream can no longer be trusted.
+            stats.frames_corrupt.fetch_add(1, Ordering::Relaxed);
+            return;
         }
         stats.frames_received.fetch_add(1, Ordering::Relaxed);
         stats
@@ -604,6 +613,11 @@ mod tests {
             0,
             "connection must be closed"
         );
+        assert_eq!(
+            b.stats().frames_corrupt,
+            1,
+            "the corrupt frame must be counted, not swallowed silently"
+        );
         // A fresh, well-formed connection still works.
         let mut ok = TcpStream::connect(addr).unwrap();
         ok.write_all(&hello).unwrap();
@@ -729,5 +743,6 @@ mod tests {
             0,
             "connection must be closed"
         );
+        assert_eq!(b.stats().frames_corrupt, 1);
     }
 }

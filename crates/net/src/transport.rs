@@ -64,6 +64,12 @@ pub struct TransportStats {
     /// incarnation that has since been replaced (restart-reconnect hygiene): a frame
     /// queued toward incarnation *k* must never deliver to incarnation *k+1*.
     pub frames_dropped_stale: u64,
+    /// Malformed frames (oversized length prefix or CRC mismatch) observed on
+    /// established connections. Each one also cost the connection: corruption means
+    /// the stream can no longer be trusted, so the reader drops it and the peer must
+    /// redial. A climbing counter here is a liveness signal for the failure detector —
+    /// a peer whose frames keep arriving corrupt is effectively unreachable.
+    pub frames_corrupt: u64,
     /// Flush calls that performed I/O handoff.
     pub flushes: u64,
 }
@@ -77,6 +83,7 @@ impl TransportStats {
         self.bytes_received += other.bytes_received;
         self.frames_dropped += other.frames_dropped;
         self.frames_dropped_stale += other.frames_dropped_stale;
+        self.frames_corrupt += other.frames_corrupt;
         self.flushes += other.flushes;
     }
 }

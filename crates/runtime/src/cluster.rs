@@ -17,12 +17,20 @@
 //!   including failover after a crash and timeout-then-abort for stranded commands.
 //! * **Supervisor.** With a nemesis schedule, a supervisor thread sleeps until each
 //!   fault is due and acts on it: `Crash` stops the replica thread (its endpoint dies
-//!   with it — sockets close, queued frames drop) and tells the survivors to
-//!   `suspect` it; `Restart` builds a fresh incarnation through the
+//!   with it — sockets close, queued frames drop) and — in oracle mode — tells the
+//!   survivors to `suspect` it; `Restart` builds a fresh incarnation through the
 //!   [`RuntimeFactory`] (a factory that reopens the replica's `FileStore` directory
 //!   models the disk surviving the crash), whose rejoin handshake and state transfer
 //!   then run over the real transport. Link-level faults are enforced inside
 //!   [`ChaosTransport`] on the delivery path.
+//! * **Failure detection.** With [`NetOpts::detector`], the oracle broadcasts are
+//!   disabled and each replica runs a `tempo-fault` [`FailureDetector`] instead:
+//!   heartbeat beacons cross the same chaos-afflicted transport as protocol traffic,
+//!   every peer frame counts as proof of life, and silence past the adaptive timeout
+//!   turns into a local `suspect` — so suspicion is *fallible* (a partitioned or
+//!   slowed peer gets wrongly suspected, then unsuspected when frames resume), which
+//!   is exactly the regime the `MRecNAck` ballot races need. The control frames stay
+//!   wired as a test override.
 //!
 //! Everything a test needs afterwards comes out of [`NetCluster::shutdown`]: per
 //! incarnation protocol metrics, aggregated transport stats, the fault summary and
@@ -33,7 +41,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use tempo_fault::{FaultEvent, FaultSummary, History, NemesisSchedule};
+use tempo_fault::{
+    DetectorEvent, DetectorOpts, DetectorStats, FailureDetector, FaultEvent, FaultSummary, History,
+    NemesisSchedule,
+};
 use tempo_kernel::command::{Command, Key};
 use tempo_kernel::config::Config;
 use tempo_kernel::driver::{Driver, Output};
@@ -77,6 +88,13 @@ pub struct NetOpts {
     /// geographic distance (`Planet::view_for`) instead of ring order — so fig6/fig7
     /// measurements run on real sockets across emulated regions.
     pub planet: Option<Planet>,
+    /// Real failure detection: with [`DetectorOpts`], every replica runs a
+    /// [`FailureDetector`] fed by heartbeats over the (chaos-afflicted) transport and
+    /// the supervisor's oracle `Suspect`/`Unsuspect` broadcasts are disabled —
+    /// suspicion becomes fallible, with detection latency bounded by the options.
+    /// The control-frame path stays wired as a test override. `None` (the default)
+    /// keeps the perfect oracle.
+    pub detector: Option<DetectorOpts>,
 }
 
 impl Default for NetOpts {
@@ -88,6 +106,7 @@ impl Default for NetOpts {
             batch: true,
             client_timeout: Duration::from_secs(10),
             planet: None,
+            detector: None,
         }
     }
 }
@@ -101,6 +120,7 @@ const ENV_REQUEST: u8 = 2;
 const ENV_REPLY: u8 = 3;
 const ENV_SUSPECT: u8 = 4;
 const ENV_UNSUSPECT: u8 = 5;
+const ENV_HEARTBEAT: u8 = 6;
 
 fn encode_peer<M: Wire>(msg: &M) -> Vec<u8> {
     let mut w = Writer::new();
@@ -136,6 +156,10 @@ enum Inbound<M> {
     Request(Command),
     Suspect(ProcessId),
     Unsuspect(ProcessId),
+    /// A liveness beacon — carries no payload; the sender id on the transport is the
+    /// signal (any frame from a peer counts as proof of life, heartbeats just
+    /// guarantee a minimum rate when the protocol is quiet).
+    Heartbeat,
 }
 
 fn decode_inbound<M: Wire>(bytes: &[u8]) -> Result<Inbound<M>, DecodeError> {
@@ -145,6 +169,7 @@ fn decode_inbound<M: Wire>(bytes: &[u8]) -> Result<Inbound<M>, DecodeError> {
         ENV_REQUEST => Inbound::Request(ClientRequest::decode_from(&mut r)?.cmd),
         ENV_SUSPECT => Inbound::Suspect(r.u64()?),
         ENV_UNSUSPECT => Inbound::Unsuspect(r.u64()?),
+        ENV_HEARTBEAT => Inbound::Heartbeat,
         t => return Err(DecodeError::BadTag(t)),
     };
     if r.remaining() != 0 {
@@ -180,11 +205,20 @@ pub(crate) struct Shared {
     pub(crate) client_timeout: Duration,
     /// The WAN geography, when [`NetOpts::planet`] was set (drives quorum views).
     pub(crate) planet: Option<Planet>,
+    /// Detector configuration, when [`NetOpts::detector`] was set (oracle disabled).
+    pub(crate) detector: Option<DetectorOpts>,
 }
 
 impl Shared {
     pub(crate) fn now_us(&self) -> u64 {
         self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Heartbeat period in detector mode (`u64::MAX` — i.e. never — in oracle mode).
+    pub(crate) fn detector_interval_us(&self) -> u64 {
+        self.detector
+            .map(|d| d.heartbeat_interval_us)
+            .unwrap_or(u64::MAX)
     }
 }
 
@@ -210,8 +244,9 @@ pub(crate) fn watch_replica(shared: &Shared, site: SiteId, shard: ShardId) -> Op
         })
 }
 
-/// A replica thread's return value: its protocol metrics and its endpoint's traffic.
-type ReplicaExit = (ProtocolMetrics, TransportStats);
+/// A replica thread's return value: its protocol metrics, its endpoint's traffic and
+/// its failure-detector activity (zero in oracle mode).
+type ReplicaExit = (ProtocolMetrics, TransportStats, DetectorStats);
 
 struct Seat {
     stop: Arc<AtomicBool>,
@@ -259,8 +294,46 @@ where
                 let output = driver.rejoin(incarnation, shared.now_us());
                 route_output(output, &mut transport, &shared, id, shard, incarnation);
             }
+            // Detector mode: a fresh detector per incarnation (fresh grace period for
+            // everyone), fed by heartbeats this loop broadcasts and by every frame a
+            // peer sends — both travel the same chaos-afflicted transport, which is
+            // exactly what makes suspicion fallible.
+            let peers: Vec<ProcessId> = shared
+                .membership
+                .all_processes()
+                .into_iter()
+                .filter(|q| *q != id)
+                .collect();
+            let mut detector = shared
+                .detector
+                .map(|opts| FailureDetector::new(opts, peers.iter().copied(), shared.now_us()));
+            let heartbeat_frame = {
+                let mut w = Writer::new();
+                w.put_u8(ENV_HEARTBEAT);
+                w.into_bytes()
+            };
+            let mut next_heartbeat_us = shared.now_us(); // First beacon right away.
             while !stop_flag.load(Ordering::Relaxed) {
                 let now = shared.now_us();
+                if let Some(det) = detector.as_mut() {
+                    if now >= next_heartbeat_us {
+                        next_heartbeat_us = now + shared.detector_interval_us();
+                        for q in &peers {
+                            transport.send(*q, &heartbeat_frame);
+                        }
+                        transport.flush();
+                    }
+                    for event in det.tick(now) {
+                        match event {
+                            DetectorEvent::Suspect(q) => {
+                                Protocol::suspect(driver.protocol_mut(), q)
+                            }
+                            DetectorEvent::Unsuspect(q) => {
+                                Protocol::unsuspect(driver.protocol_mut(), q)
+                            }
+                        }
+                    }
+                }
                 // Fire overdue timers before waiting: a busy inbox must not starve
                 // the protocol's periodic events.
                 if driver.next_timer_due().is_some_and(|due| due <= now) {
@@ -268,37 +341,80 @@ where
                     route_output(output, &mut transport, &shared, id, shard, incarnation);
                     continue;
                 }
-                let timeout = driver
+                let mut timeout = driver
                     .next_timer_due()
                     .map(|due| Duration::from_micros(due.saturating_sub(now)))
                     .unwrap_or(STOP_POLL)
                     .min(STOP_POLL);
+                if let Some(det) = detector.as_ref() {
+                    // Fold the next heartbeat and the earliest suspicion deadline into
+                    // the wait so detection latency is bounded by the options, not by
+                    // the poll granularity.
+                    let mut due = next_heartbeat_us;
+                    if let Some(deadline) = det.next_deadline() {
+                        due = due.min(deadline);
+                    }
+                    timeout = timeout.min(Duration::from_micros(due.saturating_sub(now)));
+                }
                 match transport.recv_timeout(timeout) {
-                    Ok((from, bytes)) => match decode_inbound::<P::Message>(&bytes) {
-                        Ok(Inbound::Peer(msg)) if from < CLIENT_ID_BASE => {
-                            let output = driver.handle(from, msg, shared.now_us());
-                            route_output(output, &mut transport, &shared, id, shard, incarnation);
+                    Ok((from, bytes)) => {
+                        // Any frame from a replica peer is proof of life.
+                        if from < CLIENT_ID_BASE {
+                            if let Some(event) = detector
+                                .as_mut()
+                                .and_then(|det| det.heartbeat(from, shared.now_us()))
+                            {
+                                let DetectorEvent::Unsuspect(q) = event else {
+                                    unreachable!("heartbeats only unsuspect")
+                                };
+                                Protocol::unsuspect(driver.protocol_mut(), q);
+                            }
                         }
-                        Ok(Inbound::Request(cmd)) if from >= CLIENT_ID_BASE => {
-                            let output = driver.submit(cmd, shared.now_us());
-                            route_output(output, &mut transport, &shared, id, shard, incarnation);
+                        match decode_inbound::<P::Message>(&bytes) {
+                            Ok(Inbound::Peer(msg)) if from < CLIENT_ID_BASE => {
+                                let output = driver.handle(from, msg, shared.now_us());
+                                route_output(
+                                    output,
+                                    &mut transport,
+                                    &shared,
+                                    id,
+                                    shard,
+                                    incarnation,
+                                );
+                            }
+                            Ok(Inbound::Request(cmd)) if from >= CLIENT_ID_BASE => {
+                                let output = driver.submit(cmd, shared.now_us());
+                                route_output(
+                                    output,
+                                    &mut transport,
+                                    &shared,
+                                    id,
+                                    shard,
+                                    incarnation,
+                                );
+                            }
+                            // Control-frame suspicion stays wired in detector mode as
+                            // the test override (the supervisor only *sends* it in
+                            // oracle mode).
+                            Ok(Inbound::Suspect(p)) if from == CONTROL_ID => {
+                                Protocol::suspect(driver.protocol_mut(), p);
+                            }
+                            Ok(Inbound::Unsuspect(p)) if from == CONTROL_ID => {
+                                Protocol::unsuspect(driver.protocol_mut(), p);
+                            }
+                            Ok(Inbound::Heartbeat) => {} // Liveness already fed above.
+                            // Anything else — decode failures included — is dropped:
+                            // the CRC layer already screened corruption, so this can
+                            // only be mis-addressed harness traffic.
+                            _ => {}
                         }
-                        Ok(Inbound::Suspect(p)) if from == CONTROL_ID => {
-                            Protocol::suspect(driver.protocol_mut(), p);
-                        }
-                        Ok(Inbound::Unsuspect(p)) if from == CONTROL_ID => {
-                            Protocol::unsuspect(driver.protocol_mut(), p);
-                        }
-                        // Anything else — decode failures included — is dropped: the
-                        // CRC layer already screened corruption, so this can only be
-                        // mis-addressed harness traffic.
-                        _ => {}
-                    },
+                    }
                     Err(RecvError::Timeout) => {}
                     Err(RecvError::Closed) => break,
                 }
             }
-            (driver.metrics(), transport.stats())
+            let detector_stats = detector.as_ref().map(|det| det.stats()).unwrap_or_default();
+            (driver.metrics(), transport.stats(), detector_stats)
         })
         .expect("spawn replica thread");
     Seat { stop, handle }
@@ -382,9 +498,13 @@ fn supervisor_loop<P>(
                         }
                     }
                     shared.down.lock().expect("down lock").insert(p);
-                    // Survivors suspect the crashed process (the runtime's stand-in
-                    // for Ω, exactly like the simulator's perfect failure detector).
-                    broadcast_control(&mut control, &seats, ENV_SUSPECT, p);
+                    // In oracle mode, survivors are told to suspect the crashed
+                    // process (the runtime's stand-in for Ω, exactly like the
+                    // simulator's perfect failure detector). In detector mode they
+                    // must notice the silence themselves.
+                    if shared.detector.is_none() {
+                        broadcast_control(&mut control, &seats, ENV_SUSPECT, p);
+                    }
                 }
                 FaultEvent::Restart(p) => {
                     let incarnation = incarnations.entry(p).and_modify(|i| *i += 1).or_insert(1);
@@ -393,10 +513,17 @@ fn supervisor_loop<P>(
                     let protocol = factory(p, shard, shared.config, incarnation);
                     let transport = make_transport(&mesh, Some(&chaos), planet.as_ref(), p, batch)
                         .expect("bind restarted replica endpoint");
+                    // The restarted incarnation is seeded with the oracle's knowledge
+                    // of who else is down — only in oracle mode; a detector-mode
+                    // incarnation starts neutral and re-suspects on its own.
                     let initial_suspects: Vec<ProcessId> = {
                         let mut down = shared.down.lock().expect("down lock");
                         down.remove(&p);
-                        down.iter().copied().collect()
+                        if shared.detector.is_none() {
+                            down.iter().copied().collect()
+                        } else {
+                            Vec::new()
+                        }
                     };
                     let seat = spawn_replica(
                         protocol,
@@ -408,7 +535,9 @@ fn supervisor_loop<P>(
                         Arc::clone(&shared),
                     );
                     seats.lock().expect("seats lock").insert(p, seat);
-                    broadcast_control(&mut control, &seats, ENV_UNSUSPECT, p);
+                    if shared.detector.is_none() {
+                        broadcast_control(&mut control, &seats, ENV_UNSUSPECT, p);
+                    }
                 }
                 // Partitions, lossy links and delay spikes were absorbed into the
                 // nemesis state by `advance` and are enforced by the ChaosTransports.
@@ -480,6 +609,9 @@ pub struct RuntimeReport {
     pub transport: TransportStats,
     /// Faults injected and their frame-level effects (empty without a nemesis).
     pub faults: FaultSummary,
+    /// Failure-detector activity summed over all replica incarnations (all zero in
+    /// oracle mode, i.e. without [`NetOpts::detector`]).
+    pub detector: DetectorStats,
     /// The recorded history, when [`NetOpts::record_history`] was set.
     pub history: Option<History>,
     /// Wall-clock duration of the run, cluster start to shutdown.
@@ -554,6 +686,7 @@ impl NetCluster {
             history: opts.record_history.then(|| Mutex::new(History::new())),
             client_timeout: opts.client_timeout,
             planet: opts.planet.clone(),
+            detector: opts.detector,
         });
         let seats = Arc::new(Mutex::new(BTreeMap::new()));
         for id in membership.all_processes() {
@@ -657,8 +790,10 @@ impl NetCluster {
         }
         exits.extend(self.dead.lock().expect("dead lock").drain(..));
         let mut transport = TransportStats::default();
-        for (_, stats) in &exits {
+        let mut detector = DetectorStats::default();
+        for (_, stats, det) in &exits {
             transport.merge(stats);
+            detector.merge(det);
         }
         let mut faults = self.chaos.as_ref().map(|c| c.summary()).unwrap_or_default();
         // Frames the transport layer discarded because their destination incarnation
@@ -666,9 +801,10 @@ impl NetCluster {
         // counts frames lost to a crashed process.
         faults.dropped_crash += transport.frames_dropped_stale;
         RuntimeReport {
-            metrics: exits.into_iter().map(|(m, _)| m).collect(),
+            metrics: exits.into_iter().map(|(m, _, _)| m).collect(),
             transport,
             faults,
+            detector,
             history: self
                 .shared
                 .history

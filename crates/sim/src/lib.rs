@@ -53,7 +53,10 @@ pub use report::{ClientTally, RunReport, SiteReport};
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap};
 use std::sync::Arc;
-use tempo_fault::{FaultEvent, History, Nemesis, NemesisSchedule};
+use tempo_fault::{
+    DetectorEvent, DetectorOpts, DetectorStats, FailureDetector, FaultEvent, History, Nemesis,
+    NemesisSchedule,
+};
 use tempo_kernel::command::Command;
 use tempo_kernel::config::Config;
 use tempo_kernel::driver::{Driver, Output};
@@ -125,6 +128,14 @@ pub struct SimOpts {
     pub client_timeout_us: Option<u64>,
     /// Record the client/replica [`History`] for the `tempo-fault` checker.
     pub record_history: bool,
+    /// Replace the perfect suspicion oracle with a real, timeout-based
+    /// [`FailureDetector`] per process: heartbeats are simulated frames that cross the
+    /// same nemesis-afflicted network as protocol messages, so wrong suspicions (from
+    /// partitions, slow nodes, delay spikes) become possible and crashes are detected
+    /// with the configured latency instead of instantly. `None` keeps the oracle of
+    /// earlier PRs: the simulator tells every live process exactly when a peer
+    /// crashes or rejoins.
+    pub detector: Option<DetectorOpts>,
 }
 
 impl Default for SimOpts {
@@ -138,6 +149,7 @@ impl Default for SimOpts {
             nemesis: None,
             client_timeout_us: None,
             record_history: false,
+            detector: None,
         }
     }
 }
@@ -170,6 +182,18 @@ enum EventKind<M> {
     },
     /// Apply the fault events due at this instant.
     NemesisWake,
+    /// Detector mode: the process scans for overdue peers and broadcasts a heartbeat.
+    DetectorTick {
+        process: ProcessId,
+    },
+    /// Detector mode: a heartbeat frame arriving at `to`. Routed through the same
+    /// nemesis gating as protocol messages — that is what makes suspicion fallible.
+    HeartbeatDeliver {
+        from: ProcessId,
+        from_incarnation: u64,
+        to_incarnation: u64,
+        to: ProcessId,
+    },
 }
 
 struct Event<M> {
@@ -235,6 +259,10 @@ pub struct Simulation<P: Protocol, W: Workload> {
     timer_wakes: BTreeMap<ProcessId, u64>,
     now: u64,
     nemesis: Option<Nemesis>,
+    /// Per-process failure detectors (detector mode only; rebuilt on restart).
+    detectors: BTreeMap<ProcessId, FailureDetector>,
+    /// Detector counters of dead incarnations, folded in at restart time.
+    detector_stats: DetectorStats,
     /// Restart count per process (0 = the original incarnation).
     incarnations: BTreeMap<ProcessId, u64>,
     history: Option<History>,
@@ -319,6 +347,17 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
             .clone()
             .map(|schedule| Nemesis::new(schedule, opts.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
         let history = opts.record_history.then(History::new);
+        let detectors = match opts.detector {
+            Some(d) => membership
+                .all_processes()
+                .into_iter()
+                .map(|p| {
+                    let peers = membership.all_processes().into_iter().filter(|&q| q != p);
+                    (p, FailureDetector::new(d, peers, 0))
+                })
+                .collect(),
+            None => BTreeMap::new(),
+        };
         Self {
             config,
             membership,
@@ -334,6 +373,8 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
             timer_wakes: BTreeMap::new(),
             now: 0,
             nemesis,
+            detectors,
+            detector_stats: DetectorStats::default(),
             incarnations: BTreeMap::new(),
             history,
             completed_total: 0,
@@ -402,10 +443,17 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
                 let mut latency = self
                     .planet
                     .one_way_us(from_site, self.membership.site_of(target));
+                let mut duplicate = false;
                 if let Some(nemesis) = &mut self.nemesis {
-                    // Delay spikes stretch the link at send time (like the
-                    // serialization delay they model); drops apply at delivery time.
+                    // Delay spikes (and slow-node gray faults) stretch the link at send
+                    // time (like the serialization delay they model); drops apply at
+                    // delivery time. Reorder holdback also applies here: the held frame
+                    // is overtaken by everything sent after it.
                     latency += nemesis.send_delay(from, target);
+                    if let Some(extra) = nemesis.reorder_delay(from, target) {
+                        latency += extra;
+                    }
+                    duplicate = nemesis.should_duplicate(from, target);
                 }
                 let to_incarnation = self.incarnation_of(target);
                 self.push(
@@ -418,6 +466,20 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
                         msg: Arc::clone(&msg),
                     },
                 );
+                if duplicate {
+                    // The duplicate trails the original by a hair (same path, so it is
+                    // subject to the same delivery-time gating).
+                    self.push(
+                        at + send_cost + latency + 1,
+                        EventKind::Deliver {
+                            from,
+                            from_incarnation,
+                            to_incarnation,
+                            to: target,
+                            msg: Arc::clone(&msg),
+                        },
+                    );
+                }
             }
         }
         if send_cost > 0 {
@@ -593,13 +655,17 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
         for event in fired {
             match event {
                 FaultEvent::Crash(p) => {
-                    // Volatile state dies with the process; peers suspect it (a perfect
-                    // failure detector standing in for Ω, as in Appendix B).
+                    // Volatile state dies with the process. In oracle mode peers
+                    // suspect it instantly (a perfect failure detector standing in for
+                    // Ω, as in Appendix B); in detector mode they only find out when
+                    // its heartbeats stop arriving.
                     self.busy_until.remove(&p);
                     self.timer_wakes.remove(&p);
-                    for (id, driver) in self.drivers.iter_mut() {
-                        if *id != p && !self.nemesis.as_ref().is_some_and(|n| n.is_down(*id)) {
-                            driver.protocol_mut().suspect(p);
+                    if self.opts.detector.is_none() {
+                        for (id, driver) in self.drivers.iter_mut() {
+                            if *id != p && !self.nemesis.as_ref().is_some_and(|n| n.is_down(*id)) {
+                                driver.protocol_mut().suspect(p);
+                            }
                         }
                     }
                 }
@@ -616,17 +682,36 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
                     let view = self.planet.view_for(self.config, p);
                     let start = driver.start(view, at);
                     let rejoin = driver.rejoin(incarnation, at);
-                    for q in self.membership.all_processes() {
-                        if q != p && self.is_down(q) {
-                            driver.protocol_mut().suspect(q);
+                    if self.opts.detector.is_none() {
+                        for q in self.membership.all_processes() {
+                            if q != p && self.is_down(q) {
+                                driver.protocol_mut().suspect(q);
+                            }
                         }
                     }
                     self.drivers.insert(p, driver);
                     self.absorb(p, at, start);
                     self.absorb(p, at, rejoin);
-                    for (id, driver) in self.drivers.iter_mut() {
-                        if *id != p {
-                            driver.protocol_mut().unsuspect(p);
+                    if let Some(d) = self.opts.detector {
+                        // A fresh incarnation gets a fresh detector (and a fresh grace
+                        // period); the dead one's counters fold into the run total.
+                        // Peers retract their suspicion when its heartbeats resume —
+                        // no oracle announcement.
+                        let peers = self
+                            .membership
+                            .all_processes()
+                            .into_iter()
+                            .filter(|&q| q != p);
+                        if let Some(old) =
+                            self.detectors.insert(p, FailureDetector::new(d, peers, at))
+                        {
+                            self.detector_stats.merge(&old.stats());
+                        }
+                    } else {
+                        for (id, driver) in self.drivers.iter_mut() {
+                            if *id != p {
+                                driver.protocol_mut().unsuspect(p);
+                            }
                         }
                     }
                 }
@@ -637,6 +722,19 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
 
     fn total_commands(&self) -> u64 {
         (self.clients.len() * self.opts.commands_per_client) as u64
+    }
+
+    /// Detector mode: an arrival from `from` proves it is alive to `to`'s detector;
+    /// a retracted suspicion is forwarded to the protocol immediately.
+    fn feed_liveness(&mut self, from: ProcessId, to: ProcessId, at: u64) {
+        let Some(detector) = self.detectors.get_mut(&to) else {
+            return;
+        };
+        if let Some(DetectorEvent::Unsuspect(q)) = detector.heartbeat(from, at) {
+            if let Some(driver) = self.drivers.get_mut(&to) {
+                driver.protocol_mut().unsuspect(q);
+            }
+        }
     }
 
     /// Runs the simulation to completion and produces the report.
@@ -657,6 +755,15 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
                 .expect("process exists")
                 .start(view, 0);
             self.absorb(p, 0, output);
+        }
+        // Detector mode: start every process's tick chain, staggered so heartbeats do
+        // not arrive in lockstep across the cluster.
+        if let Some(d) = self.opts.detector {
+            let processes: Vec<ProcessId> = self.drivers.keys().copied().collect();
+            for (i, process) in processes.into_iter().enumerate() {
+                let offset = (i as u64 * 131) % d.heartbeat_interval_us.max(1);
+                self.push(offset, EventKind::DetectorTick { process });
+            }
         }
         // Kick off every client, slightly staggered for determinism without full symmetry.
         let client_ids: Vec<ClientId> = self.clients.keys().copied().collect();
@@ -706,6 +813,8 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
                             continue;
                         }
                     }
+                    // Any frame that makes it through proves the sender is alive.
+                    self.feed_liveness(from, to, event.time);
                     let start = self.charge_cpu(to, event.time, msg.wire_size());
                     // The last destination of a broadcast unwraps the message without a
                     // copy; earlier destinations (still sharing the allocation) clone.
@@ -741,6 +850,84 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
                 }
                 EventKind::NemesisWake => {
                     self.apply_faults(event.time);
+                }
+                EventKind::DetectorTick { process } => {
+                    let Some(d) = self.opts.detector else {
+                        continue;
+                    };
+                    // Keep the tick chain alive through crashes so a restarted
+                    // incarnation resumes scanning and beating without bookkeeping.
+                    self.push(
+                        event.time + d.heartbeat_interval_us,
+                        EventKind::DetectorTick { process },
+                    );
+                    if self.is_down(process) {
+                        continue;
+                    }
+                    // Scan for overdue peers; fresh suspicions go to the protocol.
+                    let events = self
+                        .detectors
+                        .get_mut(&process)
+                        .map(|det| det.tick(event.time))
+                        .unwrap_or_default();
+                    for e in events {
+                        if let DetectorEvent::Suspect(q) = e {
+                            self.drivers
+                                .get_mut(&process)
+                                .expect("process exists")
+                                .protocol_mut()
+                                .suspect(q);
+                        }
+                    }
+                    // Broadcast a heartbeat over the nemesis-afflicted network: slow
+                    // nodes beat late, partitions silence them entirely.
+                    let from_site = self.membership.site_of(process);
+                    let from_incarnation = self.incarnation_of(process);
+                    for target in self.membership.all_processes() {
+                        if target == process {
+                            continue;
+                        }
+                        let mut latency = self
+                            .planet
+                            .one_way_us(from_site, self.membership.site_of(target));
+                        if let Some(nemesis) = &mut self.nemesis {
+                            latency += nemesis.send_delay(process, target);
+                        }
+                        let to_incarnation = self.incarnation_of(target);
+                        self.push(
+                            event.time + latency,
+                            EventKind::HeartbeatDeliver {
+                                from: process,
+                                from_incarnation,
+                                to_incarnation,
+                                to: target,
+                            },
+                        );
+                    }
+                }
+                EventKind::HeartbeatDeliver {
+                    from,
+                    from_incarnation,
+                    to_incarnation,
+                    to,
+                } => {
+                    if let Some(nemesis) = &mut self.nemesis {
+                        // Same gating as protocol messages (minus the crash-drop
+                        // tally: losing a heartbeat with its endpoint is the detector
+                        // working as intended, not a protocol-visible message loss).
+                        if nemesis.is_down(from)
+                            || nemesis.is_down(to)
+                            || self.incarnations.get(&from).copied().unwrap_or(0)
+                                != from_incarnation
+                            || self.incarnations.get(&to).copied().unwrap_or(0) != to_incarnation
+                        {
+                            continue;
+                        }
+                        if !nemesis.allows_delivery(from, to) {
+                            continue;
+                        }
+                    }
+                    self.feed_liveness(from, to, event.time);
                 }
             }
         }
@@ -800,6 +987,13 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
             duration_us: duration,
             metrics,
             faults: self.nemesis.map(|n| n.summary()).unwrap_or_default(),
+            detector: {
+                let mut stats = self.detector_stats;
+                for det in self.detectors.values() {
+                    stats.merge(&det.stats());
+                }
+                stats
+            },
             history: self.history,
             stalled,
         }
@@ -1015,6 +1209,129 @@ mod tests {
         assert_eq!(a.completed, b.completed);
         assert_eq!(a.faults, b.faults);
         assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn detector_mode_survives_a_crash_without_the_oracle() {
+        // Same adversity as `crashed_minority_does_not_block_the_run`, but nobody
+        // tells the survivors about the crash: the timeout-based detector must notice
+        // on its own (counted suspicions) before recovery can finish the orphans.
+        let config = Config::full(5, 1);
+        let go = || {
+            run::<Tempo, _>(
+                config,
+                Planet::equidistant(5, 50.0),
+                SimOpts {
+                    clients_per_site: 2,
+                    commands_per_client: 5,
+                    nemesis: Some(NemesisSchedule::coordinator_crash(0, 150_000)),
+                    client_timeout_us: Some(30_000_000),
+                    record_history: true,
+                    detector: Some(tempo_fault::DetectorOpts::default()),
+                    ..SimOpts::default()
+                },
+                ConflictWorkload::new(0.05, 10, 9),
+            )
+        };
+        let report = go();
+        assert!(!report.stalled, "run must terminate despite the crash");
+        assert_eq!(report.faults.crashes, 1);
+        assert!(
+            report.detector.suspicions >= 4,
+            "every survivor should suspect the crashed process, got {:?}",
+            report.detector
+        );
+        assert!(report.detector.heartbeats > 0);
+        assert_eq!(report.completed + report.aborted, 5 * 2 * 5);
+        assert!(report.completed > 0);
+        report
+            .history
+            .as_ref()
+            .expect("history recorded")
+            .check()
+            .expect("detector-mode chaos history must stay safe");
+        // Detector runs are as deterministic as oracle runs.
+        let again = go();
+        assert_eq!(report.completed, again.completed);
+        assert_eq!(report.detector, again.detector);
+        assert_eq!(report.metrics, again.metrics);
+    }
+
+    #[test]
+    fn slow_node_provokes_wrong_suspicion_and_recovery() {
+        // A gray failure: process 0 stays alive but answers at ~100× latency for a
+        // window. The detector must (wrongly) suspect it, then retract once its late
+        // heartbeats land after the heal — and the history must stay safe throughout.
+        let config = Config::full(3, 1);
+        let report = run::<Tempo, _>(
+            config,
+            Planet::equidistant(3, 50.0),
+            SimOpts {
+                clients_per_site: 2,
+                commands_per_client: 8,
+                nemesis: Some(NemesisSchedule::slow_node(0, 5_000_000, 200_000, 4_000_000)),
+                client_timeout_us: Some(30_000_000),
+                record_history: true,
+                detector: Some(tempo_fault::DetectorOpts::default()),
+                ..SimOpts::default()
+            },
+            ConflictWorkload::new(0.05, 10, 17),
+        );
+        assert!(!report.stalled, "run must terminate despite the slow node");
+        assert_eq!(report.faults.slow_nodes, 1);
+        assert!(
+            report.faults.slowed > 0,
+            "slow node must have delayed frames"
+        );
+        assert!(
+            report.detector.suspicions > 0,
+            "slow node must be suspected: {:?}",
+            report.detector
+        );
+        assert!(
+            report.detector.wrong_suspicions > 0,
+            "the suspicion was wrong (it never crashed) and must be retracted: {:?}",
+            report.detector
+        );
+        assert_eq!(report.completed + report.aborted, 3 * 2 * 8);
+        report
+            .history
+            .as_ref()
+            .expect("history recorded")
+            .check()
+            .expect("gray-failure history must stay safe");
+    }
+
+    #[test]
+    fn duplicate_and_reorder_soak_stays_safe() {
+        // Non-FIFO, at-least-once links: handlers must be idempotent and
+        // order-tolerant. The checker would catch double execution.
+        let config = Config::full(3, 1);
+        let report = run::<Tempo, _>(
+            config,
+            Planet::equidistant(3, 50.0),
+            SimOpts {
+                clients_per_site: 2,
+                commands_per_client: 10,
+                nemesis: Some(NemesisSchedule::duplicate_reorder_soak(
+                    config, 0.3, 0, 8_000_000,
+                )),
+                client_timeout_us: Some(30_000_000),
+                record_history: true,
+                ..SimOpts::default()
+            },
+            ConflictWorkload::new(0.2, 10, 23),
+        );
+        assert!(!report.stalled);
+        assert!(report.faults.duplicated > 0, "no duplicates injected");
+        assert!(report.faults.reordered > 0, "no reorders injected");
+        assert_eq!(report.completed, 3 * 2 * 10);
+        report
+            .history
+            .as_ref()
+            .expect("history recorded")
+            .check()
+            .expect("duplicate/reorder history must stay safe");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use tempo_fault::{FaultSummary, History};
+use tempo_fault::{DetectorStats, FaultSummary, History};
 use tempo_kernel::config::Config;
 use tempo_kernel::id::{ClientId, SiteId};
 use tempo_kernel::metrics::{Histogram, Percentile, Throughput};
@@ -52,6 +52,9 @@ pub struct RunReport {
     pub metrics: ProtocolMetrics,
     /// Injected faults and the messages they cost (all zero without a nemesis).
     pub faults: FaultSummary,
+    /// Failure-detector activity across all processes and incarnations (all zero in
+    /// oracle mode, i.e. without `SimOpts::detector`).
+    pub detector: DetectorStats,
     /// The recorded client/replica history, when `SimOpts::record_history` was set.
     pub history: Option<History>,
     /// Whether the run hit the simulated-time cap before every client finished.
@@ -177,6 +180,7 @@ mod tests {
             duration_us: 1_000_000,
             metrics: ProtocolMetrics::default(),
             faults: FaultSummary::default(),
+            detector: DetectorStats::default(),
             history: None,
             stalled: false,
         }

@@ -1,0 +1,332 @@
+//! [`FaultStore`] — a lying disk for the fault plane.
+//!
+//! The WAL recovery path (torn-tail truncation, CRC framing, snapshot atomicity) was
+//! built against crashes that stop a process mid-write. Real disks misbehave in richer
+//! ways: an `fsync` that returns success while the data sits in a volatile cache, a
+//! power cut that persists only a prefix of a batch (torn write), and silent bit rot in
+//! already-written sectors. [`FaultStore`] models all three behind the ordinary
+//! [`Store`] trait so any store-backed test or benchmark can run against a disk that
+//! lies, with a seeded [`StoreFaultPlan`] deciding when.
+//!
+//! The model keeps two byte streams per "device": **durable** bytes that survive a
+//! crash and **cached** bytes that a lying fsync left in the page cache. A process
+//! crash alone does not lose the cache (the OS survives); [`FaultStore::crash`] models
+//! the machine-level failure that does — the nemesis `Crash` event in the chaos
+//! harnesses calls it before rebuilding the replica, which is the pessimistic (and
+//! interesting) reading of the fault.
+//!
+//! Every injected fault surfaces to the replica exactly like real corruption would: as
+//! missing or unreadable WAL suffix on the next load. The replay machinery truncates at
+//! the first bad frame and the replica comes back with a gap — which the rejoin +
+//! state-transfer path (DESIGN.md §6) must fill. Nothing here may panic: a lying disk
+//! is survivable adversity, not a programming error (DESIGN.md §9).
+
+use crate::snapshot::Snapshot;
+use crate::wal::{self, WalRecord};
+use crate::{Store, StoreMetrics};
+use std::sync::{Arc, Mutex};
+use tempo_kernel::rand::Rng;
+
+/// Seeded per-sync fault probabilities of a [`FaultStore`]. The `Default` plan is
+/// [`honest`](Self::honest) with seed 0.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StoreFaultPlan {
+    /// Probability that a sync *lies*: it reports success but leaves the batch in the
+    /// volatile cache, where a [`FaultStore::crash`] destroys it.
+    pub fsync_lie_p: f64,
+    /// Probability that a sync *tears*: only a prefix of the batch reaches the durable
+    /// stream, followed by garbage (the torn sector) that CRC replay will reject.
+    pub torn_write_p: f64,
+    /// Probability that a sync additionally flips one already-durable byte (bit rot);
+    /// the corrupted frame and everything after it become unreadable to replay.
+    pub corrupt_p: f64,
+    /// Seed for all fault draws (and tear/rot positions).
+    pub seed: u64,
+}
+
+impl StoreFaultPlan {
+    /// A disk that never misbehaves (the control case).
+    pub fn honest(seed: u64) -> Self {
+        Self {
+            fsync_lie_p: 0.0,
+            torn_write_p: 0.0,
+            corrupt_p: 0.0,
+            seed,
+        }
+    }
+
+    /// A disk whose fsync lies with probability `p`.
+    pub fn fsync_liar(p: f64, seed: u64) -> Self {
+        Self {
+            fsync_lie_p: p,
+            ..Self::honest(seed)
+        }
+    }
+
+    /// A disk that tears write batches with probability `p`.
+    pub fn torn_writer(p: f64, seed: u64) -> Self {
+        Self {
+            torn_write_p: p,
+            ..Self::honest(seed)
+        }
+    }
+
+    /// A disk with bit rot: each sync corrupts a durable byte with probability `p`.
+    pub fn bit_rot(p: f64, seed: u64) -> Self {
+        Self {
+            corrupt_p: p,
+            ..Self::honest(seed)
+        }
+    }
+}
+
+/// Counters of the faults a [`FaultStore`] actually injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreFaultSummary {
+    /// Syncs that lied (batch left in the volatile cache).
+    pub lied_syncs: u64,
+    /// Syncs that tore (only a prefix of the batch persisted, plus garbage).
+    pub torn_syncs: u64,
+    /// Durable bytes flipped by bit rot.
+    pub corrupted_bytes: u64,
+    /// Machine crashes applied ([`FaultStore::crash`]); each one discarded the cache.
+    pub crashes: u64,
+}
+
+#[derive(Debug, Default)]
+struct FaultInner {
+    /// Bytes that made it to the platter: survive [`FaultStore::crash`].
+    durable_wal: Vec<u8>,
+    /// Bytes a lying fsync stranded in the page cache: lost on crash.
+    cached_wal: Vec<u8>,
+    /// Appends not yet synced at all (the in-process buffer, like `FileStore::buf`).
+    pending: Vec<u8>,
+    snapshot: Option<Vec<u8>>,
+    metrics: StoreMetrics,
+    summary: StoreFaultSummary,
+    rng: Option<Rng>,
+    plan: StoreFaultPlan,
+}
+
+/// An in-memory [`Store`] backend whose "disk" misbehaves per a [`StoreFaultPlan`]
+/// (see the module docs). Cloned handles share the device, exactly like [`MemStore`]
+/// clones — that is how an incarnation sequence shares one lying disk.
+///
+/// [`MemStore`]: crate::MemStore
+#[derive(Debug, Clone)]
+pub struct FaultStore {
+    inner: Arc<Mutex<FaultInner>>,
+}
+
+impl FaultStore {
+    /// Creates an empty store misbehaving per `plan`.
+    pub fn new(plan: StoreFaultPlan) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(FaultInner {
+                rng: Some(Rng::new(plan.seed)),
+                plan,
+                ..FaultInner::default()
+            })),
+        }
+    }
+
+    /// Models the machine-level crash: everything a lying fsync left in the cache is
+    /// destroyed; durable bytes survive. Chaos harnesses call this when the nemesis
+    /// crashes the process, before the next incarnation loads.
+    pub fn crash(&self) {
+        let mut inner = self.inner.lock().expect("store lock");
+        inner.cached_wal.clear();
+        inner.pending.clear();
+        inner.summary.crashes += 1;
+    }
+
+    /// The faults injected so far.
+    pub fn fault_summary(&self) -> StoreFaultSummary {
+        self.inner.lock().expect("store lock").summary
+    }
+}
+
+impl Store for FaultStore {
+    fn append(&mut self, record: &WalRecord) {
+        let mut inner = self.inner.lock().expect("store lock");
+        if inner.durable_wal.is_empty() && inner.cached_wal.is_empty() && inner.pending.is_empty() {
+            inner.pending.extend_from_slice(wal::WAL_MAGIC);
+        }
+        let frame = record.encode_frame();
+        inner.metrics.wal_appends += 1;
+        inner.metrics.wal_bytes += frame.len() as u64;
+        inner.pending.extend_from_slice(&frame);
+    }
+
+    fn sync(&mut self) {
+        let mut guard = self.inner.lock().expect("store lock");
+        let inner = &mut *guard;
+        let plan = inner.plan;
+        // The rng is taken out so the borrow checker lets us mutate the streams.
+        let mut rng = inner.rng.take().expect("rng present");
+        let batch: Vec<u8> = inner
+            .cached_wal
+            .drain(..)
+            .chain(inner.pending.drain(..))
+            .collect();
+        if !batch.is_empty() {
+            if rng.gen_bool(plan.fsync_lie_p) {
+                // The lie: success reported, bytes stranded in the page cache.
+                inner.summary.lied_syncs += 1;
+                inner.cached_wal = batch;
+            } else if rng.gen_bool(plan.torn_write_p) {
+                // The tear: a prefix lands, then the torn sector's garbage. Replay
+                // will truncate at the garbage, so the rest of the log is dead until
+                // a snapshot resets it — like a hole burned into a real WAL.
+                inner.summary.torn_syncs += 1;
+                let keep = rng.gen_range(batch.len() as u64) as usize;
+                inner.durable_wal.extend_from_slice(&batch[..keep]);
+                inner.durable_wal.extend_from_slice(&[0xDE, 0xAD]);
+            } else {
+                inner.durable_wal.extend_from_slice(&batch);
+            }
+        }
+        if rng.gen_bool(plan.corrupt_p) && inner.durable_wal.len() > wal::WAL_MAGIC.len() {
+            // Bit rot in an already-written sector (never the magic: header repair is
+            // `FileStore`'s concern, exercised separately).
+            let lo = wal::WAL_MAGIC.len() as u64;
+            let at = lo + rng.gen_range(inner.durable_wal.len() as u64 - lo);
+            inner.durable_wal[at as usize] ^= 0x40;
+            inner.summary.corrupted_bytes += 1;
+        }
+        inner.rng = Some(rng);
+    }
+
+    fn install_snapshot(&mut self, snapshot: &Snapshot) {
+        // Snapshot installs stay atomic (tmp + rename survives every crash point);
+        // the interesting lies live on the WAL path.
+        let mut inner = self.inner.lock().expect("store lock");
+        inner.snapshot = Some(snapshot.encode());
+        inner.durable_wal.clear();
+        inner.cached_wal.clear();
+        inner.pending.clear();
+        inner.metrics.snapshots_taken += 1;
+    }
+
+    fn load(&mut self) -> (Option<Snapshot>, Vec<WalRecord>) {
+        // Everything the OS still holds is readable: durable bytes plus whatever a
+        // lying fsync cached (only `crash` destroys the latter).
+        let inner = self.inner.lock().expect("store lock");
+        let snapshot = inner
+            .snapshot
+            .as_deref()
+            .and_then(|bytes| Snapshot::decode(bytes).ok());
+        let mut bytes = inner.durable_wal.clone();
+        bytes.extend_from_slice(&inner.cached_wal);
+        let replayed = wal::replay(&bytes);
+        (snapshot, replayed.records)
+    }
+
+    fn metrics(&self) -> StoreMetrics {
+        self.inner.lock().expect("store lock").metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_kernel::command::{Command, KVOp};
+    use tempo_kernel::id::{Dot, Rifl};
+
+    fn record(n: u64) -> WalRecord {
+        WalRecord::Commit {
+            dot: Dot::new(1, n),
+            ts: n,
+            cmd: Command::single(Rifl::new(1, n), 0, 7, KVOp::Put(n), 0),
+            waits: vec![],
+        }
+    }
+
+    #[test]
+    fn honest_plan_roundtrips_like_memstore() {
+        let mut store = FaultStore::new(StoreFaultPlan::honest(1));
+        for n in 0..5 {
+            store.append(&record(n));
+        }
+        store.sync();
+        store.crash();
+        let (snap, replayed) = store.clone().load();
+        assert!(snap.is_none());
+        assert_eq!(replayed, (0..5).map(record).collect::<Vec<_>>());
+        assert_eq!(store.fault_summary().lied_syncs, 0);
+    }
+
+    #[test]
+    fn fsync_lie_loses_the_batch_on_crash_but_not_before() {
+        let mut store = FaultStore::new(StoreFaultPlan::fsync_liar(1.0, 2));
+        store.append(&record(1));
+        store.sync(); // Lies: batch goes to the cache.
+        assert_eq!(store.fault_summary().lied_syncs, 1);
+        // Before the crash the OS still serves the cached bytes.
+        let (_, replayed) = store.clone().load();
+        assert_eq!(replayed, vec![record(1)]);
+        // The crash destroys the cache: the synced record is gone.
+        store.crash();
+        let (_, replayed) = store.clone().load();
+        assert!(replayed.is_empty(), "a lied-about sync must not survive");
+    }
+
+    #[test]
+    fn torn_write_truncates_at_the_tear_without_panicking() {
+        let mut store = FaultStore::new(StoreFaultPlan::torn_writer(1.0, 3));
+        store.append(&record(1));
+        store.sync(); // Tears: prefix + garbage.
+        assert_eq!(store.fault_summary().torn_syncs, 1);
+        store.crash();
+        let (_, replayed) = store.clone().load();
+        assert!(
+            replayed.is_empty(),
+            "the torn batch must be unreadable, got {replayed:?}"
+        );
+        // The log stays dead (garbage in the stream) but never panics, and a
+        // snapshot resets the device to a clean state.
+        store.append(&record(2));
+        let mut honest = store.clone();
+        honest.install_snapshot(&Snapshot::default());
+        honest.append(&record(3));
+        {
+            let mut inner = honest.inner.lock().unwrap();
+            inner.plan = StoreFaultPlan::honest(9);
+        }
+        honest.sync();
+        let (snap, replayed) = honest.load();
+        assert!(snap.is_some());
+        assert_eq!(replayed, vec![record(3)]);
+    }
+
+    #[test]
+    fn bit_rot_is_detected_by_replay_not_a_panic() {
+        let mut store = FaultStore::new(StoreFaultPlan::honest(4));
+        for n in 0..10 {
+            store.append(&record(n));
+            store.sync();
+        }
+        {
+            let mut inner = store.inner.lock().unwrap();
+            inner.plan = StoreFaultPlan::bit_rot(1.0, 5);
+        }
+        store.sync(); // Empty batch, but the rot draw still fires.
+        assert_eq!(store.fault_summary().corrupted_bytes, 1);
+        store.crash();
+        let (_, replayed) = store.clone().load();
+        assert!(
+            replayed.len() < 10,
+            "corruption must cost at least the damaged frame"
+        );
+    }
+
+    #[test]
+    fn shared_handles_see_one_device() {
+        let mut a = FaultStore::new(StoreFaultPlan::honest(6));
+        let mut b = a.clone();
+        a.append(&record(1));
+        a.sync();
+        let (_, replayed) = b.load();
+        assert_eq!(replayed, vec![record(1)]);
+    }
+}

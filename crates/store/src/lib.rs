@@ -17,7 +17,10 @@
 //!   cloned handles share contents (the simulator's deterministic stand-in for a disk
 //!   that survives a process restart), and [`FileStore`], a real on-disk backend
 //!   (`wal.log` + `snapshot.bin` in a per-replica directory) with `fsync`-backed
-//!   [`Store::sync`] and atomic tmp-file/rename snapshot installs.
+//!   [`Store::sync`] and atomic tmp-file/rename snapshot installs. A third backend,
+//!   [`FaultStore`], is a *lying disk* for the fault plane: a seeded
+//!   [`StoreFaultPlan`] injects fsync lies, torn writes and CRC-detectable bit rot,
+//!   all of which must surface as recoverable data loss — never a panic.
 //!
 //! Both backends run the *same* encode/decode path, so every simulator run exercises the
 //! exact bytes a disk would hold; the golden-file test under `tests/` pins that format.
@@ -35,9 +38,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod snapshot;
 pub mod wal;
 
+pub use fault::{FaultStore, StoreFaultPlan, StoreFaultSummary};
 pub use snapshot::{AcceptState, QueuedCommit, Snapshot};
 pub use wal::{DecodeError, Replay, WalRecord};
 
