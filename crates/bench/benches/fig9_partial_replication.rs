@@ -31,7 +31,7 @@ fn main() {
     );
     for shards in [2usize, 4, 6] {
         for zipf in [0.5f64, 0.7] {
-            let mut tempo = partial_replication::<Tempo>(shards, zipf, 0.5, CLIENTS, cpu);
+            let tempo = partial_replication::<Tempo>(shards, zipf, 0.5, CLIENTS, cpu);
             let tempo_tput = tempo.throughput_kops();
             println!(
                 "{:<8} {:<10} {:<14} {:>12.1} {:>10.0} {:>10.0}{}",
@@ -45,7 +45,7 @@ fn main() {
             );
             let mut janus_best = 0.0f64;
             for write in [0.0f64, 0.05, 0.5] {
-                let mut janus = partial_replication::<Janus>(shards, zipf, write, CLIENTS, cpu);
+                let janus = partial_replication::<Janus>(shards, zipf, write, CLIENTS, cpu);
                 let tput = janus.throughput_kops();
                 if write == 0.0 {
                     janus_best = tput;

@@ -26,6 +26,7 @@ use tempo_kernel::config::Config;
 use tempo_kernel::id::{Dot, DotGen, ProcessId, ShardId};
 use tempo_kernel::membership::Membership;
 use tempo_kernel::protocol::{Action, Executor, Protocol, ProtocolMetrics, TimerId, View};
+use tempo_kernel::trace::{CmdPhase, ProcEvent, Tracer};
 use tempo_kernel::util::max_and_count;
 use tempo_store::snapshot::{AcceptState, QueuedCommit};
 use tempo_store::{Snapshot, Store, WalRecord};
@@ -181,6 +182,8 @@ pub struct Tempo {
     last_state_request_us: u64,
     /// `MStateRequest` attempts so far (rotates the target across live peers).
     state_request_attempts: u64,
+    /// Lifecycle tracing handle (disabled by default; see [`Protocol::attach_tracer`]).
+    tracer: Tracer,
 }
 
 impl Tempo {
@@ -238,6 +241,7 @@ impl Tempo {
             awaiting_state: false,
             last_state_request_us: 0,
             state_request_attempts: 0,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -888,6 +892,7 @@ impl Tempo {
             .into_iter()
             .filter(|p| !fast_quorum.contains(p))
             .collect();
+        let rifl = cmd.rifl;
         let propose = Message::MPropose {
             dot,
             cmd: cmd.clone(),
@@ -895,6 +900,8 @@ impl Tempo {
             ts: t,
         };
         self.send(&fast_quorum, propose, now_us, out);
+        self.tracer
+            .phase(now_us, self.process, rifl, CmdPhase::Proposed);
         if !payload_targets.is_empty() {
             let payload = Message::MPayload { dot, cmd, quorums };
             self.send(&payload_targets, payload, now_us, out);
@@ -909,6 +916,8 @@ impl Tempo {
         now_us: u64,
         out: &mut Vec<Action<Message>>,
     ) {
+        self.tracer
+            .phase(now_us, self.process, cmd.rifl, CmdPhase::PayloadDelivered);
         let info = self.info_mut(dot, now_us);
         info.learn_payload(&cmd, &quorums);
         if info.phase == Phase::Start {
@@ -931,6 +940,8 @@ impl Tempo {
         out: &mut Vec<Action<Message>>,
     ) {
         // Algorithm 1, lines 12-16 (pre: id ∈ start).
+        self.tracer
+            .phase(now_us, self.process, cmd.rifl, CmdPhase::PayloadDelivered);
         {
             let info = self.info_mut(dot, now_us);
             if info.phase != Phase::Start {
@@ -1141,10 +1152,14 @@ impl Tempo {
         };
         self.pending.remove(&dot);
         self.metrics.committed += 1;
+        self.tracer
+            .phase(now_us, self.process, cmd.rifl, CmdPhase::Committed);
         if recovered {
             // This process took over as the command's coordinator at some point and the
             // command now has a timestamp: the recovery path ran to completion.
             self.metrics.recoveries_completed += 1;
+            self.tracer
+                .process_event(now_us, self.process, ProcEvent::RecoveryCompleted);
         }
         // Attached promises for this command may now enter the tracker (line 47).
         for (process, ts) in buffered {
@@ -1470,7 +1485,16 @@ impl Tempo {
             info.proposals.clear();
             info.rec_acks.clear();
             info.buffered_attached.clear();
+            // In this implementation a command executes the instant it becomes stable
+            // (same dispatch step), so `Stable` and the driver-emitted `Executed` carry
+            // the same timestamp; the stable→execute interval measures queueing only in
+            // runtimes with a detached execution stage.
+            let rifl = info.cmd.as_ref().map(|c| c.rifl);
             self.gc.record_executed(dot);
+            if let Some(rifl) = rifl {
+                self.tracer
+                    .phase(now_us, self.process, rifl, CmdPhase::Stable);
+            }
         }
         if any_executed {
             self.gc_collect();
@@ -1697,6 +1721,8 @@ impl Tempo {
         };
         let ballot = self.next_ballot(ballot);
         self.metrics.recoveries_started += 1;
+        self.tracer
+            .process_event(now_us, self.process, ProcEvent::RecoveryStarted);
         let rec = Message::MRec { dot, ballot };
         let targets = self.shard_peers.clone();
         self.send(&targets, rec, now_us, out);
@@ -2316,6 +2342,10 @@ impl Protocol for Tempo {
         if let Some(store) = &mut self.store {
             store.sync();
         }
+    }
+
+    fn attach_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     fn executor(&self) -> &TempoExecutor {

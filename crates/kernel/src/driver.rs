@@ -33,6 +33,7 @@ use crate::command::Command;
 use crate::config::Config;
 use crate::id::{ProcessId, ShardId};
 use crate::protocol::{Action, Executed, Protocol, ProtocolMetrics, TimerId, View};
+use crate::trace::{CmdPhase, Tracer};
 use std::collections::BTreeSet;
 
 /// An outbound message produced by one driver step: `msg` must be transported to every
@@ -75,6 +76,8 @@ pub struct Driver<P: Protocol> {
     /// Pending one-shot timers as `(absolute due time in µs, timer)`.
     timers: BTreeSet<(u64, TimerId)>,
     messages_sent: u64,
+    /// Lifecycle tracing handle; disabled by default (one branch per dispatch point).
+    tracer: Tracer,
 }
 
 impl<P: Protocol> Driver<P> {
@@ -90,7 +93,16 @@ impl<P: Protocol> Driver<P> {
             protocol,
             timers: BTreeSet::new(),
             messages_sent: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs a lifecycle tracer. The driver emits the uniform `Submitted` and
+    /// `Executed` phase events itself and forwards the handle to the protocol (via
+    /// [`Protocol::attach_tracer`]) for the phases in between.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.protocol.attach_tracer(tracer.clone());
+        self.tracer = tracer;
     }
 
     /// Provides the deployment view to the protocol and absorbs its initial actions
@@ -113,6 +125,8 @@ impl<P: Protocol> Driver<P> {
 
     /// Submits a client command.
     pub fn submit(&mut self, cmd: Command, now_us: u64) -> Output<P::Message> {
+        self.tracer
+            .phase(now_us, self.protocol.id(), cmd.rifl, CmdPhase::Submitted);
         let actions = self.protocol.submit(cmd, now_us);
         let output = self.absorb(actions, now_us);
         self.protocol.persist();
@@ -194,7 +208,11 @@ impl<P: Protocol> Driver<P> {
                     self.messages_sent += to.len() as u64;
                     output.sends.push(Outbound { to, msg });
                 }
-                Action::Deliver(executed) => output.executed.push(executed),
+                Action::Deliver(executed) => {
+                    self.tracer
+                        .phase(now_us, this, executed.rifl, CmdPhase::Executed);
+                    output.executed.push(executed);
+                }
                 Action::Schedule { timer, after_us } => {
                     // Clamp to at least 1 µs so a zero-delay reschedule cannot spin
                     // `fire_due` forever.

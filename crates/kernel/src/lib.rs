@@ -18,6 +18,8 @@
 //! * [`kvstore`] — the deterministic in-memory key-value store used as the replicated
 //!   state machine,
 //! * [`metrics`] — latency histograms and throughput accounting,
+//! * [`trace`] — low-overhead per-command lifecycle tracing
+//!   ([`trace::Tracer`], ring-buffered [`trace::TraceEvent`]s),
 //! * [`rand`] — a small deterministic PRNG and a Zipfian sampler (no external RNG
 //!   dependency in the core library),
 //! * [`util`] — assorted helpers.
@@ -66,6 +68,7 @@ pub mod membership;
 pub mod metrics;
 pub mod protocol;
 pub mod rand;
+pub mod trace;
 pub mod util;
 
 pub use command::{Command, CommandResult, KVOp, Key};
@@ -76,3 +79,4 @@ pub use kvstore::KVStore;
 pub use membership::Membership;
 pub use metrics::{Histogram, Percentile};
 pub use protocol::{Action, Executed, Executor, Protocol, TimerId, View};
+pub use trace::{CmdPhase, ProcEvent, TraceEvent, TraceLog, Tracer};

@@ -239,6 +239,11 @@ impl LogHistogram {
         }
     }
 
+    /// Mean in milliseconds (same query surface as [`Histogram`]).
+    pub fn mean_ms(&self) -> f64 {
+        self.mean_us() / 1000.0
+    }
+
     /// Adds every bucket of `other` into this histogram.
     pub fn merge(&mut self, other: &LogHistogram) {
         for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
@@ -494,6 +499,59 @@ mod tests {
         // Bucketed quantiles clamp to 2^40 µs; max stays exact.
         assert_eq!(h.max_us(), u64::MAX);
         assert!(h.quantile_us(0.5) <= h.max_us());
+    }
+
+    #[test]
+    fn log_histogram_merge_of_empty_changes_nothing() {
+        let mut h = LogHistogram::new();
+        for v in [100u64, 200, 300] {
+            h.record(v);
+        }
+        let before = (h.len(), h.max_us(), h.quantile_us(0.99));
+        h.merge(&LogHistogram::new());
+        assert_eq!((h.len(), h.max_us(), h.quantile_us(0.99)), before);
+
+        // And merging into an empty histogram reproduces the source exactly.
+        let mut empty = LogHistogram::new();
+        empty.merge(&h);
+        assert_eq!(empty.len(), h.len());
+        assert_eq!(empty.max_us(), h.max_us());
+        assert_eq!(empty.quantile_us(0.5), h.quantile_us(0.5));
+        assert!((empty.mean_us() - h.mean_us()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_histogram_single_sample_answers_every_quantile() {
+        let mut h = LogHistogram::new();
+        h.record(12_345);
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            let got = h.quantile_us(q);
+            // One sample: every quantile answers from its bucket, within the
+            // bucket's 1/64 relative width, clamped by the exact max.
+            assert!(got <= 12_345, "q={q}: {got}");
+            assert!(got as f64 >= 12_345.0 * (1.0 - 1.0 / 32.0), "q={q}: {got}");
+        }
+        assert_eq!(h.summary().max_ms, 12.345);
+    }
+
+    #[test]
+    fn log_histogram_bucket_boundaries_round_trip() {
+        // Values sitting exactly on bucket edges (powers of two and the sub-bucket
+        // steps around them) must land in a bucket whose range contains them.
+        for &v in &[63u64, 64, 65, 127, 128, 1 << 20, (1 << 20) + 1, (1 << 39)] {
+            let mut h = LogHistogram::new();
+            h.record(v);
+            let got = h.quantile_us(0.5);
+            assert!(got <= v, "v={v}: quantile {got} above the sample");
+            assert!(
+                got as f64 >= v as f64 * (1.0 - 1.0 / 32.0),
+                "v={v}: quantile {got} more than a bucket below"
+            );
+        }
+        // Below 64 µs the buckets are unit-width: exact answers.
+        let mut h = LogHistogram::new();
+        h.record(63);
+        assert_eq!(h.quantile_us(1.0), 63);
     }
 
     #[test]

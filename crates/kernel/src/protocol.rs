@@ -372,6 +372,13 @@ pub trait Protocol: Sized {
     /// produced it is durable. The default (for in-memory protocols) is a no-op.
     fn persist(&mut self) {}
 
+    /// Installs a [`Tracer`](crate::trace::Tracer) for per-command phase events
+    /// (`PayloadDelivered`/`Proposed`/`Committed`/`Stable` and recovery markers —
+    /// everything between the driver-emitted `Submitted` and `Executed`). Protocols
+    /// without tracing hooks ignore it (the default), which merely yields a coarser
+    /// trace; never required for correctness.
+    fn attach_tracer(&mut self, _tracer: crate::trace::Tracer) {}
+
     /// Read access to the execution stage (diagnostics and tests).
     fn executor(&self) -> &Self::Executor;
 

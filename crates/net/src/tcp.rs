@@ -83,6 +83,8 @@ struct AtomicStats {
     frames_dropped_stale: AtomicU64,
     frames_corrupt: AtomicU64,
     flushes: AtomicU64,
+    queue_depth_peak: AtomicU64,
+    flush_stalls: AtomicU64,
 }
 
 impl AtomicStats {
@@ -96,6 +98,8 @@ impl AtomicStats {
             frames_dropped_stale: self.frames_dropped_stale.load(Ordering::Relaxed),
             frames_corrupt: self.frames_corrupt.load(Ordering::Relaxed),
             flushes: self.flushes.load(Ordering::Relaxed),
+            queue_depth_peak: self.queue_depth_peak.load(Ordering::Relaxed),
+            flush_stalls: self.flush_stalls.load(Ordering::Relaxed),
         }
     }
 }
@@ -276,6 +280,9 @@ type Blob = (Vec<u8>, u64, u64);
 
 struct PeerWriter {
     tx: SyncSender<Blob>,
+    /// Blobs handed to this writer and not yet taken off the channel (the per-peer
+    /// queue-depth gauge feeding [`TransportStats::queue_depth_peak`]).
+    depth: Arc<AtomicU64>,
 }
 
 fn writer_loop(
@@ -285,6 +292,7 @@ fn writer_loop(
     book: Book,
     rx: Receiver<Blob>,
     stats: Arc<AtomicStats>,
+    depth: Arc<AtomicU64>,
 ) {
     let mut stream: Option<TcpStream> = None;
     let mut last_fail: Option<Instant> = None;
@@ -294,6 +302,7 @@ fn writer_loop(
         while let Ok(more) = rx.try_recv() {
             blobs.push(more);
         }
+        depth.fetch_sub(blobs.len() as u64, Ordering::Relaxed);
         // Restart-reconnect hygiene: frames queued toward an incarnation the book has
         // since replaced must not deliver to its successor — drop them here, exactly
         // where the sim's nemesis counts crash drops.
@@ -405,10 +414,14 @@ impl TcpTransport {
         let stats = Arc::clone(&self.stats);
         self.writers.entry(to).or_insert_with(|| {
             let (tx, rx) = sync_channel::<Blob>(WRITER_QUEUE_BLOBS);
+            let depth = Arc::new(AtomicU64::new(0));
+            let writer_depth = Arc::clone(&depth);
             let _ = std::thread::Builder::new()
                 .name(format!("tnet-writer-{local}-{to}"))
-                .spawn(move || writer_loop(local, local_incarnation, to, book, rx, stats));
-            PeerWriter { tx }
+                .spawn(move || {
+                    writer_loop(local, local_incarnation, to, book, rx, stats, writer_depth)
+                });
+            PeerWriter { tx, depth }
         })
     }
 }
@@ -455,20 +468,33 @@ impl Transport for TcpTransport {
         let pending = std::mem::take(&mut self.pending);
         for (to, blob) in pending {
             let frames = blob.1;
-            match self.writer(to).tx.try_send(blob) {
+            // Pre-account the blob in the depth gauge *before* it can reach the
+            // channel, so the writer's decrement never observes an unaccounted blob
+            // (the gauge would underflow). Undone below if the blob never queues.
+            let depth = {
+                let writer = self.writer(to);
+                writer.depth.fetch_add(1, Ordering::Relaxed) + 1
+            };
+            self.stats
+                .queue_depth_peak
+                .fetch_max(depth, Ordering::Relaxed);
+            match self.writers[&to].tx.try_send(blob) {
                 Ok(()) => {}
                 Err(TrySendError::Full(blob)) => {
                     // Backpressure: wait for the writer to drain.
+                    self.stats.flush_stalls.fetch_add(1, Ordering::Relaxed);
                     if self.writers[&to].tx.send(blob).is_err() {
                         self.stats
                             .frames_dropped
                             .fetch_add(frames, Ordering::Relaxed);
+                        self.writers[&to].depth.fetch_sub(1, Ordering::Relaxed);
                     }
                 }
                 Err(TrySendError::Disconnected(_)) => {
                     self.stats
                         .frames_dropped
                         .fetch_add(frames, Ordering::Relaxed);
+                    self.writers[&to].depth.fetch_sub(1, Ordering::Relaxed);
                 }
             }
         }

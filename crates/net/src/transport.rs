@@ -72,10 +72,19 @@ pub struct TransportStats {
     pub frames_corrupt: u64,
     /// Flush calls that performed I/O handoff.
     pub flushes: u64,
+    /// High-water mark of any single peer's bounded writer queue, in queued flush
+    /// blobs (a gauge, not a counter: aggregation takes the maximum). A peak near the
+    /// queue bound means flushes were about to block on that peer — the early-warning
+    /// signal for the backpressure stalls counted in `flush_stalls`.
+    pub queue_depth_peak: u64,
+    /// Flushes that found a peer's writer queue full and had to block until the
+    /// writer drained (backpressure events).
+    pub flush_stalls: u64,
 }
 
 impl TransportStats {
-    /// Field-wise sum (for aggregating per-replica stats into a cluster total).
+    /// Field-wise aggregate (for folding per-replica stats into a cluster total):
+    /// counters sum, the `queue_depth_peak` gauge takes the maximum.
     pub fn merge(&mut self, other: &TransportStats) {
         self.frames_sent += other.frames_sent;
         self.bytes_sent += other.bytes_sent;
@@ -85,6 +94,8 @@ impl TransportStats {
         self.frames_dropped_stale += other.frames_dropped_stale;
         self.frames_corrupt += other.frames_corrupt;
         self.flushes += other.flushes;
+        self.queue_depth_peak = self.queue_depth_peak.max(other.queue_depth_peak);
+        self.flush_stalls += other.flush_stalls;
     }
 }
 

@@ -52,6 +52,7 @@ use tempo_kernel::id::{ClientId, ProcessId, Rifl, ShardId, SiteId};
 use tempo_kernel::membership::Membership;
 use tempo_kernel::metrics::LogHistogram;
 use tempo_kernel::protocol::{Protocol, ProtocolMetrics, View};
+use tempo_kernel::trace::{CmdPhase, ProcEvent, TraceLog, Tracer, DEFAULT_TRACE_CAPACITY};
 use tempo_net::wire::{DecodeError, Reader, Wire, Writer};
 use tempo_net::{
     ChaosNet, ChaosTransport, ClientReply, ClientRequest, PlanetNet, PlanetTransport, RecvError,
@@ -95,6 +96,16 @@ pub struct NetOpts {
     /// The control-frame path stays wired as a test override. `None` (the default)
     /// keeps the perfect oracle.
     pub detector: Option<DetectorOpts>,
+    /// Record per-command lifecycle events (one fixed-capacity ring per replica,
+    /// shared across its incarnations) plus crash/restart/suspicion markers; the
+    /// merged, time-sorted [`TraceLog`] and its phase-latency fold land in
+    /// [`RuntimeReport::trace`] / [`RuntimeReport::phases`]. Off (the default) the
+    /// hot path pays one branch per would-be event and allocates nothing.
+    pub trace: bool,
+    /// When set, every replica snapshots its protocol counters and transport traffic
+    /// into a shared [`MetricsRegistry`](tempo_trace::MetricsRegistry) time series
+    /// (`p<id>.<counter>`) at this period — see [`RuntimeReport::registry`].
+    pub metrics_interval: Option<Duration>,
 }
 
 impl Default for NetOpts {
@@ -107,6 +118,8 @@ impl Default for NetOpts {
             client_timeout: Duration::from_secs(10),
             planet: None,
             detector: None,
+            trace: false,
+            metrics_interval: None,
         }
     }
 }
@@ -207,11 +220,23 @@ pub(crate) struct Shared {
     pub(crate) planet: Option<Planet>,
     /// Detector configuration, when [`NetOpts::detector`] was set (oracle disabled).
     pub(crate) detector: Option<DetectorOpts>,
+    /// One lifecycle-event ring per replica ([`NetOpts::trace`]); restarted
+    /// incarnations re-attach to their process's ring. Empty when tracing is off.
+    pub(crate) tracers: BTreeMap<ProcessId, Tracer>,
+    /// Shared counter time series ([`NetOpts::metrics_interval`]); replicas sample
+    /// their own counters into it on their heartbeat/timer cadence.
+    pub(crate) registry: Option<Mutex<tempo_trace::MetricsRegistry>>,
+    pub(crate) metrics_interval_us: Option<u64>,
 }
 
 impl Shared {
     pub(crate) fn now_us(&self) -> u64 {
         self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// The lifecycle tracer of `p` (disabled stand-in when tracing is off).
+    pub(crate) fn tracer(&self, p: ProcessId) -> Tracer {
+        self.tracers.get(&p).cloned().unwrap_or_default()
     }
 
     /// Heartbeat period in detector mode (`u64::MAX` — i.e. never — in oracle mode).
@@ -279,6 +304,8 @@ where
         .name(format!("replica-{id}-i{incarnation}"))
         .spawn(move || {
             let mut driver = Driver::from_protocol(protocol);
+            let tracer = shared.tracer(id);
+            driver.set_tracer(tracer.clone());
             for q in initial_suspects {
                 Protocol::suspect(driver.protocol_mut(), q);
             }
@@ -313,8 +340,38 @@ where
                 w.into_bytes()
             };
             let mut next_heartbeat_us = shared.now_us(); // First beacon right away.
+            let mut next_sample_us = shared.now_us();
             while !stop_flag.load(Ordering::Relaxed) {
                 let now = shared.now_us();
+                // Self-sampled counter time series: each replica owns its driver and
+                // endpoint, so it is the only thread that can read these counters.
+                if let (Some(interval), Some(registry)) =
+                    (shared.metrics_interval_us, shared.registry.as_ref())
+                {
+                    if now >= next_sample_us {
+                        next_sample_us = now + interval.max(1);
+                        let m = driver.metrics();
+                        let t = transport.stats();
+                        let mut registry = registry.lock().expect("registry lock");
+                        registry.sample(&format!("p{id}.committed"), now, m.committed);
+                        registry.sample(&format!("p{id}.executed"), now, m.executed);
+                        registry.sample(&format!("p{id}.messages_sent"), now, m.messages_sent);
+                        registry.sample(&format!("p{id}.frames_sent"), now, t.frames_sent);
+                        registry.sample(&format!("p{id}.frames_dropped"), now, t.frames_dropped);
+                        registry.sample(
+                            &format!("p{id}.queue_depth_peak"),
+                            now,
+                            t.queue_depth_peak,
+                        );
+                        if let Some(det) = detector.as_ref() {
+                            registry.sample(
+                                &format!("p{id}.suspicions"),
+                                now,
+                                det.stats().suspicions,
+                            );
+                        }
+                    }
+                }
                 if let Some(det) = detector.as_mut() {
                     if now >= next_heartbeat_us {
                         next_heartbeat_us = now + shared.detector_interval_us();
@@ -326,10 +383,12 @@ where
                     for event in det.tick(now) {
                         match event {
                             DetectorEvent::Suspect(q) => {
-                                Protocol::suspect(driver.protocol_mut(), q)
+                                Protocol::suspect(driver.protocol_mut(), q);
+                                tracer.process_event(now, id, ProcEvent::Suspect(q));
                             }
                             DetectorEvent::Unsuspect(q) => {
-                                Protocol::unsuspect(driver.protocol_mut(), q)
+                                Protocol::unsuspect(driver.protocol_mut(), q);
+                                tracer.process_event(now, id, ProcEvent::Unsuspect(q));
                             }
                         }
                     }
@@ -368,6 +427,7 @@ where
                                     unreachable!("heartbeats only unsuspect")
                                 };
                                 Protocol::unsuspect(driver.protocol_mut(), q);
+                                tracer.process_event(shared.now_us(), id, ProcEvent::Unsuspect(q));
                             }
                         }
                         match decode_inbound::<P::Message>(&bytes) {
@@ -398,9 +458,11 @@ where
                             // oracle mode).
                             Ok(Inbound::Suspect(p)) if from == CONTROL_ID => {
                                 Protocol::suspect(driver.protocol_mut(), p);
+                                tracer.process_event(shared.now_us(), id, ProcEvent::Suspect(p));
                             }
                             Ok(Inbound::Unsuspect(p)) if from == CONTROL_ID => {
                                 Protocol::unsuspect(driver.protocol_mut(), p);
+                                tracer.process_event(shared.now_us(), id, ProcEvent::Unsuspect(p));
                             }
                             Ok(Inbound::Heartbeat) => {} // Liveness already fed above.
                             // Anything else — decode failures included — is dropped:
@@ -498,6 +560,9 @@ fn supervisor_loop<P>(
                         }
                     }
                     shared.down.lock().expect("down lock").insert(p);
+                    shared
+                        .tracer(p)
+                        .process_event(shared.now_us(), p, ProcEvent::Crash(p));
                     // In oracle mode, survivors are told to suspect the crashed
                     // process (the runtime's stand-in for Ω, exactly like the
                     // simulator's perfect failure detector). In detector mode they
@@ -509,6 +574,9 @@ fn supervisor_loop<P>(
                 FaultEvent::Restart(p) => {
                     let incarnation = incarnations.entry(p).and_modify(|i| *i += 1).or_insert(1);
                     let incarnation = *incarnation;
+                    shared
+                        .tracer(p)
+                        .process_event(shared.now_us(), p, ProcEvent::Restart(p));
                     let shard = shared.membership.shard_of(p);
                     let protocol = factory(p, shard, shared.config, incarnation);
                     let transport = make_transport(&mesh, Some(&chaos), planet.as_ref(), p, batch)
@@ -614,6 +682,12 @@ pub struct RuntimeReport {
     pub detector: DetectorStats,
     /// The recorded history, when [`NetOpts::record_history`] was set.
     pub history: Option<History>,
+    /// The merged, time-sorted lifecycle trace, when [`NetOpts::trace`] was set.
+    pub trace: Option<TraceLog>,
+    /// Per-phase latency fold of [`trace`](RuntimeReport::trace).
+    pub phases: Option<tempo_trace::PhaseLatencies>,
+    /// Per-replica counter time series, when [`NetOpts::metrics_interval`] was set.
+    pub registry: Option<tempo_trace::MetricsRegistry>,
     /// Wall-clock duration of the run, cluster start to shutdown.
     pub duration: Duration,
 }
@@ -678,6 +752,15 @@ impl NetCluster {
             }
             net
         });
+        let tracers = if opts.trace {
+            membership
+                .all_processes()
+                .into_iter()
+                .map(|p| (p, Tracer::with_capacity(DEFAULT_TRACE_CAPACITY)))
+                .collect()
+        } else {
+            BTreeMap::new()
+        };
         let shared = Arc::new(Shared {
             config,
             membership: membership.clone(),
@@ -687,6 +770,11 @@ impl NetCluster {
             client_timeout: opts.client_timeout,
             planet: opts.planet.clone(),
             detector: opts.detector,
+            tracers,
+            registry: opts
+                .metrics_interval
+                .map(|_| Mutex::new(tempo_trace::MetricsRegistry::new())),
+            metrics_interval_us: opts.metrics_interval.map(|d| d.as_micros() as u64),
         });
         let seats = Arc::new(Mutex::new(BTreeMap::new()));
         for id in membership.all_processes() {
@@ -738,6 +826,21 @@ impl NetCluster {
     /// The deployment configuration.
     pub fn config(&self) -> Config {
         self.shared.config
+    }
+
+    /// The phase-latency fold of everything traced so far, without draining the
+    /// rings (the eventual [`shutdown`](NetCluster::shutdown) report still sees
+    /// every event). `None` when [`NetOpts::trace`] is off. This is how the load
+    /// driver surfaces a phase breakdown alongside its latency report.
+    pub fn phases_so_far(&self) -> Option<tempo_trace::PhaseLatencies> {
+        if self.shared.tracers.is_empty() {
+            return None;
+        }
+        let mut fold = tempo_trace::PhaseBreakdown::new();
+        for tracer in self.shared.tracers.values() {
+            fold.record_log(&tracer.snapshot());
+        }
+        Some(fold.finish())
     }
 
     /// Builds a client-side transport endpoint colocated with `site`: planet-wrapped
@@ -800,6 +903,22 @@ impl NetCluster {
         // had been replaced are crash casualties: count them where the simulator
         // counts frames lost to a crashed process.
         faults.dropped_crash += transport.frames_dropped_stale;
+        // Drain the per-replica rings in ProcessId order and time-sort the merge;
+        // wall-clock timestamps mean runtime traces are *not* run-to-run identical
+        // (the sim's are) but the fold and export are deterministic given the log.
+        let trace = (!self.shared.tracers.is_empty()).then(|| {
+            let mut log = TraceLog::default();
+            for tracer in self.shared.tracers.values() {
+                log.merge(tracer.take());
+            }
+            log.sort_by_time();
+            log
+        });
+        let phases = trace.as_ref().map(|log| {
+            let mut fold = tempo_trace::PhaseBreakdown::new();
+            fold.record_log(log);
+            fold.finish()
+        });
         RuntimeReport {
             metrics: exits.into_iter().map(|(m, _, _)| m).collect(),
             transport,
@@ -810,6 +929,13 @@ impl NetCluster {
                 .history
                 .as_ref()
                 .map(|h| h.lock().expect("history lock").clone()),
+            trace,
+            phases,
+            registry: self
+                .shared
+                .registry
+                .as_ref()
+                .map(|r| r.lock().expect("registry lock").clone()),
             duration: self.shared.epoch.elapsed(),
         }
     }
@@ -881,6 +1007,14 @@ impl ClientSession {
                     pending.remove(&reply.shard);
                     outputs.extend(reply.outputs.iter().map(|(k, v)| (reply.shard, *k, *v)));
                     if pending.is_empty() {
+                        // The reply observed at the client, attributed to the replica
+                        // whose notice completed the command.
+                        self.shared.tracer(from).phase(
+                            self.shared.now_us(),
+                            from,
+                            rifl,
+                            CmdPhase::Replied,
+                        );
                         if let Some(history) = &self.shared.history {
                             history.lock().expect("history lock").record_complete(
                                 rifl,

@@ -41,6 +41,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tempo_kernel::id::{ClientId, ProcessId, Rifl, ShardId, SiteId};
 use tempo_kernel::metrics::{LatencySummary, LogHistogram};
+use tempo_kernel::trace::CmdPhase;
 use tempo_load::{Arrivals, Mix};
 use tempo_net::{RecvError, Transport};
 
@@ -100,6 +101,10 @@ pub struct LoadReport {
     pub latency: LogHistogram,
     /// Length of the measured window.
     pub measure: Duration,
+    /// Phase-latency breakdown of everything the cluster traced up to the end of
+    /// the run (whole-run, not windowed), when the cluster was started with
+    /// [`NetOpts::trace`](crate::NetOpts::trace).
+    pub phases: Option<tempo_trace::PhaseLatencies>,
 }
 
 impl LoadReport {
@@ -112,6 +117,25 @@ impl LoadReport {
     /// Percentile summary of the measured latencies.
     pub fn summary(&self) -> LatencySummary {
         self.latency.summary()
+    }
+
+    /// One human-readable line: rate, abort count and — when tracing was on — the
+    /// per-phase breakdown.
+    pub fn summary_line(&self) -> String {
+        let s = self.summary();
+        let mut line = format!(
+            "offered={:.0}/s achieved={:.0}/s aborted={} mean={:.1}ms p99={:.1}ms",
+            self.offered_rate,
+            self.achieved_rate(),
+            self.aborted,
+            s.mean_ms,
+            s.p99_ms,
+        );
+        if let Some(phases) = &self.phases {
+            line.push_str(" | ");
+            line.push_str(&phases.summary_line());
+        }
+        line
     }
 }
 
@@ -221,6 +245,7 @@ where
         aborted: 0,
         latency: LogHistogram::new(),
         measure: opts.measure,
+        phases: None,
     };
     for handle in handles {
         let (completed, aborted, latency) = handle.join().expect("pump thread");
@@ -228,6 +253,7 @@ where
         report.aborted += aborted;
         report.latency.merge(&latency);
     }
+    report.phases = cluster.phases_so_far();
     report
 }
 
@@ -404,6 +430,10 @@ fn pump_loop<M: Mix>(mut cfg: PumpCfg<M>) -> (u64, u64, LogHistogram) {
                             let done = start.elapsed().as_micros() as u64;
                             latency.record(done.saturating_sub(slot.intended_us));
                         }
+                        let tracer = cfg.shared.tracer(from);
+                        if tracer.is_enabled() {
+                            tracer.phase(cfg.shared.now_us(), from, reply.rifl, CmdPhase::Replied);
+                        }
                         slot.busy = false;
                         free.push(slot_idx);
                     }
@@ -446,7 +476,12 @@ mod tests {
     #[test]
     fn open_loop_run_completes_and_measures() {
         use tempo_kernel::config::Config;
-        let cluster = NetCluster::start(Config::full(3, 1), NetOpts::default(), tempo_factory())
+        let net_opts = NetOpts {
+            trace: true,
+            metrics_interval: Some(Duration::from_millis(100)),
+            ..NetOpts::default()
+        };
+        let cluster = NetCluster::start(Config::full(3, 1), net_opts, tempo_factory())
             .expect("cluster starts");
         let opts = LoadOpts {
             sessions: 64,
@@ -461,7 +496,30 @@ mod tests {
         let report = run_load(&cluster, opts, |p| {
             ZipfMix::ycsb_b(1024, 0.6, 100 + p as u64)
         });
-        cluster.shutdown();
+        // Tracing was on: the load report carries a whole-run phase breakdown, and
+        // every measured completion is inside it (warmup ops too, hence >=).
+        let phases = report.phases.as_ref().expect("traced run has phases");
+        assert!(
+            phases.complete >= report.completed,
+            "phase fold covers measured ops: {} < {}",
+            phases.complete,
+            report.completed
+        );
+        let e2e = phases.pair("submit_reply").expect("e2e pair");
+        assert_eq!(e2e.histogram.len(), phases.complete);
+        assert!(report.summary_line().contains("submit_reply"));
+        let runtime_report = cluster.shutdown();
+        let final_phases = runtime_report.phases.as_ref().expect("shutdown phases");
+        assert!(final_phases.complete >= phases.complete);
+        let registry = runtime_report.registry.as_ref().expect("metrics registry");
+        assert!(!registry.is_empty(), "replicas self-sampled metrics");
+        assert!(
+            runtime_report
+                .trace
+                .as_ref()
+                .is_some_and(|t| !t.events.is_empty()),
+            "shutdown drains a non-empty trace"
+        );
         // ~240 ops intended in the window; demand determinism of the schedule, not
         // of thread scheduling: all measured ops must complete, none abort.
         assert!(

@@ -62,9 +62,11 @@ use tempo_kernel::config::Config;
 use tempo_kernel::driver::{Driver, Output};
 use tempo_kernel::id::{ClientId, ProcessId, Rifl, ShardId, SiteId};
 use tempo_kernel::membership::Membership;
-use tempo_kernel::metrics::Histogram;
+use tempo_kernel::metrics::{Histogram, LogHistogram};
 use tempo_kernel::protocol::{Protocol, ProtocolMetrics, WireSize};
+use tempo_kernel::trace::{CmdPhase, ProcEvent, TraceLog, Tracer, DEFAULT_TRACE_CAPACITY};
 use tempo_planet::Planet;
+use tempo_trace::{MetricsRegistry, PhaseBreakdown};
 use tempo_workload::Workload;
 
 /// Analytical CPU/network cost model (the substitute for the paper's real-cluster
@@ -136,6 +138,21 @@ pub struct SimOpts {
     /// earlier PRs: the simulator tells every live process exactly when a peer
     /// crashes or rejoins.
     pub detector: Option<DetectorOpts>,
+    /// Record per-command lifecycle events (submit, payload, propose, commit, stable,
+    /// execute, reply) and process-level events (crash, restart, suspicion, recovery)
+    /// into one fixed-capacity ring per process. The merged, time-sorted
+    /// [`TraceLog`] lands in [`RunReport::trace`] with its per-phase latency fold in
+    /// [`RunReport::phases`]. Virtual-clock timestamps make the trace byte-identical
+    /// across same-seed runs.
+    pub trace: bool,
+    /// When set, snapshot aggregated protocol counters (committed, executed, messages
+    /// sent, completed commands, suspicions) every this many simulated microseconds
+    /// into [`RunReport::registry`] — the time-series half of the observability plane.
+    pub metrics_interval_us: Option<u64>,
+    /// Test-only: additionally keep every latency sample in an exact [`Histogram`]
+    /// ([`RunReport::exact_overall`]) for cross-checking the log-bucketed quantiles.
+    /// Costs one `Vec` push per completion; leave off outside tests.
+    pub exact_latencies: bool,
 }
 
 impl Default for SimOpts {
@@ -150,6 +167,9 @@ impl Default for SimOpts {
             client_timeout_us: None,
             record_history: false,
             detector: None,
+            trace: false,
+            metrics_interval_us: None,
+            exact_latencies: false,
         }
     }
 }
@@ -182,6 +202,9 @@ enum EventKind<M> {
     },
     /// Apply the fault events due at this instant.
     NemesisWake,
+    /// Snapshot aggregated protocol counters into the metrics registry
+    /// (`SimOpts::metrics_interval_us`).
+    MetricsSample,
     /// Detector mode: the process scans for overdue peers and broadcasts a heartbeat.
     DetectorTick {
         process: ProcessId,
@@ -270,8 +293,15 @@ pub struct Simulation<P: Protocol, W: Workload> {
     aborted_total: u64,
     first_submit: u64,
     last_completion: u64,
-    per_site: BTreeMap<SiteId, Histogram>,
-    overall: Histogram,
+    per_site: BTreeMap<SiteId, LogHistogram>,
+    overall: LogHistogram,
+    /// Test-only exact twin of `overall` (`SimOpts::exact_latencies`).
+    exact_overall: Option<Histogram>,
+    /// One lifecycle-event ring per process (`SimOpts::trace`); restarted incarnations
+    /// keep appending to their process's ring. Empty when tracing is off, which makes
+    /// every trace lookup on the hot path a failed BTreeMap probe of an empty map.
+    tracers: BTreeMap<ProcessId, Tracer>,
+    registry: Option<MetricsRegistry>,
 }
 
 impl<P: Protocol, W: Workload> Simulation<P, W> {
@@ -313,9 +343,16 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
         );
         let membership = Membership::from_config(&config);
         let mut drivers = BTreeMap::new();
+        let mut tracers = BTreeMap::new();
         for id in membership.all_processes() {
             let shard = membership.shard_of(id);
-            drivers.insert(id, Driver::from_protocol(factory(id, shard, config, 0)));
+            let mut driver = Driver::from_protocol(factory(id, shard, config, 0));
+            if opts.trace {
+                let tracer = Tracer::with_capacity(DEFAULT_TRACE_CAPACITY);
+                driver.set_tracer(tracer.clone());
+                tracers.insert(id, tracer);
+            }
+            drivers.insert(id, driver);
         }
         let mut clients = BTreeMap::new();
         let mut client_id: ClientId = 0;
@@ -340,7 +377,7 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
         let per_site = membership
             .all_sites()
             .into_iter()
-            .map(|s| (s, Histogram::new()))
+            .map(|s| (s, LogHistogram::new()))
             .collect();
         let nemesis = opts
             .nemesis
@@ -358,6 +395,11 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
                 .collect(),
             None => BTreeMap::new(),
         };
+        let exact_overall = opts.exact_latencies.then(Histogram::new);
+        let registry = opts
+            .metrics_interval_us
+            .is_some()
+            .then(MetricsRegistry::new);
         Self {
             config,
             membership,
@@ -382,7 +424,10 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
             first_submit: u64::MAX,
             last_completion: 0,
             per_site,
-            overall: Histogram::new(),
+            overall: LogHistogram::new(),
+            exact_overall,
+            tracers,
+            registry,
         }
     }
 
@@ -547,6 +592,15 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
                     .expect("site histogram exists")
                     .record(latency);
                 self.overall.record(latency);
+                if let Some(exact) = &mut self.exact_overall {
+                    exact.record(latency);
+                }
+                // The reply "hop" is the watched replica handing the result back; the
+                // sim models it as instantaneous, so Replied lands at the execution
+                // instant (execute→reply measures queueing only under a real runtime).
+                if let Some(tracer) = self.tracers.get(&process) {
+                    tracer.phase(at, process, exec.rifl, CmdPhase::Replied);
+                }
                 self.completed_total += 1;
                 self.last_completion = self.last_completion.max(at);
                 if let Some(history) = &mut self.history {
@@ -661,10 +715,16 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
                     // its heartbeats stop arriving.
                     self.busy_until.remove(&p);
                     self.timer_wakes.remove(&p);
+                    if let Some(t) = self.tracers.get(&p) {
+                        t.process_event(at, p, ProcEvent::Crash(p));
+                    }
                     if self.opts.detector.is_none() {
                         for (id, driver) in self.drivers.iter_mut() {
                             if *id != p && !self.nemesis.as_ref().is_some_and(|n| n.is_down(*id)) {
                                 driver.protocol_mut().suspect(p);
+                                if let Some(t) = self.tracers.get(id) {
+                                    t.process_event(at, *id, ProcEvent::Suspect(p));
+                                }
                             }
                         }
                     }
@@ -679,6 +739,12 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
                     let shard = self.membership.shard_of(p);
                     let mut driver =
                         Driver::from_protocol((self.factory)(p, shard, self.config, incarnation));
+                    // The new incarnation appends to the same per-process ring, so one
+                    // track shows the whole crash/recover story.
+                    if let Some(t) = self.tracers.get(&p) {
+                        driver.set_tracer(t.clone());
+                        t.process_event(at, p, ProcEvent::Restart(p));
+                    }
                     let view = self.planet.view_for(self.config, p);
                     let start = driver.start(view, at);
                     let rejoin = driver.rejoin(incarnation, at);
@@ -711,6 +777,9 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
                         for (id, driver) in self.drivers.iter_mut() {
                             if *id != p {
                                 driver.protocol_mut().unsuspect(p);
+                                if let Some(t) = self.tracers.get(id) {
+                                    t.process_event(at, *id, ProcEvent::Unsuspect(p));
+                                }
                             }
                         }
                     }
@@ -734,7 +803,42 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
             if let Some(driver) = self.drivers.get_mut(&to) {
                 driver.protocol_mut().unsuspect(q);
             }
+            if let Some(t) = self.tracers.get(&to) {
+                t.process_event(at, to, ProcEvent::Unsuspect(q));
+            }
         }
+    }
+
+    /// Snapshots aggregated protocol counters into the metrics registry
+    /// (`SimOpts::metrics_interval_us`).
+    fn sample_metrics(&mut self, at: u64) {
+        let Some(registry) = self.registry.as_mut() else {
+            return;
+        };
+        let mut committed = 0u64;
+        let mut executed = 0u64;
+        let mut messages_sent = 0u64;
+        for driver in self.drivers.values() {
+            let m = driver.metrics();
+            committed += m.committed;
+            executed += m.executed;
+            messages_sent += m.messages_sent;
+        }
+        let mut suspicions = self.detector_stats.suspicions;
+        for det in self.detectors.values() {
+            suspicions += det.stats().suspicions;
+        }
+        registry.sample_all(
+            at,
+            [
+                ("committed", committed),
+                ("executed", executed),
+                ("messages_sent", messages_sent),
+                ("completed_cmds", self.completed_total),
+                ("aborted_cmds", self.aborted_total),
+                ("suspicions", suspicions),
+            ],
+        );
     }
 
     /// Runs the simulation to completion and produces the report.
@@ -769,6 +873,10 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
         let client_ids: Vec<ClientId> = self.clients.keys().copied().collect();
         for (i, client) in client_ids.into_iter().enumerate() {
             self.push(i as u64 % 997, EventKind::ClientSubmit { client });
+        }
+        // Metrics time series: one snapshot per interval, self-rescheduling.
+        if let Some(interval) = self.opts.metrics_interval_us {
+            self.push(interval.max(1), EventKind::MetricsSample);
         }
 
         let target = self.total_commands();
@@ -851,6 +959,12 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
                 EventKind::NemesisWake => {
                     self.apply_faults(event.time);
                 }
+                EventKind::MetricsSample => {
+                    self.sample_metrics(event.time);
+                    if let Some(interval) = self.opts.metrics_interval_us {
+                        self.push(event.time + interval.max(1), EventKind::MetricsSample);
+                    }
+                }
                 EventKind::DetectorTick { process } => {
                     let Some(d) = self.opts.detector else {
                         continue;
@@ -877,6 +991,9 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
                                 .expect("process exists")
                                 .protocol_mut()
                                 .suspect(q);
+                            if let Some(t) = self.tracers.get(&process) {
+                                t.process_event(event.time, process, ProcEvent::Suspect(q));
+                            }
                         }
                     }
                     // Broadcast a heartbeat over the nemesis-afflicted network: slow
@@ -975,6 +1092,22 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
                 )
             })
             .collect();
+        // Drain the per-process rings in ProcessId order, then time-sort: stable sort
+        // plus virtual-clock timestamps makes the merged log (and anything rendered
+        // from it) byte-identical across same-seed runs.
+        let trace = self.opts.trace.then(|| {
+            let mut log = TraceLog::default();
+            for tracer in self.tracers.values() {
+                log.merge(tracer.take());
+            }
+            log.sort_by_time();
+            log
+        });
+        let phases = trace.as_ref().map(|log| {
+            let mut fold = PhaseBreakdown::new();
+            fold.record_log(log);
+            fold.finish()
+        });
         RunReport {
             protocol: P::NAME.to_string(),
             config: self.config,
@@ -995,6 +1128,10 @@ impl<P: Protocol, W: Workload> Simulation<P, W> {
                 stats
             },
             history: self.history,
+            trace,
+            phases,
+            registry: self.registry,
+            exact_overall: self.exact_overall,
             stalled,
         }
     }
@@ -1332,6 +1469,71 @@ mod tests {
             .expect("history recorded")
             .check()
             .expect("duplicate/reorder history must stay safe");
+    }
+
+    #[test]
+    fn traced_run_folds_phases_and_is_byte_identical_across_seeds() {
+        let config = Config::full(3, 1);
+        let go = || {
+            run::<Tempo, _>(
+                config,
+                Planet::equidistant(3, 50.0),
+                SimOpts {
+                    clients_per_site: 2,
+                    commands_per_client: 5,
+                    trace: true,
+                    metrics_interval_us: Some(100_000),
+                    exact_latencies: true,
+                    ..SimOpts::default()
+                },
+                ConflictWorkload::new(0.05, 10, 3),
+            )
+        };
+        let report = go();
+        assert!(!report.stalled);
+        let trace = report.trace.as_ref().expect("trace recorded");
+        assert!(!trace.events.is_empty());
+        assert_eq!(trace.dropped, 0, "short run must not overflow the rings");
+
+        // Every completed command reached every folded interval: the protocol hooks
+        // (propose/commit/stable) and the scheduler hooks (submit/execute/reply)
+        // all fired.
+        let phases = report.phases.as_ref().expect("phases folded");
+        assert_eq!(phases.complete, report.completed);
+        let e2e = phases.pair("submit_reply").expect("end-to-end interval");
+        assert_eq!(e2e.histogram.len(), report.completed);
+        for name in ["submit_commit", "commit_stable", "stable_execute"] {
+            let pair = phases.pair(name).expect(name);
+            assert_eq!(pair.histogram.len(), report.completed, "{name}");
+        }
+
+        // The end-to-end interval is the client latency: its mean must agree with the
+        // report's (exact) mean within the log-bucket error — and the exact twin
+        // (`exact_latencies`) agrees with the log-bucketed overall.
+        let exact = report.exact_overall.as_ref().expect("exact twin");
+        assert_eq!(exact.len() as u64, report.overall.len());
+        assert!((exact.mean_ms() - report.overall.mean_ms()).abs() < 1e-9);
+        assert!((e2e.histogram.mean_ms() - exact.mean_ms()).abs() < 1e-9);
+
+        // The metrics time series sampled and ended at the final counter values.
+        let registry = report.registry.as_ref().expect("registry sampled");
+        assert!(!registry.is_empty());
+        let executed = registry.series("executed");
+        assert!(!executed.is_empty());
+        assert!(executed.last().expect("samples").1 > 0);
+
+        // Same seed, same virtual clock: the merged trace (and anything rendered from
+        // it) is byte-identical across runs.
+        let again = go();
+        let b = again.trace.as_ref().expect("trace recorded");
+        assert_eq!(trace.events, b.events);
+        let render = |r: &RunReport| {
+            let mut chrome = tempo_trace::ChromeTrace::new();
+            chrome.add_log(r.trace.clone().expect("trace"));
+            chrome.add_registry(r.registry.as_ref().expect("registry"));
+            chrome.render()
+        };
+        assert_eq!(render(&report), render(&again));
     }
 
     #[test]

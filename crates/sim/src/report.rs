@@ -5,17 +5,20 @@ use std::fmt;
 use tempo_fault::{DetectorStats, FaultSummary, History};
 use tempo_kernel::config::Config;
 use tempo_kernel::id::{ClientId, SiteId};
-use tempo_kernel::metrics::{Histogram, Percentile, Throughput};
+use tempo_kernel::metrics::{Histogram, LogHistogram, Percentile, Throughput};
 use tempo_kernel::protocol::ProtocolMetrics;
+use tempo_kernel::trace::TraceLog;
 use tempo_planet::Region;
+use tempo_trace::{MetricsRegistry, PhaseLatencies};
 
 /// Per-site results of a run.
 #[derive(Debug, Clone)]
 pub struct SiteReport {
     /// The region hosting the site.
     pub region: Region,
-    /// Latencies observed by the clients of this site, in microseconds.
-    pub histogram: Histogram,
+    /// Latencies observed by the clients of this site (log-bucketed; microsecond
+    /// samples, ~1.6% quantile error).
+    pub histogram: LogHistogram,
 }
 
 /// Per-client command tally.
@@ -36,8 +39,8 @@ pub struct RunReport {
     pub config: Config,
     /// Per-site latency distributions.
     pub sites: BTreeMap<SiteId, SiteReport>,
-    /// All latencies across sites.
-    pub overall: Histogram,
+    /// All latencies across sites (log-bucketed, see [`SiteReport::histogram`]).
+    pub overall: LogHistogram,
     /// Number of completed client commands.
     pub completed: u64,
     /// Number of client commands aborted on timeout (they may still have taken effect).
@@ -57,6 +60,17 @@ pub struct RunReport {
     pub detector: DetectorStats,
     /// The recorded client/replica history, when `SimOpts::record_history` was set.
     pub history: Option<History>,
+    /// The merged, time-sorted lifecycle trace, when `SimOpts::trace` was set.
+    /// Byte-identical across same-seed runs (virtual-clock timestamps).
+    pub trace: Option<TraceLog>,
+    /// Per-phase latency fold of [`trace`](RunReport::trace): submit→commit,
+    /// commit→stable, stable→execute, execute→reply and end-to-end.
+    pub phases: Option<PhaseLatencies>,
+    /// Sampled counter time series, when `SimOpts::metrics_interval_us` was set.
+    pub registry: Option<MetricsRegistry>,
+    /// Test-only exact twin of [`overall`](RunReport::overall)
+    /// (`SimOpts::exact_latencies`), for cross-checking log-bucketed quantiles.
+    pub exact_overall: Option<Histogram>,
     /// Whether the run hit the simulated-time cap before every client finished.
     pub stalled: bool,
 }
@@ -76,7 +90,7 @@ impl RunReport {
     }
 
     /// A latency percentile across all sites, in milliseconds.
-    pub fn percentile_ms(&mut self, p: Percentile) -> f64 {
+    pub fn percentile_ms(&self, p: Percentile) -> f64 {
         self.overall.percentile_ms(p)
     }
 
@@ -102,7 +116,7 @@ impl RunReport {
             self.protocol,
             self.completed,
             self.overall.mean_ms(),
-            self.overall.clone().percentile_ms(Percentile(99.0)),
+            self.overall.percentile_ms(Percentile(99.0)),
             self.throughput_kops(),
             self.fast_path_ratio() * 100.0,
         );
@@ -128,6 +142,12 @@ impl RunReport {
                 self.faults.dropped()
             ));
         }
+        if self.detector.heartbeats > 0 || self.detector.suspicions > 0 {
+            line.push_str(&format!(
+                " suspicions={} wrong={} heartbeats={}",
+                self.detector.suspicions, self.detector.wrong_suspicions, self.detector.heartbeats
+            ));
+        }
         if self.stalled {
             line.push_str(" [STALLED]");
         }
@@ -147,6 +167,9 @@ impl fmt::Display for RunReport {
                 report.histogram.len()
             )?;
         }
+        if let Some(phases) = &self.phases {
+            writeln!(f, "  {}", phases.summary_line())?;
+        }
         Ok(())
     }
 }
@@ -156,7 +179,7 @@ mod tests {
     use super::*;
 
     fn dummy_report() -> RunReport {
-        let mut overall = Histogram::new();
+        let mut overall = LogHistogram::new();
         for ms in [100u64, 200, 300] {
             overall.record(ms * 1000);
         }
@@ -182,17 +205,23 @@ mod tests {
             faults: FaultSummary::default(),
             detector: DetectorStats::default(),
             history: None,
+            trace: None,
+            phases: None,
+            registry: None,
+            exact_overall: None,
             stalled: false,
         }
     }
 
     #[test]
     fn report_statistics() {
-        let mut report = dummy_report();
+        let report = dummy_report();
         assert!((report.mean_latency_ms() - 200.0).abs() < 1e-9);
         assert!((report.site_mean_ms(0) - 200.0).abs() < 1e-9);
         assert_eq!(report.site_mean_ms(9), 0.0);
-        assert_eq!(report.percentile_ms(Percentile(99.0)), 300.0);
+        // Log-bucketed percentiles answer within the 1/64 bucket width.
+        let p99 = report.percentile_ms(Percentile(99.0));
+        assert!((p99 - 300.0).abs() <= 300.0 / 64.0 + 1e-9, "p99 {p99}");
         assert!((report.throughput().ops_per_second() - 3.0).abs() < 1e-9);
     }
 

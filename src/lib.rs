@@ -15,6 +15,8 @@
 //! * [`net`] — wire codec + pluggable transports (TCP, chaos injection),
 //! * [`runtime`] — the cluster runtime: the networked `NetCluster` over `tempo-net`
 //!   and the legacy channel-based `ThreadedCluster`,
+//! * [`trace`] — post-run trace analysis: phase-latency breakdown, Chrome trace
+//!   export (Perfetto-loadable) and the sampled metrics time series,
 //! * [`workload`] — microbenchmark, YCSB+T and batching workloads,
 //! * [`load`] — open-loop load generation: arrival schedules, Zipf/YCSB mixes and
 //!   the latency-measurement conventions of BENCH_load.json.
@@ -63,4 +65,5 @@ pub use tempo_planet as planet;
 pub use tempo_runtime as runtime;
 pub use tempo_sim as sim;
 pub use tempo_store as store;
+pub use tempo_trace as trace;
 pub use tempo_workload as workload;
