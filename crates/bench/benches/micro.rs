@@ -15,8 +15,10 @@ use tempo_atlas::DependencyGraph;
 use tempo_bench::json::{self, Record};
 use tempo_core::clock::Clock;
 use tempo_core::{PromiseRange, PromiseTracker, Tempo};
+use tempo_fault::History;
 use tempo_kernel::harness::LocalCluster;
 use tempo_kernel::id::{Dot, ProcessId, Rifl};
+use tempo_kernel::kvstore::KVStore;
 use tempo_kernel::{Command, Config, KVOp};
 
 /// Runs `iterations` repetitions of `f`, prints the median wall-clock time and returns
@@ -207,6 +209,100 @@ fn bench_sustained_load(records: &mut Vec<Record>) {
     ));
 }
 
+/// Builds a valid (serially executed) two-shard history of `n` YCSB+T-shaped
+/// transactions: each command touches one key on each shard, writers `Add(1)` both,
+/// readers `Get` both, outputs produced by actually executing against a model store.
+fn synthetic_multi_shard_history(n: u64) -> History {
+    let mut history = History::new();
+    // One store per shard: shard keyspaces are disjoint in the real system.
+    let mut kv = [KVStore::new(), KVStore::new()];
+    for i in 0..n {
+        let rifl = Rifl::new(1 + i % 8, 1 + i / 8);
+        let (k0, k1) = (i % 32, (i * 7) % 32);
+        let op = |w: bool| if w { KVOp::Add(1) } else { KVOp::Get };
+        let write = i % 2 == 0;
+        let cmd = Command::new(rifl, vec![(0, k0, op(write)), (1, k1, op(write))], 0);
+        history.record_invoke(rifl, cmd.clone(), 2 * i);
+        let mut outputs = Vec::new();
+        for shard in 0..2 {
+            for (key, out) in kv[shard as usize].execute(shard, &cmd).outputs {
+                outputs.push((shard, key, out));
+            }
+        }
+        history.record_complete(rifl, 2 * i + 1, outputs);
+    }
+    history
+}
+
+/// Same shape, single-key commands only: `multi_key_commands == 0`, so `check()` stops
+/// after the memoized per-key passes and the constraint graph is never built.
+fn synthetic_single_key_history(n: u64) -> History {
+    let mut history = History::new();
+    let mut kv = KVStore::new();
+    for i in 0..n {
+        let rifl = Rifl::new(1 + i % 8, 1 + i / 8);
+        let op = if i % 2 == 0 { KVOp::Add(1) } else { KVOp::Get };
+        let cmd = Command::single(rifl, 0, i % 32, op, 0);
+        history.record_invoke(rifl, cmd.clone(), 2 * i);
+        let outputs = kv
+            .execute(0, &cmd)
+            .outputs
+            .into_iter()
+            .map(|(key, out)| (0, key, out))
+            .collect();
+        history.record_complete(rifl, 2 * i + 1, outputs);
+    }
+    history
+}
+
+fn bench_ser_check(records: &mut Vec<Record>) {
+    // Checker cost: full `History::check()` over pre-built valid histories. The
+    // multi-shard sizes exercise the constraint graph (build + SCC); the single-key
+    // run of the largest size shows the fast path's cost when the graph is skipped.
+    let sizes: &[u64] = if tempo_bench::short_mode() {
+        &[128, 512]
+    } else {
+        &[128, 512, 2048]
+    };
+    let mut largest = 0.0;
+    for &n in sizes {
+        let history = synthetic_multi_shard_history(n);
+        let name = format!("ser_check/multi_shard_{n}");
+        let median = bench(&name, 20, || {
+            history
+                .check()
+                .expect("synthetic history is valid")
+                .ser_edges
+        });
+        records.push(Record::new(
+            &name,
+            &[("median_us", median), ("txns", n as f64)],
+        ));
+        largest = median;
+    }
+    let n = *sizes.last().expect("sizes non-empty");
+    let single = synthetic_single_key_history(n);
+    let name = format!("ser_check/single_key_fast_path_{n}");
+    let median = bench(&name, 20, || {
+        let summary = single.check().expect("synthetic history is valid");
+        assert_eq!(summary.ser_txns, 0, "fast path must skip the graph");
+        summary.multi_key_commands
+    });
+    let graph_overhead = largest / median.max(1e-9);
+    println!(
+        "{:<45} {graph_overhead:>16.1}x",
+        "ser_check/graph_cost_vs_fast_path"
+    );
+    records.push(Record::new(
+        &name,
+        &[
+            ("median_us", median),
+            ("txns", n as f64),
+            ("graph_cost_vs_fast_path", graph_overhead),
+        ],
+    ));
+}
+
 fn main() {
     println!("micro-benchmarks (median wall-clock per repetition)");
     let mut records = Vec::new();
@@ -216,5 +312,6 @@ fn main() {
     bench_depgraph(&mut records);
     bench_commit_path(&mut records);
     bench_sustained_load(&mut records);
+    bench_ser_check(&mut records);
     json::write("micro", &records);
 }

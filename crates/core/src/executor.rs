@@ -99,6 +99,13 @@ pub struct TempoExecutor {
     /// prefix at or below this pair; `(0, (0, 0))` before anything executes. Durable
     /// snapshots and rejoin state transfers are cut at this boundary (DESIGN.md §6).
     floor: (u64, Dot),
+    /// While gated, the execution pass is suspended (commands still commit into the
+    /// queue, and the announcement pass still attests stability to sibling shards).
+    /// The ordering stage gates the executor when the applied image is known to be
+    /// missing a skipped command — executing past such a gap would compute (and hand
+    /// to clients) values from an incomplete store — and ungates once a state
+    /// transfer whose boundary covers every gap installs.
+    gated: bool,
     kv: KVStore,
     executed_count: u64,
 }
@@ -146,6 +153,32 @@ impl TempoExecutor {
     /// The execution boundary: the `⟨timestamp, dot⟩` of the last executed command.
     pub fn exec_floor(&self) -> (u64, Dot) {
         self.floor
+    }
+
+    /// Whether `dot` is committed but not yet executed here (queued or waiting).
+    pub fn is_queued(&self, dot: Dot) -> bool {
+        self.pending.contains_key(&dot)
+    }
+
+    /// Suspends the execution pass (the applied image is missing a skipped command;
+    /// see the `gated` field). Committing and stability announcements continue.
+    pub fn gate(&mut self) {
+        self.gated = true;
+    }
+
+    /// Whether the execution pass is currently suspended.
+    pub fn is_gated(&self) -> bool {
+        self.gated
+    }
+
+    /// Resumes execution after the gaps were closed (by a state transfer whose
+    /// boundary covers them), running the stable prefix that accumulated while
+    /// gated and returning its executions.
+    pub fn ungate(&mut self) -> Vec<Executed> {
+        self.gated = false;
+        let mut out = Vec::new();
+        self.run(&mut out);
+        out
     }
 
     /// The applied key-value state as `(key, value)` pairs (snapshots and state
@@ -233,6 +266,11 @@ impl TempoExecutor {
         }
         // Execution pass: execute the stable prefix in `⟨ts, id⟩` order; a multi-shard
         // command blocks the prefix until every sibling shard announced stability.
+        // Suspended entirely while gated (the announcement pass above is not: stability
+        // attestation is an ordering fact, independent of the applied image).
+        if self.gated {
+            return;
+        }
         while let Some(&(ts, dot)) = self.queue.first() {
             if ts > self.stable {
                 break;
@@ -277,6 +315,7 @@ impl Executor for TempoExecutor {
             announce_visits: 0,
             executed_dots: Vec::new(),
             floor: (0, Dot::new(0, 0)),
+            gated: false,
             kv: KVStore::new(),
             executed_count: 0,
         }

@@ -84,6 +84,26 @@ impl GcTracker {
         }
     }
 
+    /// Whether `dot` is in the local executed set (executed, skip-covered or
+    /// blanket-restored here).
+    pub fn is_executed(&self, dot: Dot) -> bool {
+        self.executed
+            .get(&dot.source)
+            .is_some_and(|set| set.contains(dot.sequence))
+    }
+
+    /// Sequences of `origin` in `(local contiguous prefix, watermark]` that are missing
+    /// from the local executed set, lowest first, at most `limit`. When a shard peer
+    /// reports `watermark` as its frontier, each of these is a dot the peer has executed
+    /// but this process has not — a candidate commit hole if no metadata exists for it
+    /// either (see `Tempo::note_commit_holes`).
+    pub fn missing_below(&self, origin: ProcessId, watermark: u64, limit: usize) -> Vec<u64> {
+        match self.executed.get(&origin) {
+            Some(set) => set.missing_in(set.contiguous(), watermark, limit),
+            None => (1..=watermark).take(limit).collect(),
+        }
+    }
+
     /// The local executed watermark per origin, for piggybacking on `MPromises`.
     /// Only origins with a non-zero watermark are reported.
     pub fn executed_frontier(&self) -> Vec<(ProcessId, u64)> {

@@ -96,6 +96,35 @@ impl SeqSet {
         self.insert_range(value, value);
     }
 
+    /// The values missing from the set in `(after, upto]`, lowest first, at most
+    /// `limit`. Walks the coalesced ranges, so the cost is O(ranges + result), not
+    /// O(width of the window).
+    pub(crate) fn missing_in(&self, after: u64, upto: u64, limit: usize) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut next = after.max(self.contiguous) + 1;
+        for (&start, &end) in &self.sparse {
+            if end < next {
+                continue;
+            }
+            if start > upto {
+                break;
+            }
+            while next < start && next <= upto && out.len() < limit {
+                out.push(next);
+                next += 1;
+            }
+            next = next.max(end + 1);
+            if next > upto || out.len() >= limit {
+                break;
+            }
+        }
+        while next <= upto && out.len() < limit {
+            out.push(next);
+            next += 1;
+        }
+        out
+    }
+
     /// The highest value present (0 when empty), including detached ranges.
     #[inline]
     pub(crate) fn max_value(&self) -> u64 {

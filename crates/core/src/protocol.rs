@@ -25,7 +25,9 @@ use tempo_kernel::command::{Command, Key};
 use tempo_kernel::config::Config;
 use tempo_kernel::id::{Dot, DotGen, ProcessId, ShardId};
 use tempo_kernel::membership::Membership;
-use tempo_kernel::protocol::{Action, Executor, Protocol, ProtocolMetrics, TimerId, View};
+use tempo_kernel::protocol::{
+    Action, Executed, Executor, Protocol, ProtocolMetrics, TimerId, View,
+};
 use tempo_kernel::trace::{CmdPhase, ProcEvent, Tracer};
 use tempo_kernel::util::max_and_count;
 use tempo_store::snapshot::{AcceptState, QueuedCommit};
@@ -36,6 +38,12 @@ pub const TIMER_PROMISES: TimerId = TimerId(1);
 /// Timer driving the liveness scan: payload resend, `MCommitRequest` and recovery
 /// take-over for commands pending too long (Appendix B).
 pub const TIMER_LIVENESS: TimerId = TimerId(2);
+
+/// Most missing sequences considered per origin per `MPromises` frontier report when
+/// scanning for commit holes (see `Tempo::note_commit_holes`).
+const HOLE_SCAN_LIMIT: usize = 32;
+/// Most commit-hole suspects tracked at once.
+const HOLE_SUSPECT_CAP: usize = 256;
 
 /// Tunable options of the Tempo implementation. The defaults match the configuration
 /// evaluated in the paper; the other settings are used by the ablation benchmarks.
@@ -178,6 +186,25 @@ pub struct Tempo {
     /// peer's `MState`: execution (and thus read service) stays gated so the replica
     /// cannot answer reads from a store missing the commands it slept through.
     awaiting_state: bool,
+    /// Commits whose timestamp fell at or below `last_stable_fed` but that were *not*
+    /// covered by a state transfer (`(final_ts, dot) > exec_floor`). Feeding such a
+    /// command to the executor would execute it out of timestamp order, and skipping
+    /// it silently would leave a hole in the store while later commands keep reading
+    /// from it — so the executor is gated until a state transfer whose floor covers
+    /// every recorded gap is installed.
+    exec_gaps: BTreeSet<(u64, Dot)>,
+    /// Suspected commit holes: dots covered by a shard peer's executed frontier
+    /// (piggybacked on `MPromises`) that this process has no record of — no
+    /// `CommandInfo`, not executed, not collected. Such a dot is a commit this replica
+    /// may have missed entirely (e.g. the `MCommit` was dropped while the link was
+    /// lossy, or broadcast while the replica was down); stability can then pass the
+    /// command via the peers' promises without this replica ever holding it, leaving
+    /// a silent hole in the store. Values are `(first_seen_us, last_probe_us)`:
+    /// suspects older than the probe timeout are asked around (`MCommitRequest`) from
+    /// the liveness timer — in-flight commits resolve themselves within the grace
+    /// period — and the answered commit lands below the stable watermark, where the
+    /// `exec_gaps` gate turns it into a state transfer.
+    hole_suspects: BTreeMap<Dot, (u64, u64)>,
     /// Last time an `MStateRequest` was sent (retry pacing under message loss).
     last_state_request_us: u64,
     /// `MStateRequest` attempts so far (rotates the target across live peers).
@@ -239,6 +266,8 @@ impl Tempo {
             appends_at_snapshot: 0,
             recovered: false,
             awaiting_state: false,
+            exec_gaps: BTreeSet::new(),
+            hole_suspects: BTreeMap::new(),
             last_state_request_us: 0,
             state_request_attempts: 0,
             tracer: Tracer::disabled(),
@@ -794,10 +823,15 @@ impl Tempo {
             .filter(|p| *p != self.process && !self.suspected.contains(p))
             .collect();
         if live.is_empty() {
-            // Nobody to transfer from (every peer suspected): ungate rather than
-            // stall — ordering safety does not depend on the transfer.
-            self.awaiting_state = false;
-            self.sync_stability(now_us, out);
+            if self.exec_gaps.is_empty() {
+                // Nobody to transfer from (every peer suspected): ungate rather than
+                // stall — ordering safety does not depend on the transfer.
+                self.awaiting_state = false;
+                self.sync_stability(now_us, out);
+            }
+            // With open execution gaps the store is *known* incomplete, so stay
+            // gated: serving reads would return values missing committed writes.
+            // `TIMER_LIVENESS` keeps retrying as peers come back.
             return;
         }
         let target = live[(self.state_request_attempts as usize) % live.len()];
@@ -822,6 +856,17 @@ impl Tempo {
             floor_dot,
             kv: self.executor.kv_entries(),
             watermarks: self.gc.executed_frontier(),
+            queued: self
+                .executor
+                .queued_entries()
+                .into_iter()
+                .map(|(dot, ts, cmd, waits)| QueuedCommit {
+                    dot,
+                    ts,
+                    cmd,
+                    waits,
+                })
+                .collect(),
         };
         self.send(&[from], msg, now_us, out);
     }
@@ -833,6 +878,7 @@ impl Tempo {
         floor_dot: Dot,
         kv: Vec<(Key, u64)>,
         watermarks: Vec<(ProcessId, u64)>,
+        queued: Vec<QueuedCommit>,
         now_us: u64,
         out: &mut Vec<Action<Message>>,
     ) {
@@ -841,7 +887,8 @@ impl Tempo {
         }
         self.awaiting_state = false;
         let floor = (floor_ts, floor_dot);
-        if floor > self.executor.exec_floor() {
+        let installed = floor > self.executor.exec_floor();
+        if installed {
             let dropped = self.executor.install_transfer(kv, floor);
             for dot in &dropped {
                 // Queued commits covered by the transferred image: their effects are
@@ -859,13 +906,94 @@ impl Tempo {
                 self.gc.restore_executed(*origin, *watermark);
             }
             self.gc_collect();
+        }
+        // Absorb the donor's committed-but-unexecuted queue *before* raising the local
+        // stability watermark: every entry is above the donor's floor, so with the
+        // watermark still at its pre-transfer value the entries commit onto the
+        // (possibly just-installed) image in normal ⟨ts, id⟩ order instead of tripping
+        // the below-stability skip path in `commit_with`.
+        self.absorb_transferred_commits(queued, now_us, out);
+        if installed {
             self.last_stable_fed = self.last_stable_fed.max(floor_ts);
             self.last_exec_progress_us = now_us;
             // Write-through: the back-filled image lives only in the executor until a
             // snapshot captures it — force one so a second crash keeps the back-fill.
             self.force_snapshot();
         }
+        // Execution gaps now covered by the (possibly just-raised) floor are closed:
+        // their effects are part of the installed image. If any gap remains above the
+        // floor, the store is still incomplete — stay gated and keep requesting
+        // (`TIMER_LIVENESS` re-sends while `awaiting_state`); the donor keeps
+        // executing, so its floor eventually passes every gap.
+        let exec_floor = self.executor.exec_floor();
+        let mut closed_any = false;
+        for (ts, dot) in std::mem::take(&mut self.exec_gaps) {
+            if (ts, dot) <= exec_floor {
+                // Deferred from `commit_with`'s skip branch: only now that the
+                // installed image contains the command's effect may its dot enter
+                // the executed frontier.
+                self.gc.record_executed(dot);
+                closed_any = true;
+            } else {
+                self.exec_gaps.insert((ts, dot));
+            }
+        }
+        if closed_any {
+            self.gc_collect();
+        }
+        if !self.exec_gaps.is_empty() {
+            self.awaiting_state = true;
+            return;
+        }
+        if self.executor.is_gated() {
+            let executed = self.executor.ungate();
+            self.exec_absorb(executed, now_us, out);
+        }
         self.sync_stability(now_us, out);
+    }
+
+    /// Commits the donor's queued entries locally (see `Message::MState::queued`).
+    /// A rejoined replica takes the whole-shard safe frontier from its peers, so its
+    /// stability can pass a command it never heard commit — the command would then be
+    /// skipped *unapplied* and every later read of its keys served from a store
+    /// missing the write. The donor's queue is exactly the set at risk: committed
+    /// everywhere, executed nowhere, above the transferred image's boundary.
+    fn absorb_transferred_commits(
+        &mut self,
+        queued: Vec<QueuedCommit>,
+        now_us: u64,
+        out: &mut Vec<Action<Message>>,
+    ) {
+        for q in queued {
+            if self.gc.is_executed(q.dot) || self.gc.is_collected(q.dot) {
+                continue; // Executed (or blanket-covered) here: effect already present.
+            }
+            {
+                let info = self.info_mut(q.dot, now_us);
+                if info.phase.is_committed_or_executed() {
+                    continue; // Already known; the executor dedups queued entries.
+                }
+                info.learn_payload(&q.cmd, &Quorums::new());
+            }
+            self.commit_with(q.dot, q.ts, now_us, out);
+            // The donor consumed `MStable` attestations this replica missed while down,
+            // and attestations are sent once per replica — replay the consumed ones
+            // (every accessed sibling shard the donor is no longer waiting on) so the
+            // entry does not wait forever. Residual waits are cleared by live
+            // attestations, exactly as at the donor.
+            if self.executor.is_queued(q.dot) {
+                for shard in q.cmd.shards() {
+                    if shard != self.shard && !q.waits.contains(&shard) {
+                        self.wal_append(WalRecord::SiblingStable { dot: q.dot, shard });
+                        self.exec_feed(
+                            ExecutionInfo::ShardStable { dot: q.dot, shard },
+                            now_us,
+                            out,
+                        );
+                    }
+                }
+            }
+        }
     }
 
     // ------------------------------------------------------------ commit path
@@ -1181,21 +1309,42 @@ impl Tempo {
             // commands (rejoin prefixes, safe frontiers, promise repairs), so late
             // back-fills of pre-crash commands land below stability. Two cases:
             // `transferred` means the effect is already in the installed image (a true
-            // duplicate); otherwise the command is skipped *unapplied* — the store
-            // stays incomplete, which is safe for ordering (this incarnation's
-            // execution log is a consistent suffix) and is exactly the gap the state
-            // transfer exists to close. Either way, recording the dot as executed
+            // duplicate); otherwise the command is skipped *unapplied* — the store is
+            // now missing a write below the stable watermark, so execution is GATED
+            // (the gap is recorded and a state transfer covering it is requested)
+            // until a peer's image closes the hole. Without the gate, later commands
+            // would keep executing on the incomplete store and return values computed
+            // without the skipped write. Either way, recording the dot as executed
             // keeps GC draining and the `MStable` attestation keeps sibling shards
             // live. Deliberately NOT written to the WAL: replaying an unapplied (or
             // already-present) command into a partial image would corrupt it.
             self.exec_skipped += 1;
+            let gapped = !transferred && self.options.state_transfer;
+            if gapped {
+                // (With `state_transfer` opted out there is no mechanism to close the
+                // gap, so gating would stall forever — the opt-out accepts the hole.)
+                self.exec_gaps.insert((final_ts, dot));
+                self.executor.gate();
+                if self.joined && !self.awaiting_state {
+                    self.awaiting_state = true;
+                    self.send_state_request(now_us, out);
+                }
+            }
             let info = self.info.get_mut(&dot).expect("info exists");
             info.phase = Phase::Execute;
             info.proposal_detached.clear();
             info.proposals.clear();
             info.rec_acks.clear();
-            self.gc.record_executed(dot);
-            self.gc_collect();
+            if !gapped {
+                self.gc.record_executed(dot);
+                self.gc_collect();
+            }
+            // A *gapped* dot must stay out of the executed frontier until a state
+            // transfer covers it (`handle_state` records it then): the frontier is
+            // shipped onward — snapshots, `MState` watermarks, `MPromises` — and a
+            // peer blanket-restoring a frontier that includes a dot above the
+            // transfer boundary would mark dots it still has *queued* as executed,
+            // garbage-collecting their metadata out from under its executor.
             if cmd.is_multi_shard() {
                 let targets = self.all_replicas_of(&cmd);
                 self.send(&targets, Message::MStable { dot }, now_us, out);
@@ -1382,6 +1531,7 @@ impl Tempo {
         out: &mut Vec<Action<Message>>,
     ) {
         self.gc.update_peer(from, &executed);
+        self.note_commit_holes(&executed, now_us);
         self.gc_collect();
         // Absorb the sender's safe frontier wholesale: it heals any gap left by an
         // earlier lost delta (every attached promise below it is committed — indeed
@@ -1412,6 +1562,32 @@ impl Tempo {
             }
         }
         self.sync_stability(now_us, out);
+    }
+
+    /// Records suspected commit holes revealed by a peer's executed frontier (see the
+    /// [`Self::hole_suspects`] field). The scan is bounded: at most
+    /// [`HOLE_SCAN_LIMIT`] missing sequences per origin per report, and the suspect
+    /// map is capped at [`HOLE_SUSPECT_CAP`] — a lagging replica catches up one
+    /// window at a time, which is fine because each window ends in a state transfer
+    /// that blankets the rest.
+    fn note_commit_holes(&mut self, frontier: &[(ProcessId, u64)], now_us: u64) {
+        if !self.options.state_transfer {
+            // With transfers opted out a probed commit would just be skipped
+            // unapplied (the accepted hole), teaching us nothing.
+            return;
+        }
+        for &(origin, watermark) in frontier {
+            for seq in self.gc.missing_below(origin, watermark, HOLE_SCAN_LIMIT) {
+                if self.hole_suspects.len() >= HOLE_SUSPECT_CAP {
+                    return;
+                }
+                let dot = Dot::new(origin, seq);
+                if self.info.contains_key(&dot) {
+                    continue; // Known (queued, pending or executing): not a hole.
+                }
+                self.hole_suspects.entry(dot).or_insert((now_us, 0));
+            }
+        }
     }
 
     fn handle_stable(
@@ -1458,13 +1634,39 @@ impl Tempo {
     /// [`Action::Deliver`].
     fn exec_feed(&mut self, info: ExecutionInfo, now_us: u64, out: &mut Vec<Action<Message>>) {
         let executed = self.executor.handle(info);
-        for dot in self.executor.take_newly_stable() {
-            let cmd = self
-                .info
-                .get(&dot)
-                .and_then(|i| i.cmd.clone())
-                .expect("announced commands have a payload");
-            let targets = self.all_replicas_of(&cmd);
+        self.exec_absorb(executed, now_us, out);
+    }
+
+    /// Post-processes a batch of executor output (from [`Self::exec_feed`] or from
+    /// ungating after a closed execution gap): `MStable` broadcasts, per-command phase
+    /// updates, GC accounting, and the `Deliver` actions toward the runtime.
+    fn exec_absorb(
+        &mut self,
+        executed: Vec<Executed>,
+        now_us: u64,
+        out: &mut Vec<Action<Message>>,
+    ) {
+        // Resolve the whole batch before sending anything: `MStable` to a target set
+        // that includes this process dispatches `handle_stable` *synchronously*
+        // (see `send`), which can execute — and GC-collect — a later dot of this very
+        // batch (queued behind the first, unblocked by its attestation) before the
+        // loop reaches it. At take-time every announced dot still has its metadata;
+        // mid-loop it may not.
+        let announced: Vec<(Dot, Vec<ProcessId>)> = self
+            .executor
+            .take_newly_stable()
+            .into_iter()
+            .map(|dot| {
+                let cmd = self
+                    .info
+                    .get(&dot)
+                    .and_then(|i| i.cmd.clone())
+                    .expect("announced commands have a payload");
+                let targets = self.all_replicas_of(&cmd);
+                (dot, targets)
+            })
+            .collect();
+        for (dot, targets) in announced {
             self.send(&targets, Message::MStable { dot }, now_us, out);
         }
         let executed_dots = self.executor.take_executed_dots();
@@ -1602,7 +1804,41 @@ impl Tempo {
                 }
             }
         }
+        self.hole_scan(now_us, out);
         self.repair_scan(now_us, out);
+    }
+
+    /// Probes suspected commit holes (see [`Self::note_commit_holes`]): suspects that
+    /// resolved in the meantime — metadata arrived, a state transfer blanketed them,
+    /// or GC collected them — are dropped; persistent ones are asked around for their
+    /// commit outcome at the ordinary stale-command probe pace. An answered probe
+    /// commits below the stable watermark and triggers the execution-gap gate, which
+    /// turns the hole into a state transfer.
+    fn hole_scan(&mut self, now_us: u64, out: &mut Vec<Action<Message>>) {
+        if self.hole_suspects.is_empty() {
+            return;
+        }
+        let timeout = self.options.commit_request_timeout_us;
+        let mut suspects = std::mem::take(&mut self.hole_suspects);
+        let mut probes: Vec<Dot> = Vec::new();
+        suspects.retain(|&dot, (first_seen, last_probe)| {
+            if self.info.contains_key(&dot) || self.gc.is_executed(dot) || self.gc.is_collected(dot)
+            {
+                return false;
+            }
+            if now_us.saturating_sub(*first_seen) >= timeout
+                && now_us.saturating_sub(*last_probe) >= timeout
+            {
+                *last_probe = now_us;
+                probes.push(dot);
+            }
+            true
+        });
+        self.hole_suspects = suspects;
+        for dot in probes {
+            let targets = self.shard_peers.clone();
+            self.send(&targets, Message::MCommitRequest { dot }, now_us, out);
+        }
     }
 
     /// Detects a stalled execution stage — committed commands exist but no execution
@@ -2163,7 +2399,10 @@ impl Tempo {
                 floor_dot,
                 kv,
                 watermarks,
-            } => self.handle_state(floor_ts, floor_dot, kv, watermarks, now_us, &mut out),
+                queued,
+            } => self.handle_state(
+                floor_ts, floor_dot, kv, watermarks, queued, now_us, &mut out,
+            ),
         }
         out
     }
@@ -2250,6 +2489,11 @@ impl Protocol for Tempo {
         // request goes out once the rejoin handshake completes.
         self.awaiting_state = self.options.state_transfer;
         self.state_request_attempts = 0;
+        // A fresh incarnation has no execution gaps: its store *is* its floor, and the
+        // forthcoming transfer (re-)establishes completeness from a peer's image.
+        // Hole suspicion likewise restarts from the post-transfer frontier.
+        self.exec_gaps.clear();
+        self.hole_suspects.clear();
         let mut out = Vec::new();
         self.send_rejoin(now_us, &mut out);
         out

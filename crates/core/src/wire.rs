@@ -19,6 +19,7 @@ use tempo_net::wire::{get_process_map, put_process_map, DecodeError, Wire};
 use tempo_store::wal::{
     get_command, get_dot, get_pairs, put_command, put_dot, put_pairs, Reader, Writer,
 };
+use tempo_store::QueuedCommit;
 
 const TAG_SUBMIT: u8 = 1;
 const TAG_PROPOSE: u8 = 2;
@@ -279,12 +280,24 @@ impl Wire for Message {
                 floor_dot,
                 kv,
                 watermarks,
+                queued,
             } => {
                 w.put_u8(TAG_STATE);
                 w.put_u64(*floor_ts);
                 put_dot(w, *floor_dot);
                 put_pairs(w, kv);
                 put_pairs(w, watermarks);
+                // Same per-entry layout as the snapshot's queued section.
+                w.put_u32(queued.len() as u32);
+                for q in queued {
+                    put_dot(w, q.dot);
+                    w.put_u64(q.ts);
+                    w.put_u32(q.waits.len() as u32);
+                    for shard in &q.waits {
+                        w.put_u64(*shard);
+                    }
+                    put_command(w, &q.cmd);
+                }
             }
         }
     }
@@ -378,12 +391,39 @@ impl Wire for Message {
                 prefixes: get_pairs(r)?,
             },
             TAG_STATE_REQUEST => Message::MStateRequest,
-            TAG_STATE => Message::MState {
-                floor_ts: r.u64()?,
-                floor_dot: get_dot(r)?,
-                kv: get_pairs(r)?,
-                watermarks: get_pairs(r)?,
-            },
+            TAG_STATE => {
+                let floor_ts = r.u64()?;
+                let floor_dot = get_dot(r)?;
+                let kv = get_pairs(r)?;
+                let watermarks = get_pairs(r)?;
+                let n = r.u32()?;
+                let n = r.checked_len(n, 28)?;
+                let mut queued = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let dot = get_dot(r)?;
+                    let ts = r.u64()?;
+                    let w = r.u32()?;
+                    let w = r.checked_len(w, 8)?;
+                    let mut waits = Vec::with_capacity(w);
+                    for _ in 0..w {
+                        waits.push(r.u64()?);
+                    }
+                    let cmd = get_command(r)?;
+                    queued.push(QueuedCommit {
+                        dot,
+                        ts,
+                        cmd,
+                        waits,
+                    });
+                }
+                Message::MState {
+                    floor_ts,
+                    floor_dot,
+                    kv,
+                    watermarks,
+                    queued,
+                }
+            }
             t => return Err(DecodeError::BadTag(t)),
         };
         Ok(msg)

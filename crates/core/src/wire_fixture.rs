@@ -9,6 +9,7 @@ use crate::messages::{Message, PromiseBundle, Quorums, RecPhase};
 use crate::promises::PromiseRange;
 use tempo_kernel::command::{Command, KVOp};
 use tempo_kernel::id::{Dot, Rifl};
+use tempo_store::QueuedCommit;
 
 /// One message of every variant, with non-trivial nested fields.
 pub fn all_messages() -> Vec<Message> {
@@ -96,6 +97,12 @@ pub fn all_messages() -> Vec<Message> {
             floor_dot: dot,
             kv: vec![(42, 7), (9, 2)],
             watermarks: vec![(0, 30), (1, 28)],
+            queued: vec![QueuedCommit {
+                dot: Dot::new(4, 2),
+                ts: 15,
+                cmd: Command::new(Rifl::new(5, 6), vec![(0, 42, KVOp::Put(8))], 8),
+                waits: vec![1],
+            }],
         },
     ]
 }

@@ -22,10 +22,19 @@
 //!    pending commands are linearized optionally (they may or may not have taken
 //!    effect), per the standard treatment of crashed operations.
 //!
+//! 4. **Cross-key strict serializability** — when the history contains multi-key
+//!    commands, every command is additionally treated as an atomic transaction and run
+//!    through the commit-order constraint graph of [`crate::serializability`], which
+//!    catches what per-key projection cannot (write skew, fractured reads, lost
+//!    updates) and reports the minimal anomalous cycle. Histories with only
+//!    single-key commands skip this pass entirely: the per-key checks above are the
+//!    fast path and remain exactly as cheap as before.
+//!
 //! The linearizability check is a Wing & Gong search with memoization on
 //! `(linearized-set, register state)`; keys with more than [`MAX_LIN_OPS`] operations
 //! are skipped and *reported* in the [`CheckSummary`] — never silently.
 
+use crate::serializability::{self, CycleEdge, Entry, KeyAccess, Txn};
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::fmt;
 use tempo_kernel::command::{Command, KVOp, Key};
@@ -36,15 +45,16 @@ use tempo_kernel::id::{ProcessId, Rifl, ShardId};
 pub const MAX_LIN_OPS: usize = 128;
 
 /// The outcome of one client command.
+/// Per-op outputs observed at the client, as `(shard, key, output)` in per-shard
+/// op order.
+pub type OpOutputs = Vec<(ShardId, Key, Option<u64>)>;
+
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Outcome {
     /// No response recorded (still in flight when the run ended).
     Pending,
     /// The client observed a response with the given per-key outputs.
-    Completed {
-        at_us: u64,
-        outputs: Vec<(ShardId, Key, Option<u64>)>,
-    },
+    Completed { at_us: u64, outputs: OpOutputs },
     /// The client timed out and gave up; the command may or may not have taken effect.
     Aborted,
 }
@@ -108,6 +118,12 @@ pub enum Violation {
         /// Number of operations on the key.
         ops: usize,
     },
+    /// The multi-key history admits no serial order: the commit-order constraint
+    /// graph has a cycle.
+    NotSerializable {
+        /// The minimal anomalous cycle found, in order around the cycle.
+        cycle: Vec<CycleEdge>,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -126,6 +142,13 @@ impl fmt::Display for Violation {
                 f,
                 "key {key} of shard {shard}: no linearization of its {ops} operations exists"
             ),
+            Violation::NotSerializable { cycle } => {
+                write!(f, "not strictly serializable; anomalous cycle:")?;
+                for edge in cycle {
+                    write!(f, " {edge}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -145,6 +168,13 @@ pub struct CheckSummary {
     pub keys_checked: u64,
     /// `(shard, key)` spaces skipped because they exceed [`MAX_LIN_OPS`].
     pub keys_skipped: u64,
+    /// Commands touching more than one `(shard, key)` register. Zero means the
+    /// serializability graph was skipped entirely (the per-key fast path).
+    pub multi_key_commands: u64,
+    /// Transactions in the serializability constraint graph (0 when skipped).
+    pub ser_txns: u64,
+    /// Edges in the serializability constraint graph (0 when skipped).
+    pub ser_edges: u64,
 }
 
 impl History {
@@ -167,12 +197,7 @@ impl History {
 
     /// Records the client response for `rifl`: completion time and the per-key outputs
     /// observed at the client's site (`(shard, key, output)` in per-shard op order).
-    pub fn record_complete(
-        &mut self,
-        rifl: Rifl,
-        at_us: u64,
-        outputs: Vec<(ShardId, Key, Option<u64>)>,
-    ) {
+    pub fn record_complete(&mut self, rifl: Rifl, at_us: u64, outputs: OpOutputs) {
         if let Some(inv) = self.invocations.get_mut(&rifl) {
             inv.outcome = Outcome::Completed { at_us, outputs };
         }
@@ -254,8 +279,49 @@ impl History {
         };
         self.check_at_most_once()?;
         self.check_replica_agreement()?;
-        self.check_linearizability(&mut summary)?;
+        summary.multi_key_commands = self
+            .invocations
+            .values()
+            .filter(|inv| inv.cmd.keys().collect::<BTreeSet<_>>().len() > 1)
+            .count() as u64;
+        // The per-key pass always runs: it is the fast pre-filter, and single-key
+        // histories stop here (the graph below costs them nothing). When multi-key
+        // commands are present, the graph runs even if the per-key pass failed — a
+        // per-key violation over multi-key commands usually *is* a cross-key cycle,
+        // and the cycle names the culprits where `NotLinearizable` only counts ops.
+        let lin = self.check_linearizability(&mut summary);
+        if summary.multi_key_commands > 0 {
+            match serializability::check(&self.transactions()) {
+                Ok(ser) => {
+                    summary.ser_txns = ser.txns;
+                    summary.ser_edges = ser.edges;
+                }
+                Err(cycle) => return Err(Violation::NotSerializable { cycle }),
+            }
+        }
+        lin?;
         Ok(summary)
+    }
+
+    /// The history viewed as atomic multi-key transactions: per `(shard, key)` access
+    /// footprints with observed entry/exit values, derived from the client-visible
+    /// outputs (see [`key_accesses`] for the derivation rules).
+    pub fn transactions(&self) -> Vec<Txn> {
+        self.invocations
+            .iter()
+            .map(|(rifl, inv)| {
+                let (res_us, outputs) = match &inv.outcome {
+                    Outcome::Completed { at_us, outputs } => (Some(*at_us), Some(outputs)),
+                    _ => (None, None),
+                };
+                Txn {
+                    rifl: *rifl,
+                    inv_us: inv.invoked_us,
+                    res_us,
+                    accesses: key_accesses(&inv.cmd, outputs),
+                }
+            })
+            .collect()
     }
 
     fn check_at_most_once(&self) -> Result<(), Violation> {
@@ -415,6 +481,90 @@ impl History {
         }
         Ok(())
     }
+}
+
+/// Derives a command's per-register access footprint from its ops and the outputs the
+/// client observed (`None` for pending/aborted commands). Per `(shard, key)`:
+///
+/// * **entry** — set by the first op on the key, and only while no write of this
+///   command preceded it on the key: a `Get` output reveals the state directly
+///   (`None` ⇒ [`Entry::Initial`]); an `Add` output `o` implies pre-state `o - d`,
+///   except `o == d`, where `Some(0)` and absent are indistinguishable
+///   ([`Entry::ZeroOrInitial`]). Blind writes and unobserved ops leave it
+///   [`Entry::Unknown`].
+/// * **exit** — the register content after the last op, tracked symbolically: a `Put`
+///   pins it even without outputs (so pending writers still source read-from
+///   evidence), an `Add` only when the running state is known.
+fn key_accesses(cmd: &Command, outputs: Option<&OpOutputs>) -> Vec<KeyAccess> {
+    // Per register: (entry, running state, wrote). The running state is
+    // `Option<Option<u64>>`: outer `None` = unknown, inner = register content.
+    type RegisterTrack = (Entry, Option<Option<u64>>, bool);
+    let mut accesses: BTreeMap<(ShardId, Key), RegisterTrack> = BTreeMap::new();
+    for shard in cmd.shards() {
+        // Outputs of this shard, aligned with `ops_of(shard)` order.
+        let shard_outputs: Option<Vec<Option<u64>>> = outputs.map(|outs| {
+            outs.iter()
+                .filter(|(s, _, _)| *s == shard)
+                .map(|(_, _, out)| *out)
+                .collect()
+        });
+        for (i, (key, op)) in cmd.ops_of(shard).iter().enumerate() {
+            // `None` = no observation (not completed); `Some(out)` = observed output.
+            let obs: Option<Option<u64>> =
+                shard_outputs.as_ref().and_then(|outs| outs.get(i).copied());
+            let (entry, state, wrote) =
+                accesses
+                    .entry((shard, *key))
+                    .or_insert((Entry::Unknown, None, false));
+            // Entry may only be derived before any write of ours touched the key.
+            let can_reveal = !*wrote && *entry == Entry::Unknown;
+            match op {
+                KVOp::Get => {
+                    if let Some(o) = obs {
+                        if can_reveal {
+                            *entry = match o {
+                                None => Entry::Initial,
+                                Some(v) => Entry::Value(v),
+                            };
+                        }
+                        if state.is_none() {
+                            *state = Some(o);
+                        }
+                    }
+                }
+                KVOp::Put(v) => {
+                    *wrote = true;
+                    *state = Some(Some(*v));
+                }
+                KVOp::Add(d) => {
+                    *wrote = true;
+                    if let Some(s) = *state {
+                        *state = Some(Some(s.unwrap_or(0).wrapping_add(*d)));
+                    } else if let Some(Some(o)) = obs {
+                        if can_reveal {
+                            let pre = o.wrapping_sub(*d);
+                            *entry = if pre == 0 {
+                                Entry::ZeroOrInitial
+                            } else {
+                                Entry::Value(pre)
+                            };
+                        }
+                        *state = Some(Some(o));
+                    }
+                }
+            }
+        }
+    }
+    accesses
+        .into_iter()
+        .map(|((shard, key), (entry, state, wrote))| KeyAccess {
+            shard,
+            key,
+            writes: wrote,
+            entry,
+            exit: if wrote { state.flatten() } else { None },
+        })
+        .collect()
 }
 
 /// One command's atomic batch of operations on a single key.

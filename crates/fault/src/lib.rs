@@ -13,6 +13,10 @@
 //! * [`history`] — a concurrent history of client invocations/responses and per-replica
 //!   execution sequences, with a checker for per-key linearizability, cross-replica
 //!   agreement on the order of conflicting commands, and at-most-once execution;
+//! * [`serializability`] — cross-key strict serializability for multi-key commands: a
+//!   commit-order constraint graph (read-from, initial-read, overwrite, per-key
+//!   real-time, program order) whose cycles are anomalies, reported as a minimal
+//!   cycle with the operations involved;
 //! * [`detector`] — a timeout-based, heartbeat-fed failure detector that replaces the
 //!   perfect suspicion oracle of earlier PRs: wrong suspicions become possible, which
 //!   is precisely the adversity the recovery ballot races must absorb.
@@ -35,10 +39,13 @@
 //! [`History::check`] is a per-run bug finder over the schedules actually injected,
 //! not a proof: it covers per-key linearizability (Wing & Gong with memoization;
 //! aborted and unanswered operations linearized optionally), replica agreement on
-//! conflicting-command order per incarnation, and at-most-once execution — but it
-//! cannot see cross-key anomalies (per-key projection) and only explores the
-//! interleavings the seeds produce. DESIGN.md §5 states the full fault model; §6 the
-//! durability model layered on top of it.
+//! conflicting-command order per incarnation, at-most-once execution, and — when the
+//! history contains multi-key commands — cross-key strict serializability through the
+//! constraint graph of [`serializability`] (single-key histories skip that pass
+//! entirely). It still only explores the interleavings the seeds produce, and the
+//! graph only uses constraints that are *forced* by observations (ambiguous
+//! value-to-writer mappings are skipped — see DESIGN.md §11 for the limits). DESIGN.md
+//! §5 states the full fault model; §6 the durability model layered on top of it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,7 +53,9 @@
 pub mod detector;
 pub mod history;
 pub mod nemesis;
+pub mod serializability;
 
 pub use detector::{DetectorEvent, DetectorOpts, DetectorStats, FailureDetector};
 pub use history::{CheckSummary, History, Violation};
 pub use nemesis::{FaultEvent, FaultSummary, Nemesis, NemesisSchedule, RandomNemesisOpts};
+pub use serializability::{CycleEdge, EdgeKind, SerSummary};

@@ -1,0 +1,560 @@
+//! Cross-key strict serializability via a commit-order constraint graph.
+//!
+//! The per-key pass in [`crate::history`] projects every command onto its keys and
+//! checks each register independently — sound for single-key commands, blind to
+//! cross-key anomalies (write skew, fractured reads, per-shard orders that disagree
+//! about one multi-key command). This module treats every *command* as an atomic
+//! transaction and asks whether one serial order over all of them explains every
+//! observation and respects real time. The serial order is never enumerated; instead
+//! the checker collects the constraints any such order would have to satisfy and looks
+//! for a cycle:
+//!
+//! * **read-from** — a transaction that observed value `v` on a key must come after
+//!   the unique writer whose final value on that key is `v` (skipped when several
+//!   writers produced `v`: the mapping is ambiguous and an edge would be unsound);
+//! * **initial-read** — a transaction that observed the key as *absent* must come
+//!   before every writer of that key (keys are never deleted, so absence pins the
+//!   transaction to the pre-write prefix of the order);
+//! * **overwrite** — a transaction that entered a key at state `v` must come before
+//!   any *other* writer that also entered at `v`: in a serial order the state `v`
+//!   exists as one contiguous interval and a writer entering at `v` ends it (two
+//!   writers both claiming entry `v` get mutual edges — the lost-update cycle);
+//! * **real-time (per key)** — if `a` completed before `b` was invoked and both touch
+//!   some key, `a` precedes `b` (strict serializability; the per-key scope is a
+//!   deliberate limit, see DESIGN.md §11);
+//! * **program order** — one client submits serially, so its own commands are chained
+//!   by the same completed-before-invoked rule across *all* keys.
+//!
+//! Real-time and program constraints are materialized through per-group *barrier
+//! chains* (one auxiliary node per completed transaction) so a group of `n`
+//! transactions costs `O(n)` edges instead of `O(n²)`. Pending and aborted
+//! transactions receive ordering edges but never source them — their effects may land
+//! arbitrarily late, so "completed before" never applies to them — yet their
+//! deterministic writes (`Put`) still source read-from edges: observing such a value
+//! proves the write executed.
+//!
+//! The graph is built deterministically (BTree grouping, index-sorted adjacency), so
+//! the same history always yields the same verdict and, on failure, the same reported
+//! cycle: Tarjan's SCC finds a strongly connected component, and a BFS inside it
+//! returns a *minimal* cycle (fewest constraint hops, ties broken by lowest
+//! transaction index) with the offending operations and edge kinds attached.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use tempo_kernel::command::Key;
+use tempo_kernel::id::{ClientId, Rifl, ShardId};
+
+/// What a transaction observed about one register's state when it first touched it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Entry {
+    /// Nothing observable: a blind write, or a pending/aborted command whose outputs
+    /// were never seen.
+    Unknown,
+    /// The key was absent (a `Get` returned `None`).
+    Initial,
+    /// An `Add` returned its own delta, so the pre-state was either `0` or absent —
+    /// indistinguishable, and therefore never used for edges.
+    ZeroOrInitial,
+    /// The register held this value.
+    Value(u64),
+}
+
+/// One transaction's footprint on one `(shard, key)` register.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyAccess {
+    /// The shard owning the key.
+    pub shard: ShardId,
+    /// The key.
+    pub key: Key,
+    /// Whether the transaction writes the register (`Put`/`Add`).
+    pub writes: bool,
+    /// Observed (or derived) register state when the transaction first touched the key.
+    pub entry: Entry,
+    /// The value the register held after the transaction's last op on it, when known
+    /// (`None` for reads, and for writes whose final value cannot be derived — e.g. a
+    /// pending `Add`).
+    pub exit: Option<u64>,
+}
+
+/// A client command viewed as an atomic multi-key transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Txn {
+    /// The command's request identifier.
+    pub rifl: Rifl,
+    /// Invocation time at the client.
+    pub inv_us: u64,
+    /// Completion time at the client; `None` for pending/aborted commands.
+    pub res_us: Option<u64>,
+    /// One access per distinct `(shard, key)` touched, in key order.
+    pub accesses: Vec<KeyAccess>,
+}
+
+/// The kind of ordering constraint an edge represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EdgeKind {
+    /// `to` observed the value `from` wrote on the key.
+    ReadFrom {
+        /// The shard owning the key.
+        shard: ShardId,
+        /// The key whose value was observed.
+        key: Key,
+    },
+    /// `from` observed the key as absent, so it precedes the writer `to`.
+    InitialRead {
+        /// The shard owning the key.
+        shard: ShardId,
+        /// The key observed absent.
+        key: Key,
+    },
+    /// `from` entered the key at the state that the writer `to` consumed.
+    Overwrite {
+        /// The shard owning the key.
+        shard: ShardId,
+        /// The contended key.
+        key: Key,
+    },
+    /// `from` completed before `to` was invoked and both touch the key.
+    RealTime {
+        /// The shard owning the key.
+        shard: ShardId,
+        /// The key both transactions touch.
+        key: Key,
+    },
+    /// Same client: `from` completed before the client invoked `to`.
+    Program {
+        /// The client whose submission order the edge encodes.
+        client: ClientId,
+    },
+}
+
+impl fmt::Display for EdgeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeKind::ReadFrom { shard, key } => write!(f, "read-from {shard}/{key}"),
+            EdgeKind::InitialRead { shard, key } => write!(f, "initial-read {shard}/{key}"),
+            EdgeKind::Overwrite { shard, key } => write!(f, "overwrite {shard}/{key}"),
+            EdgeKind::RealTime { shard, key } => write!(f, "real-time {shard}/{key}"),
+            EdgeKind::Program { client } => write!(f, "program-order client {client}"),
+        }
+    }
+}
+
+/// One edge of a reported anomalous cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleEdge {
+    /// The transaction the constraint orders first.
+    pub from: Rifl,
+    /// The transaction the constraint orders second.
+    pub to: Rifl,
+    /// Why `from` must precede `to`.
+    pub kind: EdgeKind,
+}
+
+impl fmt::Display for CycleEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -[{}]-> {}", self.from, self.kind, self.to)
+    }
+}
+
+/// What a passing serializability check covered.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SerSummary {
+    /// Transactions in the constraint graph.
+    pub txns: u64,
+    /// Constraint edges (after barrier-chain compression).
+    pub edges: u64,
+}
+
+/// Node indices `0..txns.len()` are transactions; the rest are barrier nodes.
+struct Graph {
+    adj: Vec<Vec<(usize, EdgeKind)>>,
+    /// `kind` of the chain each barrier node belongs to (indexed from `txn_count`).
+    barrier_kind: Vec<EdgeKind>,
+    txn_count: usize,
+    edges: u64,
+}
+
+impl Graph {
+    fn new(txn_count: usize) -> Self {
+        Self {
+            adj: vec![Vec::new(); txn_count],
+            barrier_kind: Vec::new(),
+            txn_count,
+            edges: 0,
+        }
+    }
+
+    fn add_edge(&mut self, from: usize, to: usize, kind: EdgeKind) {
+        debug_assert_ne!(from, to, "constraint edges are never self-loops");
+        if !self.adj[from].contains(&(to, kind)) {
+            self.adj[from].push((to, kind));
+            self.edges += 1;
+        }
+    }
+
+    fn add_barrier(&mut self, kind: EdgeKind) -> usize {
+        let id = self.adj.len();
+        self.adj.push(Vec::new());
+        self.barrier_kind.push(kind);
+        id
+    }
+
+    /// Adds the real-time edges of one group (transactions sharing a key, or a
+    /// client's transactions) as a barrier chain: one auxiliary node per completed
+    /// member, in completion order, each preceding every member invoked after it.
+    /// Linear in the group size where naive pairwise edges are quadratic.
+    fn add_barrier_chain(&mut self, members: &[(usize, u64, Option<u64>)], kind: EdgeKind) {
+        // (node, res_us) of completed members, in (completion, node) order.
+        let mut completed: Vec<(usize, u64)> = members
+            .iter()
+            .filter_map(|&(node, _, res)| res.map(|r| (node, r)))
+            .collect();
+        completed.sort_by_key(|&(node, res)| (res, node));
+        if completed.is_empty() {
+            return;
+        }
+        let barriers: Vec<usize> = completed.iter().map(|_| self.add_barrier(kind)).collect();
+        for (i, &(node, _)) in completed.iter().enumerate() {
+            self.add_edge(node, barriers[i], kind);
+            if i + 1 < barriers.len() {
+                self.add_edge(barriers[i], barriers[i + 1], kind);
+            }
+        }
+        for &(node, inv, _) in members {
+            // Members strictly invoked after the i-th completion are ordered after it.
+            let preceding = completed.partition_point(|&(_, res)| res < inv);
+            if preceding > 0 {
+                self.add_edge(barriers[preceding - 1], node, kind);
+            }
+        }
+    }
+}
+
+/// Checks strict serializability of `txns`; returns coverage counts, or a minimal
+/// anomalous cycle.
+pub fn check(txns: &[Txn]) -> Result<SerSummary, Vec<CycleEdge>> {
+    let mut graph = Graph::new(txns.len());
+
+    // Group accesses per register, and transactions per client.
+    let mut per_key: BTreeMap<(ShardId, Key), Vec<(usize, &KeyAccess)>> = BTreeMap::new();
+    let mut per_client: BTreeMap<ClientId, Vec<(usize, u64, Option<u64>)>> = BTreeMap::new();
+    for (i, txn) in txns.iter().enumerate() {
+        for acc in &txn.accesses {
+            per_key
+                .entry((acc.shard, acc.key))
+                .or_default()
+                .push((i, acc));
+        }
+        per_client
+            .entry(txn.rifl.client)
+            .or_default()
+            .push((i, txn.inv_us, txn.res_us));
+    }
+
+    for (&(shard, key), group) in &per_key {
+        let writers: Vec<(usize, &KeyAccess)> =
+            group.iter().filter(|(_, a)| a.writes).copied().collect();
+        let mut writers_by_exit: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        for &(i, acc) in &writers {
+            if let Some(v) = acc.exit {
+                writers_by_exit.entry(v).or_default().push(i);
+            }
+        }
+        for &(i, acc) in group {
+            match acc.entry {
+                Entry::Value(v) => {
+                    if let Some(ws) = writers_by_exit.get(&v) {
+                        // Unique-writer rule: with several candidate writers of `v`
+                        // the mapping is ambiguous, and a wrong edge could convict a
+                        // correct run — skip.
+                        if let [w] = ws[..] {
+                            if w != i {
+                                graph.add_edge(w, i, EdgeKind::ReadFrom { shard, key });
+                            }
+                        }
+                    }
+                    for &(w, wacc) in &writers {
+                        if w != i && wacc.entry == Entry::Value(v) {
+                            graph.add_edge(i, w, EdgeKind::Overwrite { shard, key });
+                        }
+                    }
+                }
+                Entry::Initial => {
+                    for &(w, _) in &writers {
+                        if w != i {
+                            graph.add_edge(i, w, EdgeKind::InitialRead { shard, key });
+                        }
+                    }
+                }
+                // `ZeroOrInitial` could be a genuine `Some(0)` written by a `Put(0)`,
+                // so neither the initial-read nor the read-from rule applies safely.
+                Entry::ZeroOrInitial | Entry::Unknown => {}
+            }
+        }
+        let members: Vec<(usize, u64, Option<u64>)> = group
+            .iter()
+            .map(|&(i, _)| (i, txns[i].inv_us, txns[i].res_us))
+            .collect();
+        graph.add_barrier_chain(&members, EdgeKind::RealTime { shard, key });
+    }
+
+    for (&client, members) in &per_client {
+        graph.add_barrier_chain(members, EdgeKind::Program { client });
+    }
+
+    // Deterministic adjacency order for the SCC walk and the BFS below.
+    for list in &mut graph.adj {
+        list.sort();
+    }
+
+    match find_cycle(&graph, txns) {
+        None => Ok(SerSummary {
+            txns: txns.len() as u64,
+            edges: graph.edges,
+        }),
+        Some(cycle) => Err(cycle),
+    }
+}
+
+/// Finds the minimal cycle (fewest hops; ties broken by lowest starting transaction)
+/// across all non-trivial strongly connected components, reported with barrier chains
+/// collapsed back into single edges between transactions.
+fn find_cycle(graph: &Graph, txns: &[Txn]) -> Option<Vec<CycleEdge>> {
+    let comp = scc_ids(&graph.adj);
+    let n = graph.adj.len();
+    // Component sizes; a cycle exists iff some component has >= 2 nodes (the graph
+    // has no self-loops by construction).
+    let mut size = vec![0usize; n];
+    for &c in &comp {
+        size[c] += 1;
+    }
+    let mut best: Option<Vec<usize>> = None;
+    for start in 0..graph.txn_count {
+        if size[comp[start]] < 2 {
+            continue;
+        }
+        if let Some(path) = shortest_cycle_from(graph, &comp, start) {
+            if best.as_ref().is_none_or(|b| path.len() < b.len()) {
+                best = Some(path);
+            }
+        }
+    }
+    let path = best?;
+    // Walk the node path (start, ..., start), collapsing barrier nodes: every barrier
+    // run sits between two transactions and carries a single kind by construction.
+    let mut cycle = Vec::new();
+    let mut from = path[0];
+    let mut kind: Option<EdgeKind> = None;
+    for window in path.windows(2) {
+        let (a, b) = (window[0], window[1]);
+        let edge_kind = graph.adj[a]
+            .iter()
+            .find(|(to, _)| *to == b)
+            .map(|(_, k)| *k)
+            .expect("path follows existing edges");
+        if kind.is_none() {
+            kind = Some(edge_kind);
+        }
+        if b < graph.txn_count {
+            cycle.push(CycleEdge {
+                from: txns[from].rifl,
+                to: txns[b].rifl,
+                kind: kind.take().expect("a hop always has a kind"),
+            });
+            from = b;
+        }
+    }
+    Some(cycle)
+}
+
+/// BFS from `start` within its component; returns the node path of the shortest cycle
+/// through `start` (first and last element are `start`), or `None` if `start` cannot
+/// reach itself.
+fn shortest_cycle_from(graph: &Graph, comp: &[usize], start: usize) -> Option<Vec<usize>> {
+    let n = graph.adj.len();
+    let mut parent = vec![usize::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        for &(w, _) in &graph.adj[v] {
+            if comp[w] != comp[start] {
+                continue;
+            }
+            if w == start {
+                let mut path = vec![start, v];
+                let mut cur = v;
+                while cur != start {
+                    cur = parent[cur];
+                    path.push(cur);
+                }
+                path.reverse();
+                return Some(path);
+            }
+            if parent[w] == usize::MAX && w != start {
+                parent[w] = v;
+                queue.push_back(w);
+            }
+        }
+    }
+    None
+}
+
+/// Iterative Tarjan: maps every node to a component id.
+fn scc_ids(adj: &[Vec<(usize, EdgeKind)>]) -> Vec<usize> {
+    let n = adj.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut comp = vec![usize::MAX; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut next_comp = 0usize;
+    let mut call: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        call.push((root, 0));
+        while let Some(frame) = call.last_mut() {
+            let (v, cursor) = (frame.0, frame.1);
+            if cursor == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if cursor < adj[v].len() {
+                frame.1 += 1;
+                let w = adj[v][cursor].0;
+                if index[w] == usize::MAX {
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(parent) = call.last() {
+                    let p = parent.0;
+                    low[p] = low[p].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    loop {
+                        let w = stack.pop().expect("tarjan stack holds the component");
+                        on_stack[w] = false;
+                        comp[w] = next_comp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    next_comp += 1;
+                }
+            }
+        }
+    }
+    comp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn txn(rifl: Rifl, inv: u64, res: Option<u64>, accesses: Vec<KeyAccess>) -> Txn {
+        Txn {
+            rifl,
+            inv_us: inv,
+            res_us: res,
+            accesses,
+        }
+    }
+
+    fn read(key: Key, entry: Entry) -> KeyAccess {
+        KeyAccess {
+            shard: 0,
+            key,
+            writes: false,
+            entry,
+            exit: None,
+        }
+    }
+
+    fn write(key: Key, entry: Entry, exit: u64) -> KeyAccess {
+        KeyAccess {
+            shard: 0,
+            key,
+            writes: true,
+            entry,
+            exit: Some(exit),
+        }
+    }
+
+    #[test]
+    fn empty_and_serial_histories_pass() {
+        assert!(check(&[]).is_ok());
+        let t1 = txn(
+            Rifl::new(1, 1),
+            0,
+            Some(10),
+            vec![write(1, Entry::Unknown, 5), write(2, Entry::Unknown, 5)],
+        );
+        let t2 = txn(
+            Rifl::new(1, 2),
+            20,
+            Some(30),
+            vec![read(1, Entry::Value(5)), read(2, Entry::Value(5))],
+        );
+        let summary = check(&[t1, t2]).expect("serial history");
+        assert_eq!(summary.txns, 2);
+        assert!(summary.edges > 0);
+    }
+
+    #[test]
+    fn write_skew_is_a_cycle() {
+        // T1 reads x absent, writes y; T2 reads y absent, writes x — both claim to
+        // precede the other's write.
+        let t1 = txn(
+            Rifl::new(1, 1),
+            0,
+            Some(100),
+            vec![read(1, Entry::Initial), write(2, Entry::Unknown, 7)],
+        );
+        let t2 = txn(
+            Rifl::new(2, 1),
+            0,
+            Some(100),
+            vec![read(2, Entry::Initial), write(1, Entry::Unknown, 7)],
+        );
+        let cycle = check(&[t1, t2]).expect_err("write skew");
+        assert_eq!(cycle.len(), 2);
+        assert!(cycle
+            .iter()
+            .all(|e| matches!(e.kind, EdgeKind::InitialRead { .. })));
+    }
+
+    #[test]
+    fn barrier_chain_orders_disjoint_writers_via_reader() {
+        // w1 completes, then r starts, reads the initial state of w1's key: stale.
+        let w1 = txn(
+            Rifl::new(1, 1),
+            0,
+            Some(10),
+            vec![write(1, Entry::Unknown, 3)],
+        );
+        let r = txn(Rifl::new(2, 1), 20, Some(30), vec![read(1, Entry::Initial)]);
+        let cycle = check(&[w1, r]).expect_err("stale initial read");
+        assert_eq!(cycle.len(), 2);
+    }
+
+    #[test]
+    fn pending_writers_source_no_realtime_edges() {
+        // A pending write observed by a later reader: fine (it executed sometime).
+        let w = txn(Rifl::new(1, 1), 0, None, vec![write(1, Entry::Unknown, 3)]);
+        let r = txn(
+            Rifl::new(2, 1),
+            50,
+            Some(60),
+            vec![read(1, Entry::Value(3))],
+        );
+        assert!(check(&[w, r]).is_ok());
+    }
+}

@@ -9,10 +9,11 @@
 //!   measured from the intended time, not the actual send, so queueing delay caused
 //!   by an overloaded system is charged to the system rather than silently dropped
 //!   (the coordinated-omission stance; see DESIGN.md §8).
-//! * [`Mix`] / [`ZipfMix`] — what each command does: Zipf-distributed keys with an
-//!   optional hot-key override (the microbenchmark's conflict knob) and YCSB-style
-//!   read/write ratios, with the request identifier supplied by the caller so a
-//!   driver can encode session slots into it.
+//! * [`Mix`] / [`ZipfMix`] / [`YcsbTMix`] — what each command does: Zipf-distributed
+//!   keys with an optional hot-key override (the microbenchmark's conflict knob) and
+//!   YCSB-style read/write ratios, plus the YCSB+T multi-shard transaction mix of
+//!   Figure 9 (two distinct (shard, key) accesses per command), with the request
+//!   identifier supplied by the caller so a driver can encode session slots into it.
 //!
 //! The pieces that *apply* this load to a cluster live in `tempo-runtime`
 //! (`LoadDriver`) and the WAN emulation lives in `tempo-net` (`PlanetTransport`);
@@ -26,4 +27,4 @@ mod arrivals;
 mod mix;
 
 pub use arrivals::Arrivals;
-pub use mix::{Mix, ZipfMix};
+pub use mix::{Mix, YcsbTMix, ZipfMix};

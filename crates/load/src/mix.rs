@@ -8,7 +8,7 @@
 //! only decides *what* the command does: which keys, read or write, what payload.
 
 use tempo_kernel::command::{Command, KVOp, Key};
-use tempo_kernel::id::Rifl;
+use tempo_kernel::id::{Rifl, ShardId};
 use tempo_kernel::rand::{Rng, Zipf};
 
 /// A stream of command bodies: the caller owns request identity, the mix owns key
@@ -140,6 +140,105 @@ impl Mix for ZipfMix {
     }
 }
 
+/// The YCSB+T multi-shard mix (§6.4 / Figure 9): each command is a one-shot
+/// transaction over `keys_per_command` *distinct* (shard, key) pairs, with the key
+/// within each shard drawn from a Zipfian distribution over a per-shard key space.
+///
+/// A fraction `write_ratio` of commands write every key they touch (`Add(1)`, so the
+/// serializability checker can trace values through counters); the rest read every
+/// key (`Get`). This mirrors `tempo_workload::YcsbT` — same key-space layout, same
+/// all-read/all-write command shape — but with the request identity owned by the
+/// caller, which is what `run_load` session slots need.
+#[derive(Debug, Clone)]
+pub struct YcsbTMix {
+    shards: u64,
+    keys_per_shard: u64,
+    zipf: Zipf,
+    rng: Rng,
+    write_ratio: f64,
+    keys_per_command: usize,
+    payload_size: usize,
+}
+
+impl YcsbTMix {
+    /// A mix over `shards` shards of `keys_per_shard` keys each, with skew `theta`
+    /// and the given write ratio. Each command touches 2 distinct (shard, key) pairs
+    /// and carries a 64-byte payload, as in the paper; use the builder methods to
+    /// change either.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`, `keys_per_shard == 0`, `theta ∉ [0, 1)`, or
+    /// `write_ratio ∉ [0, 1]`.
+    pub fn new(shards: u64, keys_per_shard: u64, theta: f64, write_ratio: f64, seed: u64) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        assert!(
+            (0.0..=1.0).contains(&write_ratio),
+            "write ratio must be in [0, 1], got {write_ratio}"
+        );
+        assert!(keys_per_shard > 0, "need at least one key per shard");
+        Self {
+            shards,
+            keys_per_shard,
+            zipf: Zipf::new(keys_per_shard, theta),
+            rng: Rng::new(seed),
+            write_ratio,
+            keys_per_command: 2,
+            payload_size: 64,
+        }
+    }
+
+    /// Sets how many distinct (shard, key) pairs each command accesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys_per_command == 0` or if it exceeds the number of distinct
+    /// (shard, key) pairs available (the rejection loop would never terminate).
+    pub fn with_keys_per_command(mut self, keys_per_command: usize) -> Self {
+        assert!(keys_per_command > 0, "need at least one key per command");
+        let available = self.shards.saturating_mul(self.keys_per_shard);
+        assert!(
+            keys_per_command as u64 <= available,
+            "{keys_per_command} keys per command but only {available} (shard, key) pairs"
+        );
+        self.keys_per_command = keys_per_command;
+        self
+    }
+
+    /// Sets the opaque payload size carried by each command.
+    pub fn with_payload(mut self, payload_size: usize) -> Self {
+        self.payload_size = payload_size;
+        self
+    }
+}
+
+impl Mix for YcsbTMix {
+    fn next(&mut self, rifl: Rifl) -> Command {
+        let is_write = self.rng.gen_bool(self.write_ratio);
+        let mut accesses: Vec<(ShardId, Key, KVOp)> = Vec::with_capacity(self.keys_per_command);
+        while accesses.len() < self.keys_per_command {
+            let shard = self.rng.gen_range(self.shards);
+            let key = self.zipf.sample(&mut self.rng);
+            if accesses.iter().any(|(s, k, _)| *s == shard && *k == key) {
+                continue;
+            }
+            let op = if is_write { KVOp::Add(1) } else { KVOp::Get };
+            accesses.push((shard, key, op));
+        }
+        Command::new(rifl, accesses, self.payload_size)
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "ycsb+t-{}x{}/zipf-{:.2}/w{:.2}",
+            self.shards,
+            self.keys_per_command,
+            self.zipf.theta(),
+            self.write_ratio
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,5 +323,59 @@ mod tests {
     fn names_describe_the_mix() {
         let mix = ZipfMix::new(1000, 0.7, 0.95, 1).with_hot_ratio(0.1);
         assert_eq!(mix.name(), "zipf-0.70/r0.95/hot0.10");
+        let mix = YcsbTMix::new(2, 1000, 0.7, 0.5, 1);
+        assert_eq!(mix.name(), "ycsb+t-2x2/zipf-0.70/w0.50");
+    }
+
+    #[test]
+    fn ycsb_t_commands_touch_distinct_pairs_within_bounds() {
+        let mut mix = YcsbTMix::new(3, 100, 0.7, 0.5, 7).with_keys_per_command(3);
+        for i in 0..2_000 {
+            let cmd = mix.next(rifl(i));
+            let pairs: Vec<_> = cmd.keys().collect();
+            assert_eq!(pairs.len(), 3);
+            let distinct: std::collections::BTreeSet<_> = pairs.iter().collect();
+            assert_eq!(
+                distinct.len(),
+                3,
+                "duplicate (shard, key) pair in {pairs:?}"
+            );
+            for &(shard, key) in &pairs {
+                assert!(shard < 3);
+                assert!(key < 100);
+            }
+        }
+    }
+
+    #[test]
+    fn ycsb_t_commands_are_all_read_or_all_write() {
+        let mut mix = YcsbTMix::new(2, 1000, 0.5, 0.5, 11);
+        let mut writes = 0;
+        for i in 0..10_000 {
+            let cmd = mix.next(rifl(i));
+            let ops: Vec<KVOp> = (0..2)
+                .flat_map(|shard| cmd.ops_of(shard).iter().map(|(_, op)| *op))
+                .collect();
+            assert_eq!(ops.len(), 2);
+            if cmd.is_read_only() {
+                assert!(ops.iter().all(|op| matches!(op, KVOp::Get)));
+            } else {
+                assert!(ops.iter().all(|op| matches!(op, KVOp::Add(1))));
+                writes += 1;
+            }
+        }
+        assert!(
+            (4_500..=5_500).contains(&writes),
+            "write share {writes}/10000, expected ~5000"
+        );
+    }
+
+    #[test]
+    fn ycsb_t_same_seed_same_sequence() {
+        let mut a = YcsbTMix::new(2, 10_000, 0.7, 0.5, 42);
+        let mut b = YcsbTMix::new(2, 10_000, 0.7, 0.5, 42);
+        for i in 0..2_000 {
+            assert_eq!(a.next(rifl(i)), b.next(rifl(i)));
+        }
     }
 }

@@ -33,12 +33,21 @@
 //! log-bucketed latency histogram ([`LogHistogram`]) whose summary feeds
 //! `BENCH_load.json`.
 //!
+//! When the cluster was started with
+//! [`NetOpts::record_history`](crate::NetOpts::record_history), every pump also
+//! records its sessions into the shared [`History`](tempo_fault::History):
+//! invocation at submit, per-shard observed outputs merged into one completion
+//! record (multi-shard commands collect one execution notice per accessed shard),
+//! and aborts for timed-out or stranded ops — so an open-loop multi-shard run can be
+//! checked for cross-key strict serializability exactly like a closed-loop one.
+//!
 //! [`ClientSession`]: crate::ClientSession
 
 use crate::cluster::{decode_reply, encode_request, watch_replica, NetCluster, Shared};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use tempo_kernel::command::Key;
 use tempo_kernel::id::{ClientId, ProcessId, Rifl, ShardId, SiteId};
 use tempo_kernel::metrics::{LatencySummary, LogHistogram};
 use tempo_kernel::trace::CmdPhase;
@@ -145,8 +154,8 @@ impl LoadReport {
 const SLOT_SHIFT: u32 = 40;
 const COUNTER_MASK: u64 = (1 << SLOT_SHIFT) - 1;
 
-/// Most shards one command may touch (the mixes issue single-shard commands; the
-/// fixed bound keeps slots allocation-free).
+/// Most shards one command may touch (`ZipfMix` issues single-shard commands,
+/// `YcsbTMix` two-shard ones; the fixed bound keeps slots allocation-free).
 const MAX_OP_SHARDS: usize = 4;
 
 /// How often a pump sweeps its slots for timed-out ops.
@@ -270,11 +279,30 @@ struct PumpCfg<M: Mix> {
     op_timeout_us: u64,
 }
 
+/// Records a client abort in the shared history (when recording is on).
+fn record_abort(shared: &Shared, client: ClientId, seq: u64) {
+    if let Some(history) = &shared.history {
+        history
+            .lock()
+            .expect("history lock")
+            .record_abort(Rifl::new(client, seq));
+    }
+}
+
 /// One pump's event loop. Returns `(completed, aborted, latency)` over the
 /// measured window.
 fn pump_loop<M: Mix>(mut cfg: PumpCfg<M>) -> (u64, u64, LogHistogram) {
     let start = Instant::now();
     let mut slots: Vec<Slot> = vec![Slot::default(); cfg.sessions];
+    // Per-slot observed outputs, accumulated across the per-shard execution notices
+    // of the in-flight command — only when the cluster records a history (slots stay
+    // allocation-free otherwise).
+    let record = cfg.shared.history.is_some();
+    let mut outputs: Vec<Vec<(ShardId, Key, Option<u64>)>> = if record {
+        vec![Vec::new(); cfg.sessions]
+    } else {
+        Vec::new()
+    };
     let mut free: Vec<usize> = (0..cfg.sessions).rev().collect();
     let mut backlog: VecDeque<u64> = VecDeque::new();
     let mut counter: u64 = 0;
@@ -312,6 +340,13 @@ fn pump_loop<M: Mix>(mut cfg: PumpCfg<M>) -> (u64, u64, LogHistogram) {
             counter += 1;
             let seq = ((slot_idx as u64) << SLOT_SHIFT) | (counter & COUNTER_MASK);
             let cmd = cfg.mix.next(Rifl::new(cfg.client, seq));
+            if let Some(history) = &cfg.shared.history {
+                history.lock().expect("history lock").record_invoke(
+                    cmd.rifl,
+                    cmd.clone(),
+                    cfg.shared.now_us(),
+                );
+            }
             let measured = intended >= cfg.warmup_us;
             let mut pending = [(0, 0); MAX_OP_SHARDS];
             let mut pending_len = 0usize;
@@ -334,6 +369,7 @@ fn pump_loop<M: Mix>(mut cfg: PumpCfg<M>) -> (u64, u64, LogHistogram) {
             }
             if !all_watched {
                 // Some accessed shard has every replica down right now.
+                record_abort(&cfg.shared, cfg.client, seq);
                 if measured {
                     aborted += 1;
                 }
@@ -368,6 +404,7 @@ fn pump_loop<M: Mix>(mut cfg: PumpCfg<M>) -> (u64, u64, LogHistogram) {
         if now >= grace_end_us {
             // Hard stop: strand in-flight ops and the unsubmitted backlog.
             for slot in slots.iter_mut().filter(|s| s.busy) {
+                record_abort(&cfg.shared, cfg.client, slot.seq);
                 if slot.measured {
                     aborted += 1;
                 }
@@ -381,6 +418,10 @@ fn pump_loop<M: Mix>(mut cfg: PumpCfg<M>) -> (u64, u64, LogHistogram) {
             next_sweep = now + SWEEP_EVERY_US;
             for (idx, slot) in slots.iter_mut().enumerate() {
                 if slot.busy && now.saturating_sub(slot.intended_us) > cfg.op_timeout_us {
+                    record_abort(&cfg.shared, cfg.client, slot.seq);
+                    if record {
+                        outputs[idx].clear();
+                    }
                     if slot.measured {
                         aborted += 1;
                     }
@@ -424,7 +465,18 @@ fn pump_loop<M: Mix>(mut cfg: PumpCfg<M>) -> (u64, u64, LogHistogram) {
                     };
                     slot.pending_len -= 1;
                     slot.pending[i] = slot.pending[slot.pending_len as usize];
+                    if record {
+                        outputs[slot_idx]
+                            .extend(reply.outputs.iter().map(|(k, v)| (reply.shard, *k, *v)));
+                    }
                     if slot.pending_len == 0 {
+                        if let Some(history) = &cfg.shared.history {
+                            history.lock().expect("history lock").record_complete(
+                                Rifl::new(cfg.client, slot.seq),
+                                cfg.shared.now_us(),
+                                std::mem::take(&mut outputs[slot_idx]),
+                            );
+                        }
                         if slot.measured {
                             completed += 1;
                             let done = start.elapsed().as_micros() as u64;
@@ -447,6 +499,7 @@ fn pump_loop<M: Mix>(mut cfg: PumpCfg<M>) -> (u64, u64, LogHistogram) {
                 Err(RecvError::Closed) => {
                     // Cluster torn down under us: strand everything outstanding.
                     for slot in slots.iter_mut().filter(|s| s.busy) {
+                        record_abort(&cfg.shared, cfg.client, slot.seq);
                         if slot.measured {
                             aborted += 1;
                         }
